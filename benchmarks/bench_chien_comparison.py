@@ -1,0 +1,29 @@
+"""Benchmark: Section 2's critique of Chien's model, quantified.
+
+Not a numbered figure in the paper, but the motivating comparison of its
+Related Work section: Chien's single-cycle, crossbar-port-per-VC
+canonical router implies a cycle time that stretches rapidly with the
+number of virtual channels, while the paper's shared-port pipelined
+architecture keeps a fixed clock and adds stages.
+"""
+
+from repro.delaymodel.chien import comparison_table, render_comparison
+
+
+def test_chien_comparison(benchmark, record_result):
+    table = benchmark(comparison_table)
+
+    by_v = {c.v: c for c in table}
+    # Chien's implied clock stretches with v...
+    assert by_v[8].chien_clock_tau4 > by_v[2].chien_clock_tau4 > 20.0
+    # ...while the pipelined model's clock is pinned at 20 tau4.
+    assert all(c.pipelined_clock_tau4 == 20.0 for c in table)
+    # At 8 VCs the single-cycle router cannot even match the pipelined
+    # router's *total* per-hop latency.
+    assert by_v[8].chien_per_hop_tau4 > 0.6 * by_v[8].pipelined_per_hop_tau4
+
+    for c in table:
+        benchmark.extra_info[f"v={c.v} chien clock (tau4)"] = round(
+            c.chien_clock_tau4, 1
+        )
+    record_result("chien_comparison", render_comparison(table))

@@ -1,0 +1,27 @@
+"""Benchmark: Figure 11 -- pipeline stage counts across (p, v).
+
+Reproduces the paper's claims: wormhole 3 stages; non-speculative VC 4
+stages up to 8 VCs; speculative VC 3 stages up to 16 VCs.
+"""
+
+from repro.experiments.figures import fig11
+
+
+def test_fig11(benchmark, record_result):
+    result = benchmark(fig11)
+
+    assert result.wormhole.stages == 3
+    nonspec = {(b.p, b.v): b.stages for b in result.nonspeculative}
+    spec = {(b.p, b.v): b.stages for b in result.speculative}
+    for p in (5, 7):
+        assert all(nonspec[(p, v)] == 4 for v in (2, 4, 8))
+        assert all(spec[(p, v)] == 3 for v in (2, 4, 8, 16))
+
+    benchmark.extra_info["wormhole stages"] = result.wormhole.stages
+    benchmark.extra_info["nonspec stages (p=5)"] = [
+        nonspec[(5, v)] for v in (2, 4, 8, 16, 32)
+    ]
+    benchmark.extra_info["spec stages (p=5)"] = [
+        spec[(5, v)] for v in (2, 4, 8, 16, 32)
+    ]
+    record_result("fig11", result.render())

@@ -1,0 +1,19 @@
+"""Benchmark: Figure 12 -- combined VC & switch allocation stage delay."""
+
+from repro.delaymodel.modules import RoutingRange
+from repro.experiments.figures import fig12
+
+
+def test_fig12(benchmark, record_result):
+    result = benchmark(fig12)
+
+    rv = result.series(RoutingRange.RV)
+    rpv = result.series(RoutingRange.RPV)
+    # the Table-1 anchor and the figure's dominance ordering
+    assert abs(result.delays_tau4[("Rv", 5, 2)] - 14.7) < 0.15
+    assert all(a <= b + 1e-9 for a, b in zip(rv, rpv))
+    assert max(rpv) < 40.0  # the figure's y-axis bound
+
+    benchmark.extra_info["Rv delays (tau4)"] = [round(d, 1) for d in rv]
+    benchmark.extra_info["Rpv delays (tau4)"] = [round(d, 1) for d in rpv]
+    record_result("fig12", result.render())

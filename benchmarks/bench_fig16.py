@@ -1,0 +1,13 @@
+"""Benchmark: Figure 16 -- buffer-turnaround timelines."""
+
+from repro.experiments.figures import fig16
+
+
+def test_fig16(benchmark, record_result):
+    text = benchmark(fig16)
+
+    assert "turnaround 4 cycles" in text   # wormhole / speculative VC
+    assert "turnaround 5 cycles" in text   # non-speculative VC
+    assert "turnaround 2 cycles" in text   # single-cycle model
+    assert "turnaround 7 cycles" in text   # 4-cycle credit propagation
+    record_result("fig16", text)

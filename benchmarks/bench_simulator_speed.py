@@ -1,0 +1,45 @@
+"""Benchmark: raw simulator throughput (cycles/second).
+
+Not a paper figure -- a performance-regression guard for the cycle
+kernel itself.  pytest-benchmark runs these with proper rounds (unlike
+the single-shot figure benches), so changes to the hot path (router
+phases, allocators, channels) show up as timing regressions.
+"""
+
+import pytest
+
+from repro.sim.config import RouterKind, SimConfig
+from repro.sim.network import Network
+
+CYCLES = 120
+
+
+def warmed_network(kind, vcs, load=0.3):
+    network = Network(SimConfig(
+        router_kind=kind, num_vcs=vcs, mesh_radix=8, buffers_per_vc=4,
+        injection_fraction=load, seed=1,
+    ))
+    network.run(200)  # reach steady state before timing
+    return network
+
+
+@pytest.mark.parametrize(
+    "kind,vcs",
+    [
+        (RouterKind.WORMHOLE, 1),
+        (RouterKind.VIRTUAL_CHANNEL, 2),
+        (RouterKind.SPECULATIVE_VC, 2),
+    ],
+    ids=["wormhole", "vc", "spec_vc"],
+)
+def test_cycle_throughput(benchmark, kind, vcs):
+    network = warmed_network(kind, vcs)
+
+    def run_block():
+        network.run(CYCLES)
+
+    benchmark.pedantic(run_block, rounds=5, iterations=1)
+    benchmark.extra_info["cycles_per_round"] = CYCLES
+    benchmark.extra_info["flits_ejected"] = network.total_flits_ejected()
+    # sanity: traffic kept flowing during the timed region
+    assert network.total_flits_ejected() > 0

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table 1 (parametric delay equations).
+
+Verifies every published model-column entry reproduces within tolerance
+and records the regenerated table.
+"""
+
+from repro.experiments.figures import render_table1_report, table1
+
+
+def test_table1(benchmark, record_result):
+    rows = benchmark(table1)
+
+    for row in rows:
+        if row.paper_model_tau4 is None:
+            continue
+        tolerance = 0.7 if "crossbar" in row.module else 0.15
+        assert abs(row.deviation_tau4) <= tolerance, row
+        benchmark.extra_info[row.module] = round(row.model_tau4, 2)
+
+    record_result("table1", render_table1_report())

@@ -1,0 +1,54 @@
+"""Benchmark: three-way zero-load validation (formula vs simulator vs paper).
+
+The closed-form analysis (``(D+1)H + D + L``), the cycle-accurate
+simulator, and the paper's quoted figures must agree on zero-load
+latency for every router model -- the strongest end-to-end check that
+the whole stack implements the same machine.
+"""
+
+from conftest import bench_measurement
+
+from repro.experiments.analysis import paper_zero_load_predictions
+from repro.sim.config import RouterKind, SimConfig
+from repro.sim.engine import simulate
+
+CONFIGS = {
+    "wormhole": (RouterKind.WORMHOLE, 1, 8),
+    "virtual_channel": (RouterKind.VIRTUAL_CHANNEL, 2, 4),
+    "speculative_vc": (RouterKind.SPECULATIVE_VC, 2, 4),
+    "single_cycle_wormhole": (RouterKind.SINGLE_CYCLE_WORMHOLE, 1, 8),
+    "single_cycle_vc": (RouterKind.SINGLE_CYCLE_VC, 2, 4),
+}
+
+
+def run_validation():
+    predictions = {p.router: p for p in paper_zero_load_predictions()}
+    rows = []
+    for name, (kind, vcs, bufs) in CONFIGS.items():
+        result = simulate(
+            SimConfig(router_kind=kind, num_vcs=vcs, buffers_per_vc=bufs,
+                      injection_fraction=0.05, seed=11),
+            bench_measurement(),
+        )
+        prediction = predictions[name]
+        rows.append((name, prediction.predicted, result.average_latency,
+                     prediction.paper_value))
+    return rows
+
+
+def test_zero_load_validation(benchmark, record_result):
+    rows = benchmark.pedantic(run_validation, rounds=1, iterations=1)
+
+    lines = [f"{'router':<24} {'formula':>8} {'simulated':>10} {'paper':>6}"]
+    for name, predicted, simulated, paper in rows:
+        lines.append(f"{name:<24} {predicted:8.1f} {simulated:10.1f} {paper:6.0f}")
+        benchmark.extra_info[name] = {
+            "formula": round(predicted, 1),
+            "simulated": round(simulated, 1),
+            "paper": paper,
+        }
+        # formula and simulator agree to within measurement noise...
+        assert abs(simulated - predicted) < 1.0, name
+        # ...and both sit within ~1.5 cycles of the paper's figure.
+        assert abs(simulated - paper) < 1.6, name
+    record_result("validation_zero_load", "\n".join(lines))

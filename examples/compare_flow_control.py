@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Compare wormhole, VC, and speculative-VC flow control under load.
+
+Reproduces a miniature Figure 13/14: latency-throughput curves for the
+three flow-control methods on the 8x8 mesh, printed as aligned text
+tables, with saturation estimates.  This is the experiment behind the
+paper's headline claim -- a speculative virtual-channel router gets
+wormhole latency *and* virtual-channel throughput.
+
+Run:  python examples/compare_flow_control.py [--buffers 8|16] [--quick]
+"""
+
+import argparse
+
+from repro.experiments.sweep import compare_curves, sweep
+from repro.sim import MeasurementConfig, RouterKind, SimConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--buffers", type=int, default=8, choices=(8, 16),
+        help="flit buffers per input port (8 -> Figure 13, 16 -> Figure 14)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="fewer load points and smaller samples (~1 minute)",
+    )
+    args = parser.parse_args()
+
+    per_vc = args.buffers // 2
+    configs = [
+        ("wormhole", SimConfig(
+            router_kind=RouterKind.WORMHOLE, buffers_per_vc=args.buffers,
+        )),
+        ("virtual-channel (2 VCs)", SimConfig(
+            router_kind=RouterKind.VIRTUAL_CHANNEL,
+            num_vcs=2, buffers_per_vc=per_vc,
+        )),
+        ("speculative VC (2 VCs)", SimConfig(
+            router_kind=RouterKind.SPECULATIVE_VC,
+            num_vcs=2, buffers_per_vc=per_vc,
+        )),
+    ]
+
+    if args.quick:
+        loads = (0.05, 0.35, 0.55)
+        measurement = MeasurementConfig(
+            warmup_cycles=300, sample_packets=400, max_cycles=12_000,
+            drain_cycles=3_000,
+        )
+    else:
+        loads = (0.05, 0.20, 0.35, 0.45, 0.55, 0.65)
+        measurement = MeasurementConfig(
+            warmup_cycles=600, sample_packets=1500, max_cycles=40_000,
+            drain_cycles=8_000,
+        )
+
+    print(f"8x8 mesh, {args.buffers} flit buffers per input port, "
+          f"5-flit packets, uniform traffic\n")
+    curves = [
+        sweep(config, label, loads, measurement)
+        for label, config in configs
+    ]
+    print(compare_curves(curves))
+    print(
+        "\nExpected shape (paper Figures 13/14): the wormhole router"
+        "\nsaturates first; the non-speculative VC router extends"
+        "\nthroughput but pays one pipeline stage of latency per hop; the"
+        "\nspeculative VC router keeps the wormhole latency and saturates"
+        "\nlast."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Study the credit loop: buffer turnaround and its throughput cost.
+
+Section 5.2 and Figure 18 of the paper: credit latency never shows up in
+zero-load latency, but it idles buffers between uses, so it caps each
+virtual channel's sustainable rate at roughly buffers / credit-loop.
+This example
+
+1. prints the Figure 16 turnaround timelines,
+2. simulates a speculative VC router while sweeping the credit
+   propagation delay, showing the saturation point walking backwards
+   while zero-load latency stays put.
+
+Run:  python examples/credit_loop_study.py [--quick]
+"""
+
+import argparse
+
+from repro.experiments.figures import fig16
+from repro.experiments.sweep import find_saturation, sweep
+from repro.sim import MeasurementConfig, RouterKind, SimConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller samples, fewer load points")
+    args = parser.parse_args()
+
+    print(fig16())
+    print()
+
+    if args.quick:
+        loads = (0.05, 0.40, 0.55)
+        measurement = MeasurementConfig(
+            warmup_cycles=300, sample_packets=400, max_cycles=12_000,
+            drain_cycles=3_000,
+        )
+        propagations = (1, 4)
+    else:
+        loads = (0.05, 0.30, 0.45, 0.55, 0.62)
+        measurement = MeasurementConfig(
+            warmup_cycles=600, sample_packets=1200, max_cycles=30_000,
+            drain_cycles=6_000,
+        )
+        propagations = (1, 2, 4)
+
+    print("Speculative VC router (2 VCs x 4 buffers), 8x8 mesh:")
+    for propagation in propagations:
+        config = SimConfig(
+            router_kind=RouterKind.SPECULATIVE_VC,
+            num_vcs=2, buffers_per_vc=4,
+            credit_propagation=propagation,
+        )
+        curve = sweep(
+            config, f"{propagation}-cycle credit propagation", loads,
+            measurement,
+        )
+        print(curve.describe())
+        print(
+            f"  -> zero-load {curve.zero_load_latency():.1f} cycles, "
+            f"saturation ~{find_saturation(curve):.0%} of capacity"
+        )
+    print(
+        "\nPaper (Figure 18): 1 -> 4 cycles of credit propagation cuts"
+        "\nsaturation throughput from ~55% to ~45% of capacity, while the"
+        "\nleft end of the curves barely moves."
+    )
+
+
+if __name__ == "__main__":
+    main()

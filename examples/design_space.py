@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Design-space exploration: clocks, buffers, and Chien's model.
+
+Three architect-facing questions the delay model answers beyond the
+paper's figures:
+
+1. *What clock minimises absolute per-hop latency?*  A fast clock means
+   more stages (EQ 1); a slow clock wastes slack.  The sweep shows the
+   quantisation trade-off per flow-control method.
+2. *How many buffers per VC does full throughput need?*  The credit
+   loop (grant to credit-reuse) sets the requirement -- 5 flits for the
+   3-stage routers, 6 for the 4-stage one, 8 with 4-cycle credits.
+3. *How bad was the pre-paper (Chien) model?*  Evaluating Chien's
+   single-cycle, crossbar-port-per-VC architecture with the same gate
+   costs shows its implied cycle time stretching with the VC count --
+   the motivation for Section 3's canonical architectures.
+
+Run:  python examples/design_space.py
+"""
+
+from repro.delaymodel.chien import comparison_table, render_comparison
+from repro.delaymodel.optimizer import (
+    min_buffers_for_full_throughput,
+    optimal_clock,
+    render_clock_sweep,
+    sweep_clock,
+)
+from repro.delaymodel.pipeline import FlowControl
+
+
+def main() -> None:
+    print("=== 1. Clock sweep (speculative VC router, p=5, v=4, w=32) ===\n")
+    points = sweep_clock(
+        FlowControl.SPECULATIVE_VIRTUAL_CHANNEL, 5, 32, v=4,
+        clocks_tau4=tuple(range(12, 41, 4)),
+    )
+    print(render_clock_sweep(points))
+    for flow_control in (
+        FlowControl.WORMHOLE,
+        FlowControl.VIRTUAL_CHANNEL,
+        FlowControl.SPECULATIVE_VIRTUAL_CHANNEL,
+    ):
+        best = optimal_clock(flow_control, 5, 32, v=4)
+        print(
+            f"  optimum for {flow_control.value}: clk={best.clock_tau4:.0f} "
+            f"tau4 -> {best.stages} stages, {best.per_hop_tau4:.0f} tau4/hop"
+        )
+
+    print("\n=== 2. Buffers needed to cover the credit loop ===\n")
+    for name, depth in (("wormhole / specVC", 3), ("non-spec VC", 4),
+                        ("single-cycle", 1)):
+        buffers = min_buffers_for_full_throughput(depth)
+        print(f"  {name:18s} (depth {depth}): {buffers} flits/VC")
+    slow = min_buffers_for_full_throughput(3, credit_propagation=4)
+    print(f"  specVC with 4-cycle credits (Fig 18): {slow} flits/VC")
+
+    print("\n=== 3. Chien's model vs the pipelined model ===\n")
+    print(render_comparison(comparison_table()))
+
+
+if __name__ == "__main__":
+    main()

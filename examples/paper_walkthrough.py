@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""The paper's Section 3.1 walkthrough, replayed on the simulator.
+
+Section 3.1 narrates a two-flit packet (one head, one tail) crossing
+each canonical router from the injection channel to the eastern output.
+This example injects exactly that packet into each simulated router and
+prints the traced events, so you can follow routing, (VC) allocation,
+switch arbitration/allocation and crossbar traversal cycle by cycle --
+and see the speculative router's combined allocation stage save its
+cycle.
+
+Run:  python examples/paper_walkthrough.py
+"""
+
+from repro.sim import (
+    Network,
+    Packet,
+    RouterKind,
+    SimConfig,
+    Tracer,
+)
+
+NARRATIVE = {
+    RouterKind.WORMHOLE: (
+        "Wormhole (Figure 2): the head is buffered and routed, bids the\n"
+        "global switch arbiter for the eastern port, holds it, and\n"
+        "traverses; the tail follows without re-arbitrating and releases\n"
+        "the port.  Three stages: RC | SA | ST."
+    ),
+    RouterKind.VIRTUAL_CHANNEL: (
+        "Virtual-channel (Figure 3): after routing, the head must first\n"
+        "win an output VC from the global VC allocator, and only then\n"
+        "bid the switch -- allocated flit-by-flit.  Four stages:\n"
+        "RC | VA | SA | ST; note the extra cycle before the first\n"
+        "traversal."
+    ),
+    RouterKind.SPECULATIVE_VC: (
+        "Speculative VC (Figure 4c): the head bids for the switch *while*\n"
+        "bidding for the VC, speculating the allocation succeeds.  In an\n"
+        "empty router it always does, so the traversal happens a cycle\n"
+        "earlier than the non-speculative router -- wormhole timing with\n"
+        "virtual channels."
+    ),
+}
+
+
+def walkthrough(kind: RouterKind) -> None:
+    vcs = 2 if kind.uses_vcs else 1
+    network = Network(SimConfig(
+        router_kind=kind, num_vcs=vcs, mesh_radix=4, buffers_per_vc=4,
+        injection_fraction=0.0,
+    ))
+    tracer = Tracer.attach(network)
+
+    # The paper's example: a two-flit packet entering at the injection
+    # channel, leaving through the eastern output (node 0 -> node 1).
+    packet = Packet(source=0, destination=1, length=2, creation_cycle=0)
+    network.sources[0].enqueue(packet)
+    network.run(40)
+
+    print("=" * 72)
+    print(NARRATIVE[kind])
+    print("-" * 72)
+    print(tracer.render(tracer.packet_events(packet.packet_id)))
+    print(f"-> packet latency: {packet.latency} cycles\n")
+
+
+def main() -> None:
+    print(__doc__)
+    for kind in (
+        RouterKind.WORMHOLE,
+        RouterKind.VIRTUAL_CHANNEL,
+        RouterKind.SPECULATIVE_VC,
+    ):
+        walkthrough(kind)
+    print(
+        "Reading the traces: 'switch_grant' in the speculative router\n"
+        "lands one cycle earlier than in the non-speculative one -- that\n"
+        "cycle, times hops per packet, is the paper's entire latency\n"
+        "argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup for the Peh & Dally (HPCA 2001) router-model reproduction.
+
+Classic setup.py/setup.cfg packaging is used deliberately: the target
+environment is offline, and pyproject-based builds trigger pip's build
+isolation, which tries to download setuptools/wheel. The legacy path
+installs with no network access.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""repro: a reproduction of Peh & Dally, "A Delay Model and Speculative
+Architecture for Pipelined Routers" (HPCA 2001).
+
+Three layers:
+
+* :mod:`repro.delaymodel` -- the logical-effort router delay model
+  (Table 1's parametric equations) and the EQ-1 pipeline designer.
+* :mod:`repro.sim` -- a cycle-accurate flit-level mesh simulator with
+  wormhole, virtual-channel, speculative virtual-channel, and
+  unit-latency routers under credit-based flow control.
+* :mod:`repro.core` -- the high-level :class:`~repro.core.RouterDesign`
+  API tying the two together, plus speculation analysis.
+
+:mod:`repro.experiments` regenerates every table and figure of the
+paper's evaluation (see DESIGN.md and EXPERIMENTS.md).
+"""
+
+from .core import FlowControl, RouterDesign, RoutingRange
+from .delaymodel import (
+    generate_table1,
+    speculative_vc_pipeline,
+    virtual_channel_pipeline,
+    wormhole_pipeline,
+)
+from .sim import MeasurementConfig, RouterKind, SimConfig, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FlowControl",
+    "MeasurementConfig",
+    "RouterDesign",
+    "RouterKind",
+    "RoutingRange",
+    "SimConfig",
+    "__version__",
+    "generate_table1",
+    "simulate",
+    "speculative_vc_pipeline",
+    "virtual_channel_pipeline",
+    "wormhole_pipeline",
+]

@@ -1,0 +1,14 @@
+"""High-level API: router designs evaluated through model + simulator."""
+
+from ..delaymodel.modules import RoutingRange
+from ..delaymodel.pipeline import FlowControl
+from .design import RouterDesign
+from .speculation import SpeculationReport, measure_speculation
+
+__all__ = [
+    "FlowControl",
+    "RouterDesign",
+    "RoutingRange",
+    "SpeculationReport",
+    "measure_speculation",
+]

@@ -1,0 +1,153 @@
+"""High-level router design API: from parameters to pipeline and simulation.
+
+``RouterDesign`` is the library's front door.  Given a flow-control
+method and the key parameters the paper's model takes -- physical
+channels ``p``, virtual channels ``v``, phit width ``w``, and the clock
+cycle in tau4 -- it derives:
+
+* the pipeline prescribed by the delay model (EQ 1), hence the per-hop
+  router latency in cycles and in absolute time for a chosen process;
+* a matching :class:`~repro.sim.config.SimConfig` whose simulated router
+  has exactly that pipeline depth, for latency-throughput evaluation.
+
+Example::
+
+    from repro.core import RouterDesign, FlowControl
+
+    design = RouterDesign(FlowControl.SPECULATIVE_VIRTUAL_CHANNEL,
+                          num_vcs=2, buffers_per_vc=4)
+    print(design.summary())
+    result = design.simulate(injection_fraction=0.3)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..delaymodel.modules import RoutingRange
+from ..delaymodel.pipeline import FlowControl, PipelineDesign, pipeline_for
+from ..delaymodel.tau import CMOS_018UM, DEFAULT_CLOCK_TAU4, Technology
+from ..sim.config import MeasurementConfig, RouterKind, SimConfig
+from ..sim.engine import simulate as _simulate
+from ..sim.metrics import RunResult
+
+_FLOW_TO_ROUTER_KIND = {
+    FlowControl.WORMHOLE: RouterKind.WORMHOLE,
+    FlowControl.VIRTUAL_CHANNEL: RouterKind.VIRTUAL_CHANNEL,
+    FlowControl.SPECULATIVE_VIRTUAL_CHANNEL: RouterKind.SPECULATIVE_VC,
+}
+
+#: Base pipeline depths of the simulator's router implementations.
+#: When the delay model prescribes a *deeper* pipeline (a VC allocator
+#: straddling stage boundaries at high VC counts, Figure 11), the extra
+#: stages map onto ``SimConfig.va_extra_cycles`` so the simulated router
+#: matches the prescribed depth exactly.  A model pipeline *shallower*
+#: than the base (possible only at very long clocks, where allocation
+#: stages merge) cannot be realised and is refused.
+_SIMULATED_DEPTHS = {
+    FlowControl.WORMHOLE: 3,
+    FlowControl.VIRTUAL_CHANNEL: 4,
+    FlowControl.SPECULATIVE_VIRTUAL_CHANNEL: 3,
+}
+
+
+@dataclass
+class RouterDesign:
+    """A router configuration evaluated through the paper's full stack."""
+
+    flow_control: FlowControl
+    num_ports: int = 5
+    num_vcs: int = 2
+    phit_bits: int = 32
+    clock_tau4: float = DEFAULT_CLOCK_TAU4
+    routing_range: Optional[RoutingRange] = None
+    buffers_per_vc: int = 4
+    mesh_radix: int = 8
+    technology: Technology = CMOS_018UM
+    _pipeline: PipelineDesign = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.flow_control is FlowControl.WORMHOLE:
+            self.num_vcs = 1
+        self._pipeline = pipeline_for(
+            self.flow_control,
+            self.num_ports,
+            self.phit_bits,
+            v=self.num_vcs,
+            routing_range=self.routing_range,
+            clock_tau4=self.clock_tau4,
+        )
+
+    @property
+    def pipeline(self) -> PipelineDesign:
+        """The pipeline the delay model prescribes (EQ 1)."""
+        return self._pipeline
+
+    @property
+    def per_hop_cycles(self) -> int:
+        """Router latency per hop, in cycles (pipeline depth)."""
+        return self._pipeline.depth
+
+    @property
+    def per_hop_ps(self) -> float:
+        """Router latency per hop in picoseconds, in ``technology``."""
+        return self.technology.tau4_to_ps(self.per_hop_cycles * self.clock_tau4)
+
+    def sim_config(self, injection_fraction: float = 0.1, **overrides) -> SimConfig:
+        """A simulator configuration realising this design's pipeline.
+
+        Extra model-prescribed allocation stages (straddling allocators
+        at high VC counts) become ``va_extra_cycles``.  Raises
+        ``ValueError`` when the model pipeline is *shallower* than the
+        simulated router's base depth (only possible at very long
+        clocks), which the fixed implementations cannot realise.
+        """
+        base = _SIMULATED_DEPTHS[self.flow_control]
+        extra = self._pipeline.depth - base
+        if extra < 0:
+            raise ValueError(
+                f"the delay model prescribes a {self._pipeline.depth}-stage "
+                f"pipeline (clock {self.clock_tau4:.0f} tau4), shallower "
+                f"than the simulated {self.flow_control.value} router's "
+                f"{base} stages; use a clock near the paper's 20 tau4"
+            )
+        if extra > 0 and self.flow_control is FlowControl.WORMHOLE:
+            raise ValueError(
+                "wormhole routers have no allocation stage to deepen; "
+                "the model's extra stages cannot be simulated"
+            )
+        if extra > 0:
+            overrides.setdefault("va_extra_cycles", extra)
+        return SimConfig(
+            router_kind=_FLOW_TO_ROUTER_KIND[self.flow_control],
+            mesh_radix=self.mesh_radix,
+            num_vcs=self.num_vcs,
+            buffers_per_vc=self.buffers_per_vc,
+            injection_fraction=injection_fraction,
+            **overrides,
+        )
+
+    def simulate(
+        self,
+        injection_fraction: float = 0.1,
+        measurement: Optional[MeasurementConfig] = None,
+        **overrides,
+    ) -> RunResult:
+        """Run one latency/throughput measurement at an offered load."""
+        return _simulate(self.sim_config(injection_fraction, **overrides),
+                         measurement)
+
+    def summary(self) -> str:
+        """Human-readable design summary."""
+        frequency = self.technology.clock_frequency_mhz(self.clock_tau4)
+        lines = [
+            f"{self.flow_control.value} router: p={self.num_ports}, "
+            f"v={self.num_vcs}, w={self.phit_bits} bits",
+            f"clock: {self.clock_tau4:.0f} tau4 "
+            f"({frequency:.0f} MHz in {self.technology.name})",
+            f"per-hop latency: {self.per_hop_cycles} cycles "
+            f"({self.per_hop_ps / 1000:.2f} ns)",
+            self._pipeline.describe(),
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""Router delay model of Peh & Dally (HPCA 2001).
+
+Technology-independent parametric delay equations for the atomic
+modules of wormhole, virtual-channel and speculative virtual-channel
+routers, derived by the method of logical effort, plus the pipeline
+design methodology (EQ 1) that maps those delays onto a fixed clock.
+
+Quick use::
+
+    from repro.delaymodel import speculative_vc_pipeline
+
+    design = speculative_vc_pipeline(p=5, v=2, w=32)
+    print(design.describe())   # 3 stages at a 20-tau4 clock
+"""
+
+from .tau import (
+    CMOS_018UM,
+    CMOS_08UM,
+    DEFAULT_CLOCK_TAU4,
+    TAU4_IN_TAU,
+    Technology,
+    tau4_to_tau,
+    tau_to_tau4,
+)
+from .logical_effort import (
+    Path,
+    Stage as EffortStage,
+    buffer_chain_delay,
+    inverter_delay,
+    optimal_stage_count,
+)
+from .modules import (
+    ALLOCATOR_OVERHEAD_TAU,
+    AtomicModule,
+    RoutingRange,
+    combiner_delay,
+    crossbar_delay,
+    crossbar_module,
+    routing_module,
+    spec_switch_allocator_delay,
+    speculative_allocation_delay,
+    speculative_allocation_module,
+    switch_allocator_delay,
+    switch_allocator_module,
+    switch_arbiter_delay,
+    switch_arbiter_module,
+    vc_allocator_delay,
+    vc_allocator_module,
+)
+from .arbiter import (
+    matrix_arbiter_core_path,
+    matrix_arbiter_path,
+    matrix_arbiter_update_path,
+    switch_arbiter_latency,
+    switch_arbiter_overhead,
+)
+from .derivations import (
+    combiner_path,
+    crossbar_path,
+    separable_allocator_path,
+)
+from .pipeline import (
+    FlowControl,
+    PipelineDesign,
+    Stage,
+    StageSlice,
+    check_combiner_fits_crossbar_stage,
+    design_pipeline,
+    pipeline_for,
+    speculative_vc_pipeline,
+    virtual_channel_pipeline,
+    wormhole_pipeline,
+)
+from .table1 import Table1Row, generate_table1, render_table1
+from .chien import (
+    ArchitectureComparison,
+    ChienDelayBreakdown,
+    chien_router_delay,
+    compare_architectures,
+    comparison_table,
+    render_comparison,
+)
+from .optimizer import (
+    ClockPoint,
+    credit_loop_cycles,
+    min_buffers_for_full_throughput,
+    optimal_clock,
+    render_clock_sweep,
+    sweep_clock,
+)
+
+__all__ = [
+    "ALLOCATOR_OVERHEAD_TAU",
+    "ArchitectureComparison",
+    "AtomicModule",
+    "ChienDelayBreakdown",
+    "ClockPoint",
+    "chien_router_delay",
+    "compare_architectures",
+    "comparison_table",
+    "credit_loop_cycles",
+    "min_buffers_for_full_throughput",
+    "optimal_clock",
+    "render_clock_sweep",
+    "render_comparison",
+    "sweep_clock",
+    "CMOS_018UM",
+    "CMOS_08UM",
+    "DEFAULT_CLOCK_TAU4",
+    "EffortStage",
+    "FlowControl",
+    "Path",
+    "PipelineDesign",
+    "RoutingRange",
+    "Stage",
+    "StageSlice",
+    "TAU4_IN_TAU",
+    "Table1Row",
+    "Technology",
+    "buffer_chain_delay",
+    "check_combiner_fits_crossbar_stage",
+    "combiner_delay",
+    "combiner_path",
+    "crossbar_delay",
+    "crossbar_path",
+    "crossbar_module",
+    "design_pipeline",
+    "generate_table1",
+    "inverter_delay",
+    "matrix_arbiter_core_path",
+    "matrix_arbiter_path",
+    "matrix_arbiter_update_path",
+    "optimal_stage_count",
+    "pipeline_for",
+    "render_table1",
+    "routing_module",
+    "separable_allocator_path",
+    "spec_switch_allocator_delay",
+    "speculative_allocation_delay",
+    "speculative_allocation_module",
+    "speculative_vc_pipeline",
+    "switch_allocator_delay",
+    "switch_allocator_module",
+    "switch_arbiter_delay",
+    "switch_arbiter_latency",
+    "switch_arbiter_module",
+    "switch_arbiter_overhead",
+    "tau4_to_tau",
+    "tau_to_tau4",
+    "vc_allocator_delay",
+    "vc_allocator_module",
+    "virtual_channel_pipeline",
+    "wormhole_pipeline",
+]

@@ -1,0 +1,178 @@
+"""Chien's router delay model (Section 2 / Figure 1), for comparison.
+
+Chien [2, 3] proposed the first implementation-aware router delay model.
+The paper criticises two of its structural assumptions:
+
+1. **No pipelining** -- the entire critical path (address decode,
+   routing, crossbar arbitration, crossbar traversal, VC allocation) is
+   assumed to fit in one clock, so cycle time grows with router
+   complexity instead of pipeline depth.
+2. **A crossbar port per virtual channel** -- the crossbar has ``p*v``
+   ports and is held per packet, so arbitration and traversal delay grow
+   rapidly with ``v``; flits are also buffered at virtual-channel
+   controllers whose arbitration grows with ``v``.
+
+This module reconstructs Chien-style delay estimates *using this
+repository's own gate-level cost functions* so the comparison isolates
+the structural assumptions (shared vs per-VC crossbar ports, pipelined
+vs single-cycle operation) rather than differences in gate libraries:
+the same matrix-arbiter and crossbar equations from Table 1 are
+evaluated at Chien's sizes (``p*v``-port crossbar, per-packet
+arbitration) and summed into a single-cycle critical path.
+
+:func:`compare_architectures` then quantifies the paper's argument: at
+v=4 and beyond, the per-VC-port crossbar dominates router delay, while
+the shared-port canonical architecture keeps per-stage delay flat
+enough to pipeline at 20 tau4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .modules import crossbar_delay, switch_arbiter_delay
+from .arbiter import switch_arbiter_overhead
+from .tau import DEFAULT_CLOCK_TAU4, tau_to_tau4
+
+
+@dataclass(frozen=True)
+class ChienDelayBreakdown:
+    """Single-cycle critical path of Chien's canonical router, in tau."""
+
+    p: int
+    v: int
+    w: int
+    address_decode_tau: float
+    routing_tau: float
+    crossbar_arbitration_tau: float   # arbiter for the p*v-port crossbar
+    crossbar_traversal_tau: float     # p*v-port crossbar
+    vc_controller_tau: float          # v:1 arbitration at the VC controller
+
+    @property
+    def total_tau(self) -> float:
+        return (
+            self.address_decode_tau
+            + self.routing_tau
+            + self.crossbar_arbitration_tau
+            + self.crossbar_traversal_tau
+            + self.vc_controller_tau
+        )
+
+    @property
+    def total_tau4(self) -> float:
+        return tau_to_tau4(self.total_tau)
+
+    def implied_clock_tau4(self) -> float:
+        """Chien's cycle time: the whole path in one clock."""
+        return self.total_tau4
+
+
+#: Fixed decode + routing budget, matching the paper's footnote-2
+#: assumption so both models charge identical routing cost.
+_DECODE_TAU = 20.0
+_ROUTING_TAU = 80.0
+
+
+def chien_router_delay(p: int, v: int, w: int) -> ChienDelayBreakdown:
+    """Evaluate Chien's architecture with this repo's cost functions.
+
+    * crossbar arbitration: a matrix arbiter sized for ``p*v`` ports
+      (every VC owns a crossbar port and arbitrates for the output);
+    * crossbar traversal: a ``p*v``-port crossbar;
+    * VC controller: a ``v:1`` arbitration multiplexing the physical
+      channel, modelled as a v-input matrix arbiter (skipped at v=1).
+    """
+    if v < 1:
+        raise ValueError(f"need v >= 1, got {v}")
+    ports = p * v
+    vc_controller = (
+        switch_arbiter_delay(v) + switch_arbiter_overhead(v) if v > 1 else 0.0
+    )
+    return ChienDelayBreakdown(
+        p=p, v=v, w=w,
+        address_decode_tau=_DECODE_TAU,
+        routing_tau=_ROUTING_TAU,
+        crossbar_arbitration_tau=(
+            switch_arbiter_delay(ports) + switch_arbiter_overhead(ports)
+        ),
+        crossbar_traversal_tau=crossbar_delay(ports, w),
+        vc_controller_tau=vc_controller,
+    )
+
+
+@dataclass(frozen=True)
+class ArchitectureComparison:
+    """Chien's single-cycle model vs this paper's pipelined model."""
+
+    p: int
+    v: int
+    w: int
+    chien_clock_tau4: float          # cycle time Chien's model implies
+    chien_per_hop_tau4: float        # = clock (single cycle per hop)
+    pipelined_clock_tau4: float      # the fixed system clock
+    pipelined_stages: int
+    pipelined_per_hop_tau4: float    # stages x clock
+
+    @property
+    def chien_frequency_penalty(self) -> float:
+        """How much slower Chien's implied clock is than the fixed clock."""
+        return self.chien_clock_tau4 / self.pipelined_clock_tau4
+
+
+def compare_architectures(
+    p: int, v: int, w: int, clock_tau4: float = DEFAULT_CLOCK_TAU4
+) -> ArchitectureComparison:
+    """Quantify Section 2's critique for one configuration.
+
+    The pipelined side uses the speculative VC pipeline when it exists
+    for the configuration, else the non-speculative one.
+    """
+    from .pipeline import speculative_vc_pipeline, virtual_channel_pipeline
+
+    chien = chien_router_delay(p, v, w)
+    if v >= 2:
+        try:
+            design = speculative_vc_pipeline(p, v, w, clock_tau4=clock_tau4)
+        except ValueError:
+            design = virtual_channel_pipeline(p, v, w, clock_tau4=clock_tau4)
+    else:
+        from .pipeline import wormhole_pipeline
+
+        design = wormhole_pipeline(p, w, clock_tau4=clock_tau4)
+    return ArchitectureComparison(
+        p=p, v=v, w=w,
+        chien_clock_tau4=chien.implied_clock_tau4(),
+        chien_per_hop_tau4=chien.implied_clock_tau4(),
+        pipelined_clock_tau4=clock_tau4,
+        pipelined_stages=design.depth,
+        pipelined_per_hop_tau4=design.depth * clock_tau4,
+    )
+
+
+def comparison_table(
+    p: int = 5, w: int = 32, v_values=(1, 2, 4, 8, 16)
+) -> List[ArchitectureComparison]:
+    """The Section 2 comparison across virtual-channel counts."""
+    return [compare_architectures(p, v, w) for v in v_values]
+
+
+def render_comparison(comparisons: List[ArchitectureComparison]) -> str:
+    lines = [
+        "Chien's single-cycle model vs the pipelined model (per-hop router "
+        "latency, tau4)",
+        f"{'v':>4} {'Chien clock':>12} {'pipelined':>10} "
+        f"{'stages':>7} {'clock penalty':>14}",
+    ]
+    for c in comparisons:
+        lines.append(
+            f"{c.v:4d} {c.chien_clock_tau4:12.1f} "
+            f"{c.pipelined_per_hop_tau4:10.1f} {c.pipelined_stages:7d} "
+            f"{c.chien_frequency_penalty:13.2f}x"
+        )
+    lines.append(
+        "(Chien: whole critical path in one clock; its cycle time -- and "
+        "hence every\n other component on that clock -- stretches with v. "
+        "The pipelined model keeps\n the clock fixed and adds stages.)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Standard-cell gate library with logical efforts and parasitic delays.
+
+Values follow Sutherland, Sproull & Harris, *Logical Effort: Designing
+Fast CMOS Circuits* (1999), the reference the paper's specific router
+model cites.  Logical efforts assume a PMOS/NMOS mobility ratio of 2
+(gamma = 2):
+
+=============  ======================  =============
+gate           logical effort g        parasitic p
+=============  ======================  =============
+inverter       1                       1
+n-input NAND   (n + 2) / 3             n
+n-input NOR    (2n + 1) / 3            n
+2:1 mux        2 (per data input)      2 (per slice)
+AOI (a-o-i)    see :func:`aoi`         a + o
+XOR2           4                       4
+latch (D)      2                       2
+=============  ======================  =============
+
+These are used to *derive* the atomic-module equations in
+:mod:`repro.delaymodel.arbiter`; the closed-form Table 1 equations in
+:mod:`repro.delaymodel.modules` are the paper's published fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .logical_effort import Stage
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Logical effort and parasitic delay of a gate type."""
+
+    name: str
+    logical_effort: float
+    parasitic: float
+
+    def stage(self, electrical_effort: float, label: str = "") -> Stage:
+        """Instantiate a path :class:`Stage` with a given fan-out."""
+        return Stage(
+            name=label or self.name,
+            logical_effort=self.logical_effort,
+            electrical_effort=electrical_effort,
+            parasitic=self.parasitic,
+        )
+
+
+def inverter() -> GateSpec:
+    """Minimum inverter: g = 1, p = 1."""
+    return GateSpec("inv", 1.0, 1.0)
+
+
+def nand(n: int) -> GateSpec:
+    """n-input NAND: g = (n + 2)/3, p = n."""
+    _check_inputs(n)
+    return GateSpec(f"nand{n}", (n + 2) / 3.0, float(n))
+
+
+def nor(n: int) -> GateSpec:
+    """n-input NOR: g = (2n + 1)/3, p = n."""
+    _check_inputs(n)
+    return GateSpec(f"nor{n}", (2 * n + 1) / 3.0, float(n))
+
+
+def mux(n: int) -> GateSpec:
+    """n:1 transmission/tri-state multiplexer.
+
+    Per logical-effort practice a mux data input has g = 2 independent of
+    width, while parasitic delay grows with the number of slices hanging
+    on the output node.
+    """
+    _check_inputs(n)
+    return GateSpec(f"mux{n}", 2.0, 2.0 * n / 2.0)
+
+
+def aoi(and_width: int, or_width: int) -> GateSpec:
+    """AND-OR-INVERT gate, as used in the matrix-arbiter grant logic.
+
+    Logical effort of the AND leg of an a-wide AND into an o-wide OR
+    (series NMOS of depth ``and_width``, parallel PMOS of width
+    ``or_width``)::
+
+        g = (and_width + 2 * or_width) / 3
+        p = and_width + or_width
+    """
+    _check_inputs(and_width)
+    _check_inputs(or_width)
+    g = (and_width + 2.0 * or_width) / 3.0
+    return GateSpec(f"aoi{and_width}{or_width}", g, float(and_width + or_width))
+
+
+def xor2() -> GateSpec:
+    """2-input XOR: g = 4, p = 4."""
+    return GateSpec("xor2", 4.0, 4.0)
+
+
+def latch() -> GateSpec:
+    """Transparent D latch: g = 2, p = 2."""
+    return GateSpec("latch", 2.0, 2.0)
+
+
+def _check_inputs(n: int) -> None:
+    if n < 1:
+        raise ValueError(f"gate width must be >= 1, got {n}")

@@ -1,0 +1,196 @@
+"""The method of logical effort (Sutherland & Sproull), EQ 2 of the paper.
+
+The circuit delay ``T`` (in tau) along a path is the sum of the *effort
+delay* and the *parasitic delay* of that path::
+
+    T = T_eff + T_par
+    T_eff = sum_i g_i * h_i      (logical effort x electrical effort per stage)
+    T_par = sum_i p_i            (parasitic delay per stage)
+
+* ``g`` (logical effort) -- ratio of a gate's delay to that of an inverter
+  with identical input capacitance.
+* ``h`` (electrical effort) -- fan-out: output capacitance over input
+  capacitance.
+* ``p`` (parasitic delay) -- intrinsic gate delay from internal
+  capacitance, relative to an inverter's.
+
+This module provides :class:`Stage` and :class:`Path` objects for
+composing gate-level critical paths, and helpers used by the atomic-module
+delay derivations in :mod:`repro.delaymodel.arbiter` and
+:mod:`repro.delaymodel.modules`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One gate stage on a critical path.
+
+    Attributes
+    ----------
+    name:
+        Label for reporting (e.g. ``"nand2"``, ``"inv fanout to 5 grants"``).
+    logical_effort:
+        ``g`` of the gate on this stage.
+    electrical_effort:
+        ``h``, the stage fan-out (output/input capacitance).
+    parasitic:
+        ``p``, the intrinsic delay of the gate.
+    """
+
+    name: str
+    logical_effort: float
+    electrical_effort: float
+    parasitic: float
+
+    def __post_init__(self) -> None:
+        if self.logical_effort <= 0:
+            raise ValueError(f"logical effort must be positive: {self}")
+        if self.electrical_effort <= 0:
+            raise ValueError(f"electrical effort must be positive: {self}")
+        if self.parasitic < 0:
+            raise ValueError(f"parasitic delay must be non-negative: {self}")
+
+    @property
+    def effort_delay(self) -> float:
+        """``g * h`` for this stage, in tau."""
+        return self.logical_effort * self.electrical_effort
+
+    @property
+    def delay(self) -> float:
+        """Total stage delay ``g*h + p``, in tau."""
+        return self.effort_delay + self.parasitic
+
+
+@dataclass
+class Path:
+    """A chain of gate stages whose delays add (EQ 2)."""
+
+    name: str
+    stages: List[Stage] = field(default_factory=list)
+
+    def add(self, stage: Stage) -> "Path":
+        """Append a stage; returns self for chaining."""
+        self.stages.append(stage)
+        return self
+
+    def extend(self, stages: Iterable[Stage]) -> "Path":
+        """Append several stages; returns self for chaining."""
+        self.stages.extend(stages)
+        return self
+
+    @property
+    def effort_delay(self) -> float:
+        """``T_eff = sum g_i h_i`` in tau."""
+        return sum(s.effort_delay for s in self.stages)
+
+    @property
+    def parasitic_delay(self) -> float:
+        """``T_par = sum p_i`` in tau."""
+        return sum(s.parasitic for s in self.stages)
+
+    @property
+    def delay(self) -> float:
+        """``T = T_eff + T_par`` in tau."""
+        return self.effort_delay + self.parasitic_delay
+
+    @property
+    def path_effort(self) -> float:
+        """Path effort ``F = prod(g_i * h_i)`` (useful for optimisation)."""
+        product = 1.0
+        for stage in self.stages:
+            product *= stage.effort_delay
+        return product
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def describe(self) -> str:
+        """Multi-line human-readable breakdown of the path delay."""
+        lines = [f"path {self.name}: T = {self.delay:.2f} tau "
+                 f"(T_eff = {self.effort_delay:.2f}, T_par = {self.parasitic_delay:.2f})"]
+        for stage in self.stages:
+            lines.append(
+                f"  {stage.name}: g={stage.logical_effort:.2f} "
+                f"h={stage.electrical_effort:.2f} p={stage.parasitic:.2f} "
+                f"-> {stage.delay:.2f} tau"
+            )
+        return "\n".join(lines)
+
+
+def inverter_delay(fanout: float) -> float:
+    """Delay of an inverter driving ``fanout`` copies of itself (EQ 3).
+
+    ``g = 1``, ``p = 1``, so ``T = fanout + 1``.  ``inverter_delay(4)``
+    is 5 tau, the definition of tau4.
+    """
+    if fanout <= 0:
+        raise ValueError(f"fanout must be positive, got {fanout}")
+    return 1.0 * fanout + 1.0
+
+
+def optimal_stage_count(path_effort: float, stage_effort: float = 4.0) -> int:
+    """Number of stages minimising delay for a given path effort.
+
+    The classic logical-effort result: the optimum per-stage effort is
+    about 4 (3.6 exactly with typical parasitics), so the best stage
+    count is ``log4(F)`` rounded to the nearest integer (minimum 1).
+    """
+    if path_effort < 1.0:
+        return 1
+    if stage_effort <= 1.0:
+        raise ValueError("stage effort must exceed 1")
+    return max(1, round(math.log(path_effort, stage_effort)))
+
+
+def buffer_chain_delay(fanout: float, stage_effort: float = 8.0) -> float:
+    """Delay of a buffer chain driving a large ``fanout``.
+
+    The paper's crossbar select-fanout term uses a chain of inverters
+    with per-stage electrical effort of ``stage_effort`` (8 in Table 1's
+    ``9 log8(...)`` term: each stage costs ``g*h + p = 8 + 1 = 9`` tau).
+    The chain length is the continuous ``log_stage_effort(fanout)`` --
+    the model deliberately keeps equations smooth in their parameters.
+    """
+    if fanout < 1.0:
+        raise ValueError(f"fanout must be >= 1, got {fanout}")
+    if fanout == 1.0:
+        return 0.0
+    stages = math.log(fanout, stage_effort)
+    return stages * (stage_effort + 1.0)
+
+
+def log2(x: float) -> float:
+    """Base-2 logarithm (guarding the domain with a clear error)."""
+    if x <= 0:
+        raise ValueError(f"log2 domain error: {x}")
+    return math.log2(x)
+
+
+def log4(x: float) -> float:
+    """Base-4 logarithm, ubiquitous in the paper's Table 1 equations."""
+    if x <= 0:
+        raise ValueError(f"log4 domain error: {x}")
+    return math.log(x, 4)
+
+
+def log8(x: float) -> float:
+    """Base-8 logarithm, used in the crossbar select fan-out term."""
+    if x <= 0:
+        raise ValueError(f"log8 domain error: {x}")
+    return math.log(x, 8)
+
+
+def path_from_efforts(
+    name: str, efforts: Sequence[Tuple[str, float, float, float]]
+) -> Path:
+    """Build a :class:`Path` from ``(name, g, h, p)`` tuples."""
+    path = Path(name)
+    for stage_name, g, h, p in efforts:
+        path.add(Stage(stage_name, g, h, p))
+    return path

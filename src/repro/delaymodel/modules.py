@@ -1,0 +1,226 @@
+"""Atomic-module delay equations -- Table 1 of the paper.
+
+Every router function that cannot be split across pipeline stages
+(because it contains state fed back from its own outputs) is an *atomic
+module*.  For each one, the specific router model supplies two numbers,
+both in tau:
+
+* ``latency`` (``t_i``) -- from inputs presented to outputs stable;
+* ``overhead`` (``h_i``) -- extra delay (e.g. arbiter priority update)
+  before the *next* set of inputs may be presented.
+
+The closed forms below are the paper's Table 1 equations (``log4`` is a
+continuous base-4 logarithm; 1 tau4 = 5 tau):
+
+==============================  =====================================================  ====
+module                          t (tau)                                                h
+==============================  =====================================================  ====
+switch arbiter (SB)             ``21.5 log4(p) + 14 1/12``                             9
+crossbar (XB)                   ``9 log8(w p / 2) + 6 log2(p) + 6``                    0
+VC allocator, R->v              ``21.5 log4(p v) + 14 1/12``                           9
+VC allocator, R->p              ``16.5 log4(p v) + 16.5 log4(v) + 20 5/6``             9
+VC allocator, R->pv             ``33 log4(p v) + 20 5/6``                              9
+switch allocator (SL)           ``11.5 log4(p) + 23 log4(v) + 20 5/6``                 9
+speculative sw allocator (SS)   ``18 log4(p) + 23 log4(v) + 24 5/6``                   0
+non-spec/spec combiner (CB)     ``6.5 log4(p v) + 5 1/3``                              0
+decode + routing                fixed one clock cycle (20 tau4, paper footnote 2)      0
+==============================  =====================================================  ====
+
+Parameters: ``p`` -- physical channels (crossbar ports); ``v`` --
+virtual channels per physical channel; ``w`` -- channel (phit) width in
+bits.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .logical_effort import log2, log4, log8
+from .tau import DEFAULT_CLOCK_TAU4, tau4_to_tau
+from .arbiter import switch_arbiter_latency, switch_arbiter_overhead
+
+
+class RoutingRange(enum.Enum):
+    """Range of the routing function, which sizes the VC allocator.
+
+    * ``RV`` -- routing returns a *single* candidate output VC
+      (``R -> v``): the allocator is a single stage of ``p v:1``
+      arbiters.
+    * ``RP`` -- routing returns the candidate VCs of a *single* physical
+      channel (``R -> p``): a ``v:1`` first stage then a ``p v:1``
+      second stage.  The most general range possible for deterministic
+      routing.
+    * ``RPV`` -- routing returns candidate VCs of *any* physical channel
+      (``R -> pv``): two stages of ``p v:1`` arbiters.
+    """
+
+    RV = "Rv"
+    RP = "Rp"
+    RPV = "Rpv"
+
+
+@dataclass(frozen=True)
+class AtomicModule:
+    """A named atomic module with its latency/overhead delay estimates."""
+
+    name: str
+    latency_tau: float
+    overhead_tau: float
+    #: The paper keeps crossbar traversal in its own full stage (wire
+    #: delay headroom); modules with this flag never share a stage.
+    force_own_stage: bool = False
+
+    def __post_init__(self) -> None:
+        if self.latency_tau < 0 or self.overhead_tau < 0:
+            raise ValueError(f"negative delay in {self}")
+
+    @property
+    def total_tau(self) -> float:
+        """``t_i + h_i`` in tau -- the footprint used by Table 1's columns."""
+        return self.latency_tau + self.overhead_tau
+
+
+# ---------------------------------------------------------------------------
+# Table 1 closed forms (all return tau).
+# ---------------------------------------------------------------------------
+
+def switch_arbiter_delay(p: int) -> float:
+    """Wormhole switch arbiter latency t_SB(p), tau (delegates to EQ 5)."""
+    return switch_arbiter_latency(p)
+
+
+def crossbar_delay(p: int, w: int) -> float:
+    """Crossbar traversal latency ``t_XB(p, w)``, tau.
+
+    Select fan-out to the ``w`` bit slices (buffer chain at stage effort
+    8, hence the ``9 log8`` term) plus a ``log2(p)``-deep multiplexer
+    tree.
+    """
+    _check(p=p, w=w)
+    return 9.0 * log8(w * p / 2.0) + 6.0 * log2(p) + 6.0
+
+
+def vc_allocator_delay(p: int, v: int, routing_range: RoutingRange) -> float:
+    """VC allocator latency ``t_VC(p, v)`` for a routing-function range, tau."""
+    _check(p=p, v=v)
+    pv = p * v
+    if routing_range is RoutingRange.RV:
+        return 21.5 * log4(pv) + 14.0 + 1.0 / 12.0
+    if routing_range is RoutingRange.RP:
+        return 16.5 * log4(pv) + 16.5 * log4(v) + 20.0 + 5.0 / 6.0
+    if routing_range is RoutingRange.RPV:
+        return 33.0 * log4(pv) + 20.0 + 5.0 / 6.0
+    raise ValueError(f"unknown routing range {routing_range!r}")
+
+
+def switch_allocator_delay(p: int, v: int) -> float:
+    """Non-speculative VC-router switch allocator latency ``t_SL(p, v)``, tau."""
+    _check(p=p, v=v)
+    return 11.5 * log4(p) + 23.0 * log4(v) + 20.0 + 5.0 / 6.0
+
+
+def spec_switch_allocator_delay(p: int, v: int) -> float:
+    """Speculative switch allocator latency ``t_SS(p, v)``, tau."""
+    _check(p=p, v=v)
+    return 18.0 * log4(p) + 23.0 * log4(v) + 24.0 + 5.0 / 6.0
+
+
+def combiner_delay(p: int, v: int) -> float:
+    """Non-speculative-over-speculative combiner latency ``t_CB(p, v)``, tau."""
+    _check(p=p, v=v)
+    return 6.5 * log4(p * v) + 5.0 + 1.0 / 3.0
+
+
+ALLOCATOR_OVERHEAD_TAU = 9.0  # matrix-priority update (EQ 6), shared by SB/VC/SL.
+
+
+def speculative_allocation_delay(
+    p: int, v: int, routing_range: RoutingRange, include_combiner: bool = True
+) -> float:
+    """Delay of the combined VC + speculative-switch allocation, tau.
+
+    The VC allocator and the speculative switch allocator operate in
+    parallel; the combiner (CB) then selects non-speculative switch
+    grants over speculative ones::
+
+        t = max(t_VC, t_SS) [+ t_CB]
+
+    With ``include_combiner=True`` this reproduces the Table 1
+    "speculative virtual-channel router" rows (14.6 / 14.6 / 18.3 tau4
+    at p=5, v=2) and Figure 12's curves.  The pipeline designer
+    (:mod:`repro.delaymodel.pipeline`) folds the combiner into the
+    crossbar stage's slack instead -- see there.
+    """
+    vc = vc_allocator_delay(p, v, routing_range)
+    ss = spec_switch_allocator_delay(p, v)
+    delay = max(vc, ss)
+    if include_combiner:
+        delay += combiner_delay(p, v)
+    return delay
+
+
+# ---------------------------------------------------------------------------
+# AtomicModule factories.
+# ---------------------------------------------------------------------------
+
+def routing_module(clock_tau4: float = DEFAULT_CLOCK_TAU4) -> AtomicModule:
+    """Decode + routing: assumed to occupy one full clock cycle."""
+    return AtomicModule("route+decode", tau4_to_tau(clock_tau4), 0.0)
+
+
+def switch_arbiter_module(p: int) -> AtomicModule:
+    """Wormhole switch arbiter (SB) module."""
+    return AtomicModule("sw arbiter", switch_arbiter_delay(p), switch_arbiter_overhead(p))
+
+
+def crossbar_module(p: int, w: int) -> AtomicModule:
+    """Crossbar traversal (XB) module; always gets a full stage."""
+    return AtomicModule("crossbar", crossbar_delay(p, w), 0.0, force_own_stage=True)
+
+
+def vc_allocator_module(p: int, v: int, routing_range: RoutingRange) -> AtomicModule:
+    """Virtual-channel allocator (VC) module."""
+    return AtomicModule(
+        f"vc alloc ({routing_range.value})",
+        vc_allocator_delay(p, v, routing_range),
+        ALLOCATOR_OVERHEAD_TAU,
+    )
+
+
+def switch_allocator_module(p: int, v: int) -> AtomicModule:
+    """Non-speculative switch allocator (SL) module."""
+    return AtomicModule(
+        "sw alloc", switch_allocator_delay(p, v), ALLOCATOR_OVERHEAD_TAU
+    )
+
+
+def speculative_allocation_module(
+    p: int, v: int, routing_range: RoutingRange
+) -> AtomicModule:
+    """Combined VC + speculative switch allocation stage module.
+
+    Latency is ``max(t_VC + h_VC, t_SS + h_SS)``: the two allocators run
+    in parallel, each absorbing its own priority-update overhead, and
+    the combiner (CB) is folded into the slack of the crossbar stage
+    (the crossbar is budgeted a full 20-tau4 cycle but its own delay is
+    well under that; ``t_CB + t_XB < 20 tau4`` is asserted by
+    :func:`repro.delaymodel.pipeline.check_combiner_fits_crossbar_stage`
+    for all supported configurations).  This reproduces the paper's
+    Figure 11(b) stage counts: up to 16 VCs per physical channel fit a
+    3-stage pipeline for p in {5, 7}.
+    """
+    vc = vc_allocator_delay(p, v, routing_range) + ALLOCATOR_OVERHEAD_TAU
+    ss = spec_switch_allocator_delay(p, v)  # h_SS = 0
+    return AtomicModule(
+        f"vc&sw alloc ({routing_range.value})", max(vc, ss), 0.0
+    )
+
+
+def _check(p: int = 2, v: int = 1, w: int = 1) -> None:
+    if p < 2:
+        raise ValueError(f"router needs at least 2 physical channels, got p={p}")
+    if v < 1:
+        raise ValueError(f"need at least 1 virtual channel, got v={v}")
+    if w < 1:
+        raise ValueError(f"channel width must be >= 1 bit, got w={w}")

@@ -1,0 +1,126 @@
+"""Design-space exploration over the delay model.
+
+The general router model's premise is that cycle time is fixed by the
+system and pipeline depth follows.  But a router architect choosing the
+clock still faces a real trade-off that falls straight out of EQ 1:
+
+* a short clock -> more pipeline stages -> more cycles per hop (and a
+  longer credit loop, hence more buffers needed for full throughput);
+* a long clock -> fewer stages but each hop's *absolute* latency is
+  quantised up to ``depth x clock``.
+
+:func:`sweep_clock` evaluates per-hop latency in tau4 across clock
+choices; :func:`optimal_clock` picks the minimum-latency clock.
+:func:`min_buffers_for_full_throughput` converts a pipeline into the
+credit-loop coverage requirement the simulation figures (14/15) turn on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .modules import RoutingRange
+from .pipeline import FlowControl, pipeline_for
+
+
+@dataclass(frozen=True)
+class ClockPoint:
+    """One point of a clock sweep."""
+
+    clock_tau4: float
+    stages: int
+    per_hop_tau4: float        # stages x clock: absolute per-hop latency
+
+
+def sweep_clock(
+    flow_control: FlowControl,
+    p: int,
+    w: int,
+    v: int = 1,
+    routing_range: Optional[RoutingRange] = None,
+    clocks_tau4: Sequence[float] = tuple(range(10, 41, 2)),
+) -> List[ClockPoint]:
+    """Per-hop latency across candidate clock cycles.
+
+    Clocks at which the pipeline is infeasible (e.g. the speculative
+    combiner no longer fits the crossbar stage's slack) are skipped.
+    """
+    points = []
+    for clock in clocks_tau4:
+        try:
+            design = pipeline_for(
+                flow_control, p, w, v=v, routing_range=routing_range,
+                clock_tau4=clock,
+            )
+        except ValueError:
+            continue
+        points.append(
+            ClockPoint(
+                clock_tau4=clock,
+                stages=design.depth,
+                per_hop_tau4=design.depth * clock,
+            )
+        )
+    if not points:
+        raise ValueError(
+            f"no feasible pipeline for {flow_control.value} at any of the "
+            f"candidate clocks {tuple(clocks_tau4)}"
+        )
+    return points
+
+
+def optimal_clock(
+    flow_control: FlowControl,
+    p: int,
+    w: int,
+    v: int = 1,
+    routing_range: Optional[RoutingRange] = None,
+    clocks_tau4: Sequence[float] = tuple(range(10, 41, 1)),
+) -> ClockPoint:
+    """The clock minimising absolute per-hop latency (ties -> faster clock)."""
+    points = sweep_clock(flow_control, p, w, v, routing_range, clocks_tau4)
+    return min(points, key=lambda pt: (pt.per_hop_tau4, pt.clock_tau4))
+
+
+def credit_loop_cycles(pipeline_depth: int, credit_propagation: int = 1,
+                       flit_propagation: int = 1) -> int:
+    """Grant-to-grant credit loop of a router with the given depth.
+
+    Matches the simulator's timing (DESIGN.md section 4): an upstream
+    switch grant's credit is reusable after the flit reaches the next
+    router (traversal + ``flit_propagation`` + buffer write), wins its
+    own grant there (``depth - 1`` further cycles through the pipeline),
+    and the credit returns (``credit_propagation``).  Depth-3 routers
+    get 5 cycles, depth-4 routers 6, depth-1 routers 3 -- and raising
+    credit propagation to 4 gives 8 (Figure 18).
+    """
+    if pipeline_depth < 1:
+        raise ValueError("pipeline depth must be >= 1")
+    downstream_grant_lag = pipeline_depth - 1 + flit_propagation + 1
+    return downstream_grant_lag + credit_propagation
+
+
+def min_buffers_for_full_throughput(
+    pipeline_depth: int, credit_propagation: int = 1
+) -> int:
+    """Buffers per VC needed to stream at full rate through one hop.
+
+    A VC can sustain ``buffers / credit_loop`` flits per cycle, so full
+    bandwidth needs at least the loop's worth of buffering -- the
+    mechanism behind Figures 14/15 (8 buffers cover a 5-6 cycle loop; 4
+    do not).
+    """
+    return credit_loop_cycles(pipeline_depth, credit_propagation)
+
+
+def render_clock_sweep(points: List[ClockPoint]) -> str:
+    lines = [f"{'clock (tau4)':>13} {'stages':>7} {'per-hop (tau4)':>15}"]
+    best = min(p.per_hop_tau4 for p in points)
+    for point in points:
+        marker = "  <- min" if point.per_hop_tau4 == best else ""
+        lines.append(
+            f"{point.clock_tau4:13.0f} {point.stages:7d} "
+            f"{point.per_hop_tau4:15.0f}{marker}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,335 @@
+"""Pipeline design methodology -- EQ 1 and Figure 11 of the paper.
+
+Given the clock cycle time ``clk`` and, for every atomic module on the
+router's critical path, its latency ``t_i`` and overhead ``h_i``, the
+general router model packs modules into pipeline stages greedily and
+maximally (EQ 1): a stage holding modules ``a..b`` must satisfy::
+
+    sum_{i=a..b} t_i + h_b <= clk
+
+while neither extending the stage by one module nor starting it one
+module earlier would still satisfy the bound.  Only the *last* module's
+overhead counts against the stage: earlier modules' priority updates
+overlap with their successors' latency.
+
+An atomic module is "best kept intact", but when its ``t + h`` exceeds a
+whole cycle the model permits it to straddle stage boundaries (paper
+footnote 4); the remainder spills into the following stage, where
+packing continues.  The module's overhead is charged where its tail
+lands (and, per EQ 1, only if the tail is the last module in its
+stage).  The crossbar module always receives its own full stage
+(wire-delay headroom; Section 3.2).
+
+Canonical pipelines (Figure 4):
+
+* wormhole:          route+decode | switch arbiter | crossbar
+* virtual-channel:   route+decode | VC allocator | switch allocator | crossbar
+* speculative VC:    route+decode | VC & spec-switch allocation | crossbar
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from .modules import (
+    AtomicModule,
+    RoutingRange,
+    combiner_delay,
+    crossbar_delay,
+    crossbar_module,
+    routing_module,
+    speculative_allocation_module,
+    switch_allocator_module,
+    switch_arbiter_module,
+    vc_allocator_module,
+)
+from .tau import DEFAULT_CLOCK_TAU4, tau4_to_tau, tau_to_tau4
+
+
+class FlowControl(enum.Enum):
+    """Flow-control methods whose canonical pipelines the model covers."""
+
+    WORMHOLE = "wormhole"
+    VIRTUAL_CHANNEL = "virtual_channel"
+    SPECULATIVE_VIRTUAL_CHANNEL = "speculative_virtual_channel"
+
+
+@dataclass(frozen=True)
+class StageSlice:
+    """The portion of one atomic module placed within one pipeline stage."""
+
+    module: AtomicModule
+    latency_tau: float     # latency portion of the module in this stage
+    straddles: bool        # module continues from/into a neighbouring stage
+    is_module_tail: bool   # this slice completes the module
+
+    @property
+    def is_partial(self) -> bool:
+        return self.latency_tau < self.module.latency_tau
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One pipeline stage: the module slices it contains."""
+
+    index: int
+    slices: List[StageSlice]
+
+    @property
+    def occupancy_tau(self) -> float:
+        """Stage footprint per EQ 1: slice latencies + last module's overhead."""
+        total = sum(s.latency_tau for s in self.slices)
+        if self.slices and self.slices[-1].is_module_tail:
+            total += self.slices[-1].module.overhead_tau
+        return total
+
+    def occupancy_fraction(self, clock_tau: float) -> float:
+        return self.occupancy_tau / clock_tau
+
+    def module_names(self) -> List[str]:
+        return [s.module.name for s in self.slices]
+
+
+@dataclass
+class PipelineDesign:
+    """Result of applying EQ 1 to a module sequence."""
+
+    flow_control: FlowControl
+    clock_tau: float
+    modules: List[AtomicModule]
+    stages: List[Stage] = field(default_factory=list)
+
+    @property
+    def depth(self) -> int:
+        """Number of pipeline stages -- the per-hop router latency in cycles."""
+        return len(self.stages)
+
+    @property
+    def clock_tau4(self) -> float:
+        return tau_to_tau4(self.clock_tau)
+
+    @property
+    def latency_tau(self) -> float:
+        """Pipelined critical-path latency = depth x clock, in tau."""
+        return self.depth * self.clock_tau
+
+    def stage_occupancies(self) -> List[float]:
+        """Fraction of each stage's cycle used -- Fig 11's shaded regions."""
+        return [s.occupancy_fraction(self.clock_tau) for s in self.stages]
+
+    def straddling_modules(self) -> List[str]:
+        """Names of modules that had to straddle stage boundaries."""
+        seen: List[str] = []
+        for stage in self.stages:
+            for sl in stage.slices:
+                if sl.straddles and sl.module.name not in seen:
+                    seen.append(sl.module.name)
+        return seen
+
+    def describe(self) -> str:
+        """Multi-line rendering of the pipeline (a Fig 11 bar, as text)."""
+        lines = [
+            f"{self.flow_control.value} pipeline @ clk={self.clock_tau4:.0f} tau4: "
+            f"{self.depth} stages"
+        ]
+        for stage in self.stages:
+            parts = ", ".join(
+                sl.module.name + (" (part)" if sl.is_partial else "")
+                for sl in stage.slices
+            )
+            lines.append(
+                f"  stage {stage.index + 1}: [{parts}] "
+                f"{stage.occupancy_fraction(self.clock_tau) * 100:.0f}% of cycle"
+            )
+        return "\n".join(lines)
+
+
+#: Rounding slack for EQ 1's fit test, in tau.  The Table 1 equations are
+#: fits carrying about a tau of rounding, so a module computing to e.g.
+#: 100.7 tau against a 100-tau clock is treated as fitting rather than
+#: straddling a stage boundary.
+EQ1_TOLERANCE_TAU = 1.0
+
+
+def design_pipeline(
+    modules: Sequence[AtomicModule],
+    clock_tau4: float = DEFAULT_CLOCK_TAU4,
+    flow_control: FlowControl = FlowControl.WORMHOLE,
+    tolerance_tau: float = EQ1_TOLERANCE_TAU,
+) -> PipelineDesign:
+    """Pack atomic modules into pipeline stages per EQ 1.
+
+    Modules are taken in dependency (critical-path) order.  Raises
+    ``ValueError`` if the clock is non-positive or the module list is
+    empty.  ``tolerance_tau`` is the rounding slack applied to the
+    fit test (see :data:`EQ1_TOLERANCE_TAU`).
+    """
+    if clock_tau4 <= 0:
+        raise ValueError(f"clock must be positive, got {clock_tau4} tau4")
+    if not modules:
+        raise ValueError("cannot design a pipeline with no modules")
+    if tolerance_tau < 0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance_tau}")
+
+    clk = tau4_to_tau(clock_tau4)
+    budget = clk + tolerance_tau
+    stages: List[List[StageSlice]] = [[]]
+
+    def used_latency() -> float:
+        return sum(sl.latency_tau for sl in stages[-1])
+
+    def close_stage() -> None:
+        stages.append([])
+
+    for module in modules:
+        if module.force_own_stage:
+            if stages[-1]:
+                close_stage()
+            stages[-1].append(StageSlice(module, module.latency_tau, False, True))
+            close_stage()
+            continue
+
+        footprint = module.latency_tau + module.overhead_tau
+        if used_latency() + footprint <= budget:
+            stages[-1].append(StageSlice(module, module.latency_tau, False, True))
+        elif footprint <= budget:
+            close_stage()
+            stages[-1].append(StageSlice(module, module.latency_tau, False, True))
+        else:
+            # The module cannot fit one cycle: straddle from a fresh stage
+            # boundary, spilling whole cycles, leaving the tail (plus
+            # overhead headroom) in the final stage where packing resumes.
+            if stages[-1]:
+                close_stage()
+            remaining = module.latency_tau
+            while remaining + module.overhead_tau > budget:
+                chunk = min(clk, remaining)
+                if chunk <= 0:
+                    raise ValueError(
+                        f"module {module.name!r} overhead "
+                        f"({module.overhead_tau:.1f} tau) exceeds the clock "
+                        f"budget ({budget:.1f} tau); it cannot be pipelined"
+                    )
+                stages[-1].append(StageSlice(module, chunk, True, False))
+                close_stage()
+                remaining -= chunk
+            stages[-1].append(StageSlice(module, remaining, True, True))
+
+    if not stages[-1]:
+        stages.pop()
+
+    design = PipelineDesign(
+        flow_control, clk, list(modules), [Stage(i, s) for i, s in enumerate(stages)]
+    )
+    _validate_eq1(design, budget)
+    return design
+
+
+def _validate_eq1(design: PipelineDesign, budget: float) -> None:
+    """Internal invariant: no stage's EQ-1 footprint exceeds the budget."""
+    for stage in design.stages:
+        if stage.occupancy_tau > budget + 1e-9:
+            raise AssertionError(
+                f"EQ1 violated: stage {stage.index} occupies "
+                f"{stage.occupancy_tau:.2f} tau with budget={budget:.2f} tau"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Canonical pipelines.
+# ---------------------------------------------------------------------------
+
+def wormhole_pipeline(
+    p: int, w: int, clock_tau4: float = DEFAULT_CLOCK_TAU4
+) -> PipelineDesign:
+    """route+decode | switch arbiter | crossbar (Figure 4a)."""
+    modules = [
+        routing_module(clock_tau4),
+        switch_arbiter_module(p),
+        crossbar_module(p, w),
+    ]
+    return design_pipeline(modules, clock_tau4, FlowControl.WORMHOLE)
+
+
+def virtual_channel_pipeline(
+    p: int,
+    v: int,
+    w: int,
+    routing_range: RoutingRange = RoutingRange.RPV,
+    clock_tau4: float = DEFAULT_CLOCK_TAU4,
+) -> PipelineDesign:
+    """route+decode | VC allocation | switch allocation | crossbar (Fig 4b)."""
+    modules = [
+        routing_module(clock_tau4),
+        vc_allocator_module(p, v, routing_range),
+        switch_allocator_module(p, v),
+        crossbar_module(p, w),
+    ]
+    return design_pipeline(modules, clock_tau4, FlowControl.VIRTUAL_CHANNEL)
+
+
+def speculative_vc_pipeline(
+    p: int,
+    v: int,
+    w: int,
+    routing_range: RoutingRange = RoutingRange.RV,
+    clock_tau4: float = DEFAULT_CLOCK_TAU4,
+) -> PipelineDesign:
+    """route+decode | VC & speculative switch allocation | crossbar (Fig 4c).
+
+    The non-spec/spec combiner folds into the crossbar stage;
+    :func:`check_combiner_fits_crossbar_stage` verifies the slack exists.
+    """
+    check_combiner_fits_crossbar_stage(p, v, w, clock_tau4)
+    modules = [
+        routing_module(clock_tau4),
+        speculative_allocation_module(p, v, routing_range),
+        crossbar_module(p, w),
+    ]
+    return design_pipeline(
+        modules, clock_tau4, FlowControl.SPECULATIVE_VIRTUAL_CHANNEL
+    )
+
+
+def check_combiner_fits_crossbar_stage(
+    p: int, v: int, w: int, clock_tau4: float = DEFAULT_CLOCK_TAU4
+) -> float:
+    """Assert ``t_CB + t_XB`` fits the crossbar stage; return the slack (tau).
+
+    The speculative pipeline hides the non-spec/spec combiner in the
+    crossbar stage, which is budgeted a full cycle while the crossbar's
+    own delay is far below it.  Raises ``ValueError`` if a configuration
+    breaks that assumption.
+    """
+    slack = tau4_to_tau(clock_tau4) - combiner_delay(p, v) - crossbar_delay(p, w)
+    if slack < 0:
+        raise ValueError(
+            f"combiner does not fit crossbar-stage slack for p={p}, v={v}, "
+            f"w={w} at clk={clock_tau4} tau4 (short by {-slack:.1f} tau); "
+            "use a non-speculative pipeline or a longer clock"
+        )
+    return slack
+
+
+def pipeline_for(
+    flow_control: FlowControl,
+    p: int,
+    w: int,
+    v: int = 1,
+    routing_range: "RoutingRange | None" = None,
+    clock_tau4: float = DEFAULT_CLOCK_TAU4,
+) -> PipelineDesign:
+    """Dispatch to the canonical pipeline for a flow-control method."""
+    if flow_control is FlowControl.WORMHOLE:
+        return wormhole_pipeline(p, w, clock_tau4)
+    if flow_control is FlowControl.VIRTUAL_CHANNEL:
+        return virtual_channel_pipeline(
+            p, v, w, routing_range or RoutingRange.RPV, clock_tau4
+        )
+    if flow_control is FlowControl.SPECULATIVE_VIRTUAL_CHANNEL:
+        return speculative_vc_pipeline(
+            p, v, w, routing_range or RoutingRange.RV, clock_tau4
+        )
+    raise ValueError(f"unknown flow control {flow_control!r}")

@@ -1,0 +1,81 @@
+"""Technology-independent delay units for the router delay model.
+
+The model of Peh & Dally (HPCA 2001) expresses all delays in units of
+``tau`` -- the delay of a minimum-sized inverter driving another identical
+inverter.  A second, coarser unit ``tau4`` is the delay of an inverter
+driving *four* identical inverters; by the method of logical effort
+(see :mod:`repro.delaymodel.logical_effort`, EQ 3 of the paper)::
+
+    tau4 = g*h + p = 1*4 + 1 = 5 tau
+
+A "typical" router clock cycle in the paper is ``20 tau4`` (100 tau).
+Technology grounding is done via :class:`Technology`: the paper quotes
+``tau4 = 90 ps`` in a 0.18 micron process, making a 20-tau4 cycle about
+2 ns (a 500 MHz clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Delay of an inverter driving four identical inverters, in tau (EQ 3).
+TAU4_IN_TAU: float = 5.0
+
+#: The paper's "typical clock cycle", in tau4.
+DEFAULT_CLOCK_TAU4: float = 20.0
+
+
+def tau4_to_tau(delay_tau4: float) -> float:
+    """Convert a delay expressed in tau4 units to tau units."""
+    return delay_tau4 * TAU4_IN_TAU
+
+
+def tau_to_tau4(delay_tau: float) -> float:
+    """Convert a delay expressed in tau units to tau4 units."""
+    return delay_tau / TAU4_IN_TAU
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Grounding of the technology-independent tau model in a process.
+
+    Parameters
+    ----------
+    name:
+        Human-readable process name (e.g. ``"0.18um CMOS"``).
+    tau4_ps:
+        Measured/assumed delay of a 4x fan-out inverter in picoseconds.
+    """
+
+    name: str
+    tau4_ps: float
+
+    def __post_init__(self) -> None:
+        if self.tau4_ps <= 0:
+            raise ValueError(f"tau4_ps must be positive, got {self.tau4_ps}")
+
+    @property
+    def tau_ps(self) -> float:
+        """Delay of one tau, in picoseconds."""
+        return self.tau4_ps / TAU4_IN_TAU
+
+    def tau4_to_ps(self, delay_tau4: float) -> float:
+        """Convert a delay in tau4 to picoseconds in this process."""
+        return delay_tau4 * self.tau4_ps
+
+    def tau_to_ps(self, delay_tau: float) -> float:
+        """Convert a delay in tau to picoseconds in this process."""
+        return delay_tau * self.tau_ps
+
+    def clock_frequency_mhz(self, clock_tau4: float = DEFAULT_CLOCK_TAU4) -> float:
+        """Clock frequency (MHz) implied by a cycle time in tau4."""
+        period_ps = self.tau4_to_ps(clock_tau4)
+        return 1e6 / period_ps
+
+
+#: The 0.18 micron process used for the paper's Synopsys validation
+#: (tau4 = 90 ps, so a 20-tau4 cycle is ~2 ns / 500 MHz).
+CMOS_018UM = Technology(name="0.18um CMOS", tau4_ps=90.0)
+
+#: Chien's original grounding process, included for model comparisons.
+CMOS_08UM = Technology(name="0.8um CMOS", tau4_ps=400.0)

@@ -1,0 +1,58 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments                 # delay-model results only
+    python -m repro.experiments --simulate      # + latency-throughput figures
+    python -m repro.experiments --simulate --paper-scale   # full-size runs
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..sim.config import MeasurementConfig, paper_scale
+from .report import delay_model_report, simulation_report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the tables and figures of Peh & Dally (HPCA 2001).",
+    )
+    parser.add_argument(
+        "--simulate", action="store_true",
+        help="also run the latency-throughput simulations (figures 13-18)",
+    )
+    parser.add_argument(
+        "--ablations", action="store_true",
+        help="also run the ablation and extension studies (slow)",
+    )
+    parser.add_argument(
+        "--paper-scale", action="store_true",
+        help="use the paper's full warm-up/sample sizes (hours of runtime)",
+    )
+    parser.add_argument(
+        "--sample-packets", type=int, default=None,
+        help="override the measured packet sample size per run",
+    )
+    args = parser.parse_args(argv)
+
+    measurement = paper_scale() if args.paper_scale else MeasurementConfig()
+    if args.sample_packets is not None:
+        measurement.sample_packets = args.sample_packets
+
+    print(delay_model_report())
+    if args.simulate:
+        print()
+        print(simulation_report(measurement))
+    if args.ablations:
+        from .ablations import render_all
+
+        print()
+        print(render_all(measurement))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

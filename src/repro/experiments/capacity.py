@@ -1,0 +1,65 @@
+"""Network capacity analysis for the evaluation mesh.
+
+The paper expresses injection rates as fractions of network capacity.
+For a k x k mesh under uniform random traffic, capacity is
+bisection-limited at ``4/k`` flits per node per cycle (0.5 at k=8);
+this module derives that bound from first principles (channel loads
+under dimension-ordered routing) so the figure more-general sweeps can
+use other radices and patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..sim.routing import RoutingFunction, dimension_order_route, route_path
+from ..sim.topology import LOCAL, Mesh
+
+
+@dataclass(frozen=True)
+class CapacityAnalysis:
+    """Channel-load analysis of a mesh under a traffic matrix."""
+
+    mesh: Mesh
+    max_channel_load: float        # flits/cycle on the busiest channel
+    capacity_flits_per_node: float  # 1 / max_channel_load (per unit injection)
+    bottleneck: Tuple[int, int]    # (node, port) of the busiest channel
+
+
+def analyze_uniform_capacity(
+    mesh: Mesh, routing: RoutingFunction = dimension_order_route
+) -> CapacityAnalysis:
+    """Exact channel loads under uniform traffic and a routing function.
+
+    Walks every source-destination pair's path and accumulates the load
+    each channel would carry per unit injection rate (flits/node/cycle).
+    Capacity is the injection rate at which the busiest channel reaches
+    one flit per cycle.
+    """
+    loads: Dict[Tuple[int, int], float] = {}
+    n = mesh.num_nodes
+    pair_weight = 1.0 / (n - 1)  # uniform over destinations != source
+    for source in mesh.nodes():
+        for destination in mesh.nodes():
+            if source == destination:
+                continue
+            node = source
+            for port in route_path(mesh, source, destination, routing):
+                if port == LOCAL:
+                    break
+                key = (node, port)
+                loads[key] = loads.get(key, 0.0) + pair_weight
+                node = mesh.neighbor(node, port)
+    bottleneck, channel_load = max(loads.items(), key=lambda kv: kv[1])
+    return CapacityAnalysis(
+        mesh=mesh,
+        max_channel_load=channel_load,
+        capacity_flits_per_node=1.0 / channel_load,
+        bottleneck=bottleneck,
+    )
+
+
+def theoretical_capacity(mesh: Mesh) -> float:
+    """The closed-form bisection bound: ``4/k`` flits/node/cycle."""
+    return mesh.capacity_flits_per_node_cycle()

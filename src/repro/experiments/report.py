@@ -1,0 +1,46 @@
+"""Plain-text report assembly for the experiment drivers.
+
+``python -m repro.experiments`` (see ``__main__.py``) uses these to
+print the full reproduction: Table 1, the pipeline figures, and --
+optionally, since they simulate -- the latency-throughput figures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..sim.config import MeasurementConfig
+from . import figures
+
+
+def delay_model_report() -> str:
+    """Table 1 + Figures 11, 12 and 16 (no simulation required)."""
+    sections = [
+        "Table 1 (p=5, w=32, v=2, clk=20 tau4)",
+        figures.render_table1_report(),
+        "",
+        figures.fig11().render(),
+        "",
+        figures.fig12().render(),
+        "",
+        figures.fig16(),
+    ]
+    return "\n".join(sections)
+
+
+def simulation_report(
+    measurement: Optional[MeasurementConfig] = None,
+    loads: Optional[Sequence[float]] = None,
+) -> str:
+    """Figures 13-15, 17 and 18 (runs the simulator; minutes at default scale)."""
+    kwargs = {}
+    if measurement is not None:
+        kwargs["measurement"] = measurement
+    if loads is not None:
+        kwargs["loads"] = loads
+    sections = []
+    for fig in (figures.fig13, figures.fig14, figures.fig15,
+                figures.fig17, figures.fig18):
+        sections.append(fig(**kwargs).render())
+        sections.append("")
+    return "\n".join(sections)

@@ -1,0 +1,93 @@
+"""Injection-rate sweeps producing latency-throughput curves.
+
+Each of the paper's Figures 13-15, 17 and 18 is a set of
+latency-vs-offered-load curves over the 8x8 mesh.  :func:`sweep` runs
+one curve; :func:`find_saturation` reads the saturation point off a
+curve the way the paper quotes them (the load where average latency
+diverges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable, List, Optional, Sequence
+
+from ..sim.config import MeasurementConfig, SimConfig
+from ..sim.engine import simulate
+from ..sim.metrics import AggregateResult, SweepResult
+
+#: Offered loads used when a sweep doesn't specify its own grid.
+DEFAULT_LOADS: Sequence[float] = (0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75)
+
+#: A run is called saturated when its average latency exceeds this
+#: multiple of the curve's zero-load latency (the knee of the curve).
+SATURATION_LATENCY_MULTIPLE = 3.0
+
+
+def sweep(
+    base_config: SimConfig,
+    label: str,
+    loads: Iterable[float] = DEFAULT_LOADS,
+    measurement: Optional[MeasurementConfig] = None,
+    stop_after_saturation: bool = True,
+) -> SweepResult:
+    """Run one latency-throughput curve.
+
+    ``stop_after_saturation`` skips the remaining (higher) loads once a
+    point saturates -- they are strictly more expensive to simulate and
+    add no information beyond "the curve is vertical here".
+    """
+    result = SweepResult(label=label)
+    for load in sorted(loads):
+        config = replace(base_config, injection_fraction=load)
+        point = simulate(config, measurement)
+        result.points.append(point)
+        if stop_after_saturation and point.saturated:
+            break
+    return result
+
+
+def run_with_seeds(
+    base_config: SimConfig,
+    load: float,
+    seeds: Sequence[int] = (1, 2, 3),
+    measurement: Optional[MeasurementConfig] = None,
+) -> AggregateResult:
+    """Run one configuration/load across several seeds and aggregate.
+
+    Gives mean latency with a 95% confidence interval -- use it when a
+    comparison's margin is within a few cycles and a single-seed result
+    would be ambiguous.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    runs = [
+        simulate(
+            replace(base_config, injection_fraction=load, seed=seed),
+            measurement,
+        )
+        for seed in seeds
+    ]
+    return AggregateResult(injection_fraction=load, runs=runs)
+
+
+def find_saturation(
+    curve: SweepResult, latency_multiple: float = SATURATION_LATENCY_MULTIPLE
+) -> float:
+    """Saturation load: the highest load still on the flat part of the curve."""
+    zero_load = curve.zero_load_latency()
+    if zero_load == float("inf"):
+        return 0.0
+    return curve.saturation_fraction(latency_multiple * zero_load)
+
+
+def compare_curves(curves: List[SweepResult]) -> str:
+    """Render several curves side by side, with saturation estimates."""
+    lines = []
+    for curve in curves:
+        lines.append(curve.describe())
+        lines.append(
+            f"  -> zero-load latency {curve.zero_load_latency():.1f} cycles, "
+            f"saturation ~{find_saturation(curve):.0%} of capacity"
+        )
+    return "\n".join(lines)

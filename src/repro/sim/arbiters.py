@@ -1,0 +1,118 @@
+"""Functional arbiters used by the allocators.
+
+The paper's routers use *matrix arbiters*: an upper-triangular matrix of
+priority bits records, for every pair of requestors, which currently has
+priority.  The winner is the requestor with priority over every other
+active requestor; after winning, its priority is set lowest, giving a
+least-recently-served discipline.  A round-robin arbiter is provided as
+an alternative policy for ablation studies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+class Arbiter:
+    """Interface: pick one winner among requesting indices."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError(f"arbiter size must be >= 1, got {n}")
+        self.n = n
+
+    def arbitrate(self, requests: Sequence[int]) -> Optional[int]:
+        """Return the winning index among ``requests`` (None if empty).
+
+        Winning updates the arbiter's internal priority state.
+        """
+        raise NotImplementedError
+
+    def _check(self, requests: Sequence[int]) -> None:
+        for r in requests:
+            if not 0 <= r < self.n:
+                raise ValueError(f"request index {r} out of range 0..{self.n - 1}")
+
+
+class MatrixArbiter(Arbiter):
+    """Least-recently-served matrix arbiter (Figure 10).
+
+    ``self._priority[i][j]`` is True when ``i`` has priority over ``j``.
+    Only the upper triangle is stored conceptually; we keep the full
+    matrix for clarity (the diagonal is unused).
+    """
+
+    def __init__(self, n: int) -> None:
+        super().__init__(n)
+        # Initially, lower indices have priority (matrix all-True above
+        # the diagonal).
+        self._priority: List[List[bool]] = [
+            [i < j for j in range(n)] for i in range(n)
+        ]
+
+    def has_priority(self, i: int, j: int) -> bool:
+        """True if requestor ``i`` currently beats requestor ``j``."""
+        return self._priority[i][j]
+
+    def arbitrate(self, requests: Sequence[int]) -> Optional[int]:
+        self._check(requests)
+        if not requests:
+            return None
+        active = set(requests)
+        winner = None
+        for i in active:
+            if all(self._priority[i][j] for j in active if j != i):
+                winner = i
+                break
+        if winner is None:
+            # The matrix invariant (antisymmetry) guarantees a unique
+            # winner exists among any non-empty subset; reaching here
+            # means state corruption.
+            raise AssertionError("matrix arbiter found no winner")
+        self._lower_priority(winner)
+        return winner
+
+    def _lower_priority(self, winner: int) -> None:
+        """Set the winner's priority lowest among all requestors."""
+        for j in range(self.n):
+            if j != winner:
+                self._priority[winner][j] = False
+                self._priority[j][winner] = True
+
+    def check_invariant(self) -> bool:
+        """Antisymmetry: exactly one of (i beats j), (j beats i) holds."""
+        return all(
+            self._priority[i][j] != self._priority[j][i]
+            for i in range(self.n)
+            for j in range(self.n)
+            if i != j
+        )
+
+
+class RoundRobinArbiter(Arbiter):
+    """Rotating-priority arbiter: the winner becomes lowest priority."""
+
+    def __init__(self, n: int) -> None:
+        super().__init__(n)
+        self._next = 0
+
+    def arbitrate(self, requests: Sequence[int]) -> Optional[int]:
+        self._check(requests)
+        if not requests:
+            return None
+        active = set(requests)
+        for offset in range(self.n):
+            candidate = (self._next + offset) % self.n
+            if candidate in active:
+                self._next = (candidate + 1) % self.n
+                return candidate
+        raise AssertionError("round-robin arbiter found no winner")
+
+
+def make_arbiter(kind: str, n: int) -> Arbiter:
+    """Factory: ``kind`` is ``"matrix"`` (the paper's) or ``"round_robin"``."""
+    if kind == "matrix":
+        return MatrixArbiter(n)
+    if kind == "round_robin":
+        return RoundRobinArbiter(n)
+    raise ValueError(f"unknown arbiter kind {kind!r}")

@@ -1,0 +1,62 @@
+"""Input-queue flit buffers.
+
+Each input virtual channel owns one fixed-capacity FIFO.  Credit-based
+flow control guarantees a sender never overruns the FIFO; overflow
+therefore raises, surfacing flow-control bugs instead of hiding them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from .flit import Flit
+
+
+class FlitBuffer:
+    """Fixed-capacity FIFO of flits."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"buffer capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._queue: Deque[Flit] = deque()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self._queue)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._queue) >= self.capacity
+
+    def push(self, flit: Flit) -> None:
+        """Append a flit; raises on overflow (a flow-control violation)."""
+        if self.is_full:
+            raise OverflowError(
+                f"buffer overflow: capacity {self.capacity} exceeded by {flit!r} "
+                "(credit-based flow control should make this impossible)"
+            )
+        self._queue.append(flit)
+
+    def front(self) -> Optional[Flit]:
+        """The flit at the head of the queue, or None if empty."""
+        return self._queue[0] if self._queue else None
+
+    def pop(self) -> Flit:
+        """Remove and return the head flit; raises on empty buffer."""
+        if not self._queue:
+            raise IndexError("pop from empty flit buffer")
+        return self._queue.popleft()
+
+    def __iter__(self):
+        return iter(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FlitBuffer({len(self._queue)}/{self.capacity})"

@@ -1,0 +1,63 @@
+"""Pipelined inter-router channels for flits and credits.
+
+Timing convention (matching the paper's per-hop accounting, DESIGN.md
+section 4): a flit that traverses the crossbar (ST) during cycle ``t``
+spends cycle ``t+1`` on the wire and is written into the downstream
+input buffer at the end of that cycle, becoming *processable* at cycle
+``t + 1 + propagation``.  With the paper's 1-cycle propagation delay a
+flit STing at ``t`` is processable downstream at ``t+2``, which makes
+per-hop latency = pipeline depth + 1 (e.g. 4 cycles for the 3-stage
+wormhole router, so the 29-cycle zero-load latency of Figure 13 falls
+out exactly).
+
+Credits use the same structure in the reverse direction with delay =
+credit propagation + credit pipeline (processing) cycles.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, List, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class PipelinedChannel(Generic[T]):
+    """A delay line delivering items ``delay + 1`` cycles after send.
+
+    The ``+1`` models the receiver-side register write: an item sent
+    during cycle ``t`` is available for processing at cycle
+    ``t + delay + 1``.
+    """
+
+    def __init__(self, delay: int) -> None:
+        if delay < 0:
+            raise ValueError(f"channel delay must be >= 0, got {delay}")
+        self.delay = delay
+        self._in_flight: Deque[Tuple[int, T]] = deque()
+
+    def send(self, item: T, cycle: int) -> None:
+        """Inject an item at cycle ``cycle``; it arrives at ``cycle+delay+1``."""
+        arrival = cycle + self.delay + 1
+        if self._in_flight and self._in_flight[-1][0] > arrival:
+            raise ValueError("channel sends must be in non-decreasing cycle order")
+        self._in_flight.append((arrival, item))
+
+    def deliver(self, cycle: int) -> List[T]:
+        """Pop every item whose arrival cycle is <= ``cycle``."""
+        arrived: List[T] = []
+        while self._in_flight and self._in_flight[0][0] <= cycle:
+            arrived.append(self._in_flight.popleft()[1])
+        return arrived
+
+    @property
+    def occupancy(self) -> int:
+        """Number of items still in flight."""
+        return len(self._in_flight)
+
+    def __bool__(self) -> bool:
+        return bool(self._in_flight)
+
+    def peek_all(self) -> List[T]:
+        """Items in flight, in order (for invariant checks)."""
+        return [item for _, item in self._in_flight]

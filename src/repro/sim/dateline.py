@@ -1,0 +1,184 @@
+"""Virtual-channel class policies: dateline (torus) and O1TURN (mesh).
+
+Virtual channels do double duty: beyond decoupling buffers for
+throughput (the paper's focus), restricting *which* VCs a packet may use
+breaks cyclic channel dependencies.  Two classic schemes are provided as
+candidate-VC policies consulted by the VC allocator:
+
+* **Dateline classes** for the torus: each dimension's wrap link is the
+  ring's dateline.  Packets start in class 0 and move to class 1 for the
+  rest of the current dimension once they cross the dateline; entering a
+  new dimension resets the class.  Minimal routing crosses each dateline
+  at most once, so class transitions are one-way and each ring's channel
+  dependency graph is acyclic (Dally & Seitz).
+
+* **O1TURN classes** for the mesh: each packet commits to XY or YX
+  dimension order at injection; XY packets ride class-0 VCs and YX
+  packets class-1, keeping the two (individually acyclic) routing orders
+  from forming joint cycles.
+
+With ``v`` VCs per port, class 0 is VCs ``[0, ceil(v/2))`` and class 1
+the rest; policies therefore need ``v >= 2``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .flit import Flit
+from .topology import LOCAL, Mesh, port_dimension
+
+
+def class_partition(num_vcs: int) -> tuple:
+    """``(class0_vcs, class1_vcs)`` ranges for a VC count."""
+    if num_vcs < 2:
+        raise ValueError("VC class policies need at least 2 VCs per port")
+    split = (num_vcs + 1) // 2
+    return tuple(range(split)), tuple(range(split, num_vcs))
+
+
+def vc_class(vc: int, num_vcs: int) -> int:
+    """Class (0 or 1) of a VC index."""
+    split = (num_vcs + 1) // 2
+    return 0 if vc < split else 1
+
+
+class AllVCs:
+    """No restriction: any output VC of the routed port (mesh default)."""
+
+    def __init__(self, num_vcs: int) -> None:
+        if num_vcs < 1:
+            raise ValueError("need at least 1 VC")
+        self._all = tuple(range(num_vcs))
+
+    def allowed_vcs(
+        self,
+        topo: Mesh,
+        node: int,
+        arrival_port: int,
+        input_vc: int,
+        route_port: int,
+        head: Flit,
+    ) -> Sequence[int]:
+        return self._all
+
+
+class DatelineVCs:
+    """Torus dateline classes (see module docstring)."""
+
+    def __init__(self, num_vcs: int) -> None:
+        self.num_vcs = num_vcs
+        self.class0, self.class1 = class_partition(num_vcs)
+
+    def allowed_vcs(
+        self,
+        topo: Mesh,
+        node: int,
+        arrival_port: int,
+        input_vc: int,
+        route_port: int,
+        head: Flit,
+    ) -> Sequence[int]:
+        if route_port == LOCAL:
+            # Ejection: the sink consumes immediately; no class needed.
+            return self.class0 + self.class1
+        crosses = topo.is_wrap_link(node, route_port)
+        same_dimension = (
+            port_dimension(arrival_port) == port_dimension(route_port)
+        )
+        if same_dimension:
+            already_crossed = vc_class(input_vc, self.num_vcs) == 1
+            next_class = 1 if (crosses or already_crossed) else 0
+        else:
+            # Entering a fresh ring (or injected): class restarts.
+            next_class = 1 if crosses else 0
+        return self.class1 if next_class else self.class0
+
+
+class O1TurnVCs:
+    """Mesh O1TURN classes: the packet's routing order picks the class."""
+
+    def __init__(self, num_vcs: int) -> None:
+        self.num_vcs = num_vcs
+        self.class0, self.class1 = class_partition(num_vcs)
+
+    def allowed_vcs(
+        self,
+        topo: Mesh,
+        node: int,
+        arrival_port: int,
+        input_vc: int,
+        route_port: int,
+        head: Flit,
+    ) -> Sequence[int]:
+        if route_port == LOCAL:
+            return self.class0 + self.class1
+        choice = o1turn_choice(head.packet)
+        return self.class1 if choice == "yx" else self.class0
+
+
+class AdaptiveEscapeVCs:
+    """Duato escape classes for minimal adaptive routing on a mesh.
+
+    VC 0 is the *escape* channel: it may only be allocated along the
+    packet's dimension-order (XY) port, where the escape subnetwork --
+    DOR restricted to VC 0 -- is deadlock-free by the usual turn
+    argument.  VCs 1..v-1 are fully adaptive and usable on any minimal
+    port.  A packet that fails to win any permitted VC re-iterates the
+    routing stage (paper footnote 5, option b) and, after a few
+    attempts, falls back to the DOR port where the escape VC guarantees
+    eventual progress.
+    """
+
+    def __init__(self, num_vcs: int) -> None:
+        if num_vcs < 2:
+            raise ValueError(
+                "adaptive routing needs >= 2 VCs (one escape + adaptive)"
+            )
+        self.num_vcs = num_vcs
+        self.escape = (0,)
+        self.adaptive = tuple(range(1, num_vcs))
+
+    def allowed_vcs(
+        self,
+        topo: Mesh,
+        node: int,
+        arrival_port: int,
+        input_vc: int,
+        route_port: int,
+        head: Flit,
+    ) -> Sequence[int]:
+        if route_port == LOCAL:
+            return self.escape + self.adaptive
+        from .routing import dimension_order_route
+
+        dor_port = dimension_order_route(topo, node, head.destination)
+        if route_port == dor_port:
+            return self.escape + self.adaptive
+        return self.adaptive
+
+
+def o1turn_choice(packet) -> str:
+    """The packet's committed dimension order ("xy" or "yx").
+
+    Derived deterministically (but uniformly) from the packet id with a
+    Knuth multiplicative hash, so simulations stay reproducible without
+    threading extra randomness through the sources.
+    """
+    return "yx" if (packet.packet_id * 2654435761) & (1 << 16) else "xy"
+
+
+def make_vc_policy(routing_function: str, topo: Mesh, num_vcs: int):
+    """Select the VC-class policy implied by topology + routing choice."""
+    if topo.has_wrap_links:
+        if routing_function in ("o1turn", "adaptive"):
+            raise ValueError(
+                f"{routing_function} routing is mesh-only (a torus would "
+                "need additional VC classes on top of the datelines)"
+            )
+        return DatelineVCs(num_vcs)
+    if routing_function == "o1turn":
+        return O1TurnVCs(num_vcs)
+    if routing_function == "adaptive":
+        return AdaptiveEscapeVCs(num_vcs)
+    return AllVCs(num_vcs)

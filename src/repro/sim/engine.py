@@ -1,0 +1,128 @@
+"""Simulation driver: warm-up, sampling, drain, and measurement.
+
+Mirrors the paper's methodology (Section 5): run a warm-up phase, then
+tag a sample of injected packets and keep simulating until every tagged
+packet has been received, measuring average latency over the sample.
+Saturated configurations never drain; a drain-cycle cap turns those runs
+into ``saturated=True`` results (the vertical part of the curves).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .config import MeasurementConfig, SimConfig
+from .metrics import LatencyStats, RunResult
+from .network import Network
+
+
+class Simulator:
+    """One simulation run at a fixed configuration."""
+
+    def __init__(
+        self,
+        config: SimConfig,
+        measurement: Optional[MeasurementConfig] = None,
+        check_invariants: bool = False,
+    ) -> None:
+        self.config = config
+        self.measurement = measurement or MeasurementConfig()
+        self.check_invariants = check_invariants
+        self.network = Network(config)
+
+    def run(self) -> RunResult:
+        network = self.network
+        measurement = self.measurement
+
+        # Warm-up: packets injected now are excluded from the sample.
+        network.measuring_generation = False
+        self._run_cycles(measurement.warmup_cycles)
+
+        # Sampling: tag the next `sample_packets` generated packets.
+        network.measuring_generation = True
+        generated_before = network.packets_generated
+        ejected_before = network.total_flits_ejected()
+        measure_start = network.cycle
+        target = measurement.sample_packets
+        injection_deadline = measurement.max_cycles
+        while (
+            network.packets_generated - generated_before < target
+            and network.cycle < injection_deadline
+        ):
+            self._step()
+        network.measuring_generation = False
+        sample_size = network.packets_generated - generated_before
+        # Accepted throughput: the ejection rate over the sampling
+        # window (all packets, sampled or not -- the steady-state rate).
+        window = max(1, network.cycle - measure_start)
+        ejected_in_window = network.total_flits_ejected() - ejected_before
+
+        # Drain: run until every tagged packet is ejected (or give up).
+        drain_deadline = min(
+            network.cycle + measurement.drain_cycles, measurement.max_cycles
+        )
+        while network.cycle < drain_deadline and not self._sample_complete(
+            sample_size
+        ):
+            self._step()
+
+        delivered = self._delivered_sample()
+        saturated = len(delivered) < sample_size
+        # An undrained sample's mean is biased low (the missing packets
+        # are the slow ones); such runs report latency=None/inf.
+        latency = (
+            LatencyStats.from_packets(delivered)
+            if delivered and not saturated
+            else None
+        )
+
+        accepted_flits = ejected_in_window / (network.mesh.num_nodes * window)
+        accepted_fraction = (
+            accepted_flits / network.mesh.capacity_flits_per_node_cycle()
+        )
+
+        spec_grants = sum(r.stats.spec_grants for r in network.routers)
+        spec_wasted = sum(r.stats.spec_wasted for r in network.routers)
+        return RunResult(
+            injection_fraction=self.config.injection_fraction,
+            latency=None if saturated else latency,
+            accepted_fraction=accepted_fraction,
+            saturated=saturated,
+            cycles_simulated=network.cycle,
+            sample_packets=sample_size,
+            spec_grants=spec_grants,
+            spec_wasted=spec_wasted,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _step(self) -> None:
+        self.network.step()
+        if self.check_invariants:
+            self.network.check_conservation()
+            self.network.check_credit_invariants()
+
+    def _run_cycles(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self._step()
+
+    def _delivered_sample(self) -> List:
+        return [
+            p
+            for sink in self.network.sinks
+            for p in sink.delivered
+            if p.measured
+        ]
+
+    def _sample_complete(self, sample_size: int) -> bool:
+        delivered = sum(s.measured_ejected for s in self.network.sinks)
+        return delivered >= sample_size
+
+
+def simulate(
+    config: SimConfig,
+    measurement: Optional[MeasurementConfig] = None,
+    check_invariants: bool = False,
+) -> RunResult:
+    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    return Simulator(config, measurement, check_invariants).run()

@@ -1,0 +1,132 @@
+"""Packets and flits.
+
+A packet is the routing/allocation unit; it is segmented into flits (the
+flow-control unit).  Following the paper, the head flit carries the
+destination and triggers routing and (virtual-channel) allocation; body
+flits and the tail flit inherit the resources the head acquired; the
+tail releases them.  The ``vcid`` field is rewritten at each hop to the
+output VC allocated there (Section 3.1).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class FlitType(enum.Enum):
+    HEAD = "head"
+    BODY = "body"
+    TAIL = "tail"
+    #: Single-flit packets carry both roles.
+    HEAD_TAIL = "head_tail"
+
+    @property
+    def is_head(self) -> bool:
+        return self in (FlitType.HEAD, FlitType.HEAD_TAIL)
+
+    @property
+    def is_tail(self) -> bool:
+        return self in (FlitType.TAIL, FlitType.HEAD_TAIL)
+
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """A multi-flit message.
+
+    Attributes
+    ----------
+    source, destination:
+        Node ids in the network.
+    length:
+        Number of flits (the paper uses 5-flit packets).
+    creation_cycle:
+        Cycle at which the packet entered the source queue; latency is
+        measured from here to the ejection of the tail flit.
+    """
+
+    source: int
+    destination: int
+    length: int
+    creation_cycle: int
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    measured: bool = True
+    #: Cycle the head flit entered the source router (set by the source).
+    injection_cycle: Optional[int] = None
+    ejection_cycle: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ValueError(f"packet length must be >= 1, got {self.length}")
+        if self.source == self.destination:
+            raise ValueError("packet source and destination must differ")
+
+    @property
+    def latency(self) -> int:
+        """Creation-to-ejection latency; raises if not yet delivered."""
+        if self.ejection_cycle is None:
+            raise ValueError(f"packet {self.packet_id} not yet delivered")
+        return self.ejection_cycle - self.creation_cycle
+
+    @property
+    def queueing_latency(self) -> int:
+        """Cycles spent waiting at the source before the head injected."""
+        if self.injection_cycle is None:
+            raise ValueError(f"packet {self.packet_id} not yet injected")
+        return self.injection_cycle - self.creation_cycle
+
+    @property
+    def network_latency(self) -> int:
+        """In-network portion: head injection to tail ejection."""
+        if self.ejection_cycle is None:
+            raise ValueError(f"packet {self.packet_id} not yet delivered")
+        if self.injection_cycle is None:
+            raise ValueError(f"packet {self.packet_id} not yet injected")
+        return self.ejection_cycle - self.injection_cycle
+
+    def make_flits(self) -> List["Flit"]:
+        """Segment the packet into its flit sequence."""
+        if self.length == 1:
+            return [Flit(self, FlitType.HEAD_TAIL, 0)]
+        flits = [Flit(self, FlitType.HEAD, 0)]
+        flits.extend(Flit(self, FlitType.BODY, i) for i in range(1, self.length - 1))
+        flits.append(Flit(self, FlitType.TAIL, self.length - 1))
+        return flits
+
+
+@dataclass
+class Flit:
+    """One flow-control unit of a packet.
+
+    ``vcid`` is the virtual-channel id field in the flit header; routers
+    rewrite it to the allocated output VC as the flit leaves (it is the
+    VC the flit will occupy at the *next* hop).
+    """
+
+    packet: Packet
+    flit_type: FlitType
+    index: int
+    vcid: int = 0
+
+    @property
+    def is_head(self) -> bool:
+        return self.flit_type.is_head
+
+    @property
+    def is_tail(self) -> bool:
+        return self.flit_type.is_tail
+
+    @property
+    def destination(self) -> int:
+        return self.packet.destination
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Flit(pkt={self.packet.packet_id}, {self.flit_type.value}, "
+            f"idx={self.index}, vc={self.vcid})"
+        )

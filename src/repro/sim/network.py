@@ -1,0 +1,275 @@
+"""The mesh network: routers, channels, sources and sinks.
+
+``Network`` wires one router per mesh node with pipelined flit channels
+(and reverse credit channels) along every mesh link, an injection source
+and an ejection sink per node.  ``Network.step()`` advances one clock:
+
+1. deliver arriving flits and credits (and ejections to the sinks);
+2. sources generate and inject traffic;
+3. every router runs its ST / allocation / RC phases.
+
+Sources own per-VC views of the local input port's credits, injecting at
+most one flit per cycle (the injection channel has the same bandwidth as
+a network channel).  Sinks model the paper's "immediate ejection".
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from .channel import PipelinedChannel
+from .config import SimConfig
+from .credit import CreditCounter
+from .flit import Flit, Packet
+from .routers import BaseRouter, make_router
+from .topology import LOCAL, OPPOSITE, make_topology
+from .traffic import (
+    PacketSource,
+    make_destination_pattern,
+    rate_from_capacity_fraction,
+)
+
+
+class Source:
+    """Per-node injection queue feeding the router's local input port.
+
+    Holds an unbounded packet queue (the paper measures source queueing
+    time).  Packets are assigned to idle local VCs; one flit per cycle
+    moves into the router, round-robin across VCs with buffer space.
+    """
+
+    def __init__(self, node: int, num_vcs: int, buffer_capacity: int) -> None:
+        self.node = node
+        self.num_vcs = num_vcs
+        self.pending: Deque[Packet] = deque()
+        self._streams: List[Deque[Flit]] = [deque() for _ in range(num_vcs)]
+        self.credits = [CreditCounter(buffer_capacity) for _ in range(num_vcs)]
+        self._round_robin = 0
+        self.flits_injected = 0
+
+    def enqueue(self, packet: Packet) -> None:
+        self.pending.append(packet)
+
+    @property
+    def queued_packets(self) -> int:
+        return len(self.pending) + sum(1 for s in self._streams if s)
+
+    @property
+    def backlog_flits(self) -> int:
+        """Flits waiting at this source (queued packets + partial streams)."""
+        partial = sum(len(s) for s in self._streams)
+        whole = sum(p.length for p in self.pending)
+        return partial + whole
+
+    def restore_credit(self, vc: int) -> None:
+        self.credits[vc].restore()
+
+    def inject(self, router: BaseRouter, cycle: int) -> Optional[Flit]:
+        """Move at most one flit into the router's local port."""
+        # Assign waiting packets to idle VC streams.
+        for vc in range(self.num_vcs):
+            if not self._streams[vc] and self.pending:
+                self._streams[vc].extend(self.pending.popleft().make_flits())
+        # Inject one flit from a VC with space, round-robin.
+        for offset in range(self.num_vcs):
+            vc = (self._round_robin + offset) % self.num_vcs
+            if self._streams[vc] and self.credits[vc]:
+                flit = self._streams[vc].popleft()
+                flit.vcid = vc
+                self.credits[vc].consume()
+                router.accept_flit(LOCAL, flit, cycle)
+                self.flits_injected += 1
+                self._round_robin = (vc + 1) % self.num_vcs
+                if flit.is_head:
+                    flit.packet.injection_cycle = cycle
+                return flit
+        return None
+
+
+class Sink:
+    """Per-node ejection endpoint recording delivered packets."""
+
+    def __init__(self, node: int) -> None:
+        self.node = node
+        self.flits_ejected = 0
+        self.packets_ejected = 0
+        self.measured_ejected = 0
+        self.delivered: List[Packet] = []
+
+    def accept(self, flit: Flit, cycle: int) -> None:
+        if flit.destination != self.node:
+            raise AssertionError(
+                f"flit for node {flit.destination} ejected at node {self.node}"
+            )
+        self.flits_ejected += 1
+        if flit.is_tail:
+            flit.packet.ejection_cycle = cycle
+            self.packets_ejected += 1
+            if flit.packet.measured:
+                self.measured_ejected += 1
+            self.delivered.append(flit.packet)
+
+
+class Network:
+    """A k x k mesh of routers under a single synchronous clock."""
+
+    def __init__(self, config: SimConfig) -> None:
+        self.config = config
+        self.mesh = make_topology(config.topology, config.mesh_radix)
+        self.cycle = 0
+        self.rng = random.Random(config.seed)
+
+        self.routers: List[BaseRouter] = [
+            make_router(node, self.mesh, config) for node in self.mesh.nodes()
+        ]
+        self.sources = [
+            Source(node, config.num_vcs, config.buffers_per_vc)
+            for node in self.mesh.nodes()
+        ]
+        self.sinks = [Sink(node) for node in self.mesh.nodes()]
+
+        pattern = make_destination_pattern(config.traffic_pattern)
+        rate = rate_from_capacity_fraction(
+            self.mesh, config.injection_fraction, config.packet_length
+        )
+        if rate > 1.0:
+            raise ValueError(
+                f"injection fraction {config.injection_fraction} needs "
+                f"{rate:.2f} packets/node/cycle, beyond channel bandwidth"
+            )
+        self.generators = [
+            PacketSource(
+                node=node,
+                mesh=self.mesh,
+                rate_packets_per_cycle=rate,
+                packet_length=config.packet_length,
+                rng=random.Random(self.rng.randrange(2**62)),
+                pattern=pattern,
+                process=config.injection_process,
+                burst_length=config.burst_length,
+            )
+            for node in self.mesh.nodes()
+        ]
+
+        # (channel, destination router, input port) for link delivery.
+        self._flit_links: List[Tuple[PipelinedChannel, BaseRouter, int]] = []
+        # (channel, handler) pairs for credits; handler takes the vc index.
+        self._credit_links: List[Tuple[PipelinedChannel, object, int]] = []
+        # (channel, sink) for ejection.
+        self._ejection_links: List[Tuple[PipelinedChannel, Sink]] = []
+        self._wire()
+
+        #: Packets whose generation was recorded, for conservation checks.
+        self.packets_generated = 0
+        self.measuring_generation = True
+
+    # ------------------------------------------------------------------
+
+    def _wire(self) -> None:
+        flit_delay = self.config.flit_propagation
+        credit_delay = self.config.credit_channel_delay
+        for node, port, neighbor in self.mesh.links():
+            src_router = self.routers[node]
+            dst_router = self.routers[neighbor]
+            dst_port = OPPOSITE[port]
+
+            flit_channel: PipelinedChannel = PipelinedChannel(flit_delay)
+            src_router.connect_output(port, flit_channel)
+            self._flit_links.append((flit_channel, dst_router, dst_port))
+
+            credit_channel: PipelinedChannel = PipelinedChannel(credit_delay)
+            dst_router.connect_credit(dst_port, credit_channel)
+            self._credit_links.append((credit_channel, src_router, port))
+
+        for node in self.mesh.nodes():
+            router = self.routers[node]
+            # Ejection: local output port -> sink.
+            ejection: PipelinedChannel = PipelinedChannel(flit_delay)
+            router.connect_output(LOCAL, ejection)
+            self._ejection_links.append((ejection, self.sinks[node]))
+            # Injection credits: local input port -> source.  One extra
+            # cycle compared to network credit links: a source places its
+            # flit straight into the local buffer (no switch/link stages),
+            # so without it the new flit could land before the granted
+            # flit's traversal frees the slot.
+            credit_channel = PipelinedChannel(credit_delay + 1)
+            router.connect_credit(LOCAL, credit_channel)
+            self._credit_links.append((credit_channel, self.sources[node], None))
+
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance the network by one clock cycle."""
+        cycle = self.cycle
+
+        for channel, router, port in self._flit_links:
+            for flit in channel.deliver(cycle):
+                router.accept_flit(port, flit, cycle)
+
+        for channel, endpoint, port in self._credit_links:
+            for vc in channel.deliver(cycle):
+                if port is None:
+                    endpoint.restore_credit(vc)
+                else:
+                    endpoint.receive_credit(port, vc)
+
+        for channel, sink in self._ejection_links:
+            for flit in channel.deliver(cycle):
+                sink.accept(flit, cycle)
+
+        for generator, source in zip(self.generators, self.sources):
+            packet = generator.maybe_generate(cycle)
+            if packet is not None:
+                packet.measured = self.measuring_generation
+                self.packets_generated += 1
+                source.enqueue(packet)
+            source.inject(self.routers[source.node], cycle)
+
+        for router in self.routers:
+            router.cycle(cycle)
+
+        self.cycle += 1
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.step()
+
+    # ------------------------------------------------------------------
+    # Introspection / invariants.
+    # ------------------------------------------------------------------
+
+    def flits_in_flight(self) -> int:
+        """Flits inside routers or on channels (not in sources/sinks)."""
+        buffered = sum(r.buffered_flits() for r in self.routers)
+        on_links = sum(ch.occupancy for ch, _, _ in self._flit_links)
+        ejecting = sum(ch.occupancy for ch, _ in self._ejection_links)
+        return buffered + on_links + ejecting
+
+    def total_flits_injected(self) -> int:
+        return sum(s.flits_injected for s in self.sources)
+
+    def total_flits_ejected(self) -> int:
+        return sum(s.flits_ejected for s in self.sinks)
+
+    def check_conservation(self) -> None:
+        """No flit is ever created or destroyed inside the network."""
+        injected = self.total_flits_injected()
+        ejected = self.total_flits_ejected()
+        in_flight = self.flits_in_flight()
+        if injected != ejected + in_flight:
+            raise AssertionError(
+                f"flit conservation violated: injected {injected} != "
+                f"ejected {ejected} + in flight {in_flight}"
+            )
+
+    def check_credit_invariants(self) -> None:
+        for router in self.routers:
+            router.check_credit_invariant()
+
+    def drained(self) -> bool:
+        """True when no traffic remains anywhere in the system."""
+        if self.flits_in_flight():
+            return False
+        return all(s.backlog_flits == 0 for s in self.sources)

@@ -1,0 +1,330 @@
+"""Common router machinery: ports, input VCs, credits, pipeline phasing.
+
+Every router processes three phase groups per cycle, in this order:
+
+1. **ST** -- flits granted switch passage in the *previous* cycle
+   traverse the crossbar, depart on their output channels, consume a
+   credit, and return a credit upstream for the freed buffer slot.
+2. **Allocation** -- switch allocation (and, for VC routers, virtual
+   channel allocation) computes the grants consumed by the next cycle's
+   ST phase.  Running ST before allocation within a cycle is what makes
+   flits stream back-to-back at one per cycle.
+3. **RC** -- routing computation for heads that became routable this
+   cycle.  Running RC last means a head arriving at cycle ``t`` routes
+   at ``t`` and can first bid for allocation at ``t+1``, giving the
+   canonical per-hop pipelines (RC | SA | ST and RC | VA | SA | ST).
+
+The network delivers arriving flits and credits *before* phase 1, so a
+flit STing upstream at cycle ``t`` (processable here at ``t + 2`` with
+1-cycle links) spends exactly ``pipeline depth + 1`` cycles per hop.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Tuple
+
+from ..buffers import FlitBuffer
+from ..channel import PipelinedChannel
+from ..config import SimConfig
+from ..credit import CreditCounter, InfiniteCredits
+from ..flit import Flit
+from ..topology import LOCAL, Mesh, NUM_PORTS
+
+
+class VCState(enum.Enum):
+    """Input virtual-channel states (Section 3.1's inpc/invc_state)."""
+
+    IDLE = "idle"
+    ROUTING = "routing"
+    VC_ALLOC = "vc_alloc"     # waiting for an output VC (VC routers only)
+    ACTIVE = "active"         # has resources; flits bid for the switch
+
+
+class InputVC:
+    """One input virtual channel: its FIFO and channel state."""
+
+    __slots__ = (
+        "port", "vc", "buffer", "state", "route", "out_vc", "routing_ready",
+        "reroute_count", "va_ready",
+    )
+
+    def __init__(self, port: int, vc: int, capacity: int) -> None:
+        self.port = port
+        self.vc = vc
+        self.buffer = FlitBuffer(capacity)
+        self.state = VCState.IDLE
+        self.route: Optional[int] = None       # output port from RC
+        self.out_vc: Optional[int] = None      # output VC from VA
+        self.routing_ready: int = 0             # earliest cycle RC may run
+        self.reroute_count: int = 0             # adaptive re-iterations
+        self.va_ready: int = 0                  # earliest cycle VA may run
+
+    def reset_to_idle(self) -> None:
+        self.state = VCState.IDLE
+        self.route = None
+        self.out_vc = None
+        self.reroute_count = 0
+
+
+class OutputVC:
+    """One output virtual channel: downstream-buffer credits and holder."""
+
+    __slots__ = ("port", "vc", "credits", "held_by")
+
+    def __init__(self, port: int, vc: int, credits) -> None:
+        self.port = port
+        self.vc = vc
+        self.credits = credits
+        #: The input VC currently holding this output VC (None = free).
+        self.held_by: Optional[Tuple[int, int]] = None
+
+    @property
+    def is_free(self) -> bool:
+        return self.held_by is None
+
+
+class RouterStats:
+    """Per-router event counters."""
+
+    __slots__ = (
+        "flits_forwarded", "packets_routed", "spec_grants", "spec_wasted",
+        "credits_stalled", "sa_grants", "reroutes",
+    )
+
+    def __init__(self) -> None:
+        self.flits_forwarded = 0
+        self.packets_routed = 0
+        self.spec_grants = 0
+        self.spec_wasted = 0
+        self.credits_stalled = 0
+        self.sa_grants = 0
+        self.reroutes = 0
+
+
+class BaseRouter:
+    """Shared structure of all simulated routers.
+
+    Subclasses implement :meth:`_allocation_phase` (and may override the
+    other phases).  The network attaches output flit channels and input
+    credit channels via :meth:`connect`.
+    """
+
+    def __init__(self, node: int, mesh: Mesh, config: SimConfig) -> None:
+        self.node = node
+        self.mesh = mesh
+        self.config = config
+        self.num_vcs = config.num_vcs
+        self.stats = RouterStats()
+
+        capacity = config.buffers_per_vc
+        self.input_vcs: List[List[InputVC]] = [
+            [InputVC(port, vc, capacity) for vc in range(self.num_vcs)]
+            for port in range(NUM_PORTS)
+        ]
+        self.output_vcs: List[List[OutputVC]] = [
+            [
+                OutputVC(
+                    port,
+                    vc,
+                    InfiniteCredits() if port == LOCAL else CreditCounter(capacity),
+                )
+                for vc in range(self.num_vcs)
+            ]
+            for port in range(NUM_PORTS)
+        ]
+        #: Output flit channels; None for ports at the mesh edge.
+        self.output_channels: List[Optional[PipelinedChannel]] = [None] * NUM_PORTS
+        #: Upstream credit channels, indexed by *input* port.
+        self.credit_channels: List[Optional[PipelinedChannel]] = [None] * NUM_PORTS
+        #: Switch grants to execute next ST phase: (input port, input vc).
+        self.pending_st: List[Tuple[int, int]] = []
+        #: Optional :class:`repro.sim.trace.Tracer` (set via Tracer.attach).
+        self.tracer = None
+        from ..routing import make_routing_function
+
+        self._routing_name = config.routing_function
+        self._routing_fn = make_routing_function(config.routing_function)
+
+    # ------------------------------------------------------------------
+    # Wiring (called by the network).
+    # ------------------------------------------------------------------
+
+    def connect_output(self, port: int, channel: PipelinedChannel) -> None:
+        self.output_channels[port] = channel
+
+    def connect_credit(self, port: int, channel: PipelinedChannel) -> None:
+        self.credit_channels[port] = channel
+
+    # ------------------------------------------------------------------
+    # Network-facing events (delivered before the router's phases).
+    # ------------------------------------------------------------------
+
+    def accept_flit(self, port: int, flit: Flit, cycle: int) -> None:
+        """A flit arrives on an input port; the vcid field selects the VC."""
+        ivc = self.input_vcs[port][flit.vcid]
+        ivc.buffer.push(flit)
+        if self.tracer is not None:
+            from ..trace import EventKind
+
+            self.tracer.record(
+                cycle, EventKind.BUFFER_WRITE, self.node, port, flit.vcid,
+                flit.packet.packet_id, flit.index,
+            )
+        if flit.is_head and ivc.state is VCState.IDLE:
+            if ivc.buffer.front() is not flit:
+                raise AssertionError(
+                    "head flit arrived at an idle VC with a non-empty buffer"
+                )
+            ivc.state = VCState.ROUTING
+            ivc.routing_ready = cycle
+
+    def receive_credit(self, port: int, vc: int) -> None:
+        """A credit returned for output ``port``/``vc``."""
+        self.output_vcs[port][vc].credits.restore()
+
+    # ------------------------------------------------------------------
+    # Per-cycle phases.
+    # ------------------------------------------------------------------
+
+    def cycle(self, cycle: int) -> None:
+        self._st_phase(cycle)
+        self._allocation_phase(cycle)
+        self._rc_phase(cycle)
+
+    def _st_phase(self, cycle: int) -> None:
+        """Execute last cycle's switch grants: crossbar + link traversal."""
+        grants, self.pending_st = self.pending_st, []
+        used_outputs = set()
+        for port, vc in grants:
+            ivc = self.input_vcs[port][vc]
+            self._traverse(ivc, cycle, used_outputs)
+
+    def _traverse(self, ivc: InputVC, cycle: int, used_outputs: set) -> None:
+        """Move the front flit of ``ivc`` through the crossbar."""
+        flit = ivc.buffer.front()
+        if flit is None:
+            raise AssertionError("switch granted to an empty input VC")
+        out_port = ivc.route
+        out_vc_index = ivc.out_vc
+        if out_port is None or out_vc_index is None:
+            raise AssertionError("switch granted before resources allocated")
+        if out_port in used_outputs:
+            raise AssertionError("two flits granted the same output port")
+        used_outputs.add(out_port)
+
+        ovc = self.output_vcs[out_port][out_vc_index]
+        ovc.credits.consume()
+        ivc.buffer.pop()
+        flit.vcid = out_vc_index
+        channel = self.output_channels[out_port]
+        if channel is None:
+            raise AssertionError(
+                f"router {self.node}: no channel on output port {out_port}"
+            )
+        channel.send(flit, cycle)
+        self.stats.flits_forwarded += 1
+        if self.tracer is not None:
+            from ..trace import EventKind
+
+            self.tracer.record(
+                cycle, EventKind.TRAVERSAL, self.node, ivc.port, ivc.vc,
+                flit.packet.packet_id, flit.index,
+            )
+
+        if flit.is_tail:
+            self._release_resources(ivc, ovc, cycle)
+
+    def _release_resources(self, ivc: InputVC, ovc: OutputVC, cycle: int) -> None:
+        """Tail departed: free the output VC and recycle the input VC."""
+        ovc.held_by = None
+        ivc.reset_to_idle()
+        front = ivc.buffer.front()
+        if front is not None:
+            if not front.is_head:
+                raise AssertionError("non-head flit at VC front after tail departed")
+            ivc.state = VCState.ROUTING
+            # Channel-state update settles at the cycle's end; the next
+            # packet routes from the following cycle.
+            ivc.routing_ready = cycle + 1
+
+    def _grant_switch(self, port: int, vc: int, cycle: int) -> None:
+        """Record a switch grant and dispatch the flow-control credit.
+
+        The credit for the buffer slot departs *at grant time*: the flit
+        is committed and read out of the input queue into the crossbar
+        stage, so the slot is handed back upstream a cycle before the
+        physical traversal ("credit on read-out").  With 1-cycle credit
+        propagation this yields the 5-cycle (wormhole / speculative VC),
+        6-cycle (non-speculative VC) and 3-cycle (single-cycle) credit
+        loops that reproduce the paper's measured zero-load latencies --
+        notably the 1-cycle penalty of the speculative router with
+        4-buffer VCs (30 vs 29 cycles, Figure 13 and footnote 15) and
+        the 1-cycle turnaround gap between the speculative and
+        non-speculative VC routers (Section 5.2).
+        """
+        self.pending_st.append((port, vc))
+        self.stats.sa_grants += 1
+        credit_channel = self.credit_channels[port]
+        if credit_channel is not None:
+            credit_channel.send(vc, cycle)
+        if self.tracer is not None:
+            from ..trace import EventKind
+
+            flit = self.input_vcs[port][vc].buffer.front()
+            if flit is not None:
+                self.tracer.record(
+                    cycle, EventKind.SWITCH_GRANT, self.node, port, vc,
+                    flit.packet.packet_id, flit.index,
+                )
+
+    def _allocation_phase(self, cycle: int) -> None:
+        raise NotImplementedError
+
+    def _rc_phase(self, cycle: int) -> None:
+        """Routing computation for heads that became routable."""
+        for port_vcs in self.input_vcs:
+            for ivc in port_vcs:
+                if ivc.state is VCState.ROUTING and ivc.routing_ready <= cycle:
+                    flit = ivc.buffer.front()
+                    if flit is None or not flit.is_head:
+                        raise AssertionError("ROUTING state without a head flit")
+                    ivc.route = self._route_vc(ivc, flit)
+                    self.stats.packets_routed += 1
+                    self._after_routing(ivc, cycle)
+
+    def _route_vc(self, ivc: InputVC, flit: Flit) -> int:
+        """Route a head; subclasses may use per-VC state (adaptivity)."""
+        return self._route(flit)
+
+    def _route(self, flit: Flit) -> int:
+        if self._routing_name == "o1turn":
+            from ..routing import o1turn_route_for_packet
+
+            return o1turn_route_for_packet(self.mesh, self.node, flit.packet)
+        return self._routing_fn(self.mesh, self.node, flit.destination)
+
+    def _after_routing(self, ivc: InputVC, cycle: int) -> None:
+        """State transition after RC; VC routers go to VC_ALLOC."""
+        ivc.state = VCState.ACTIVE
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (tests and invariant checks).
+    # ------------------------------------------------------------------
+
+    def buffered_flits(self) -> int:
+        return sum(
+            len(ivc.buffer) for port_vcs in self.input_vcs for ivc in port_vcs
+        )
+
+    def check_credit_invariant(self) -> None:
+        """Credits never exceed capacity and never go negative."""
+        for port_vcs in self.output_vcs:
+            for ovc in port_vcs:
+                credits = ovc.credits
+                if isinstance(credits, CreditCounter):
+                    if not 0 <= credits.available <= credits.capacity:
+                        raise AssertionError(
+                            f"router {self.node} port {ovc.port} vc {ovc.vc}: "
+                            f"credit count {credits.available} out of range"
+                        )

@@ -1,0 +1,43 @@
+"""Unit-latency router models (Section 5.2's "C" simulator baseline).
+
+These routers perform routing, (VC) allocation, switch arbitration and
+crossbar traversal all within a single cycle, the assumption most
+published research made before this paper.  Combined with the 0-cycle
+credit pipeline (a credit is sent and received in 2 cycles), they
+reproduce the optimistic unit-latency results of Figure 17: a zero-load
+latency of ~16 cycles on the 8x8 mesh and inflated saturation
+throughput from the unrealistically fast buffer turnaround.
+"""
+
+from __future__ import annotations
+
+from .wormhole import WormholeRouter
+from .vc import VirtualChannelRouter
+
+
+class SingleCycleWormholeRouter(WormholeRouter):
+    """Wormhole router with RC, SA and ST collapsed into one cycle."""
+
+    def cycle(self, cycle: int) -> None:
+        # Reverse of the pipelined phase order: a flit arriving this
+        # cycle routes, arbitrates and traverses before the cycle ends.
+        self._rc_phase(cycle)
+        self._allocation_phase(cycle)
+        self._st_phase(cycle)
+
+
+class SingleCycleVCRouter(VirtualChannelRouter):
+    """Virtual-channel router with RC, VA, SA and ST in one cycle."""
+
+    def _after_routing(self, ivc, cycle: int) -> None:
+        super()._after_routing(ivc, cycle)
+        # everything happens within the routing cycle here.
+        ivc.va_ready = cycle
+
+    def cycle(self, cycle: int) -> None:
+        self._rc_phase(cycle)
+        # VA before SA within the cycle so a fresh head can win an
+        # output VC and the switch in the same cycle.
+        self._vc_allocation(cycle)
+        self._switch_allocation(cycle)
+        self._st_phase(cycle)

@@ -1,0 +1,95 @@
+"""The 3-stage speculative virtual-channel router (Figure 4c).
+
+Pipeline: route+decode | VC & speculative switch allocation | crossbar.
+
+A head flit waiting for an output VC bids for the switch *in the same
+cycle* as it bids for the VC, speculating that VC allocation will
+succeed.  The switch allocator runs as two separable allocators in
+parallel (Figure 7c): non-speculative requests (flits that already hold
+an output VC) have absolute priority; a speculative grant survives the
+combiner only if neither its input port nor its output port was claimed
+non-speculatively.  A surviving speculative grant still yields a wasted
+crossbar passage if VC allocation failed that cycle, or if the granted
+output VC has no credit -- both are counted in the router stats.
+
+Because the switch is allocated cycle-by-cycle (never held), failed
+speculation cannot deadlock anything; it only wastes the slot
+(Section 3.1).
+"""
+
+from __future__ import annotations
+
+
+
+from ..allocators import Request, SpeculativeSwitchAllocator
+from ..config import SimConfig
+from ..topology import Mesh, NUM_PORTS
+from .base import VCState
+from .vc import VirtualChannelRouter
+
+
+class SpeculativeVCRouter(VirtualChannelRouter):
+    """3-stage speculative virtual-channel router."""
+
+    def __init__(self, node: int, mesh: Mesh, config: SimConfig) -> None:
+        super().__init__(node, mesh, config)
+        self._spec_switch_allocator = SpeculativeSwitchAllocator(
+            NUM_PORTS, self.num_vcs, config.arbiter_kind,
+            config.allocator_kind, config.speculation_priority,
+        )
+
+    def _allocation_phase(self, cycle: int) -> None:
+        nonspec_requests = []
+        for in_port in range(NUM_PORTS):
+            for in_vc, ivc in enumerate(self.input_vcs[in_port]):
+                if self._sa_eligible(ivc):
+                    nonspec_requests.append(
+                        Request(group=in_port, member=in_vc, resource=ivc.route)
+                    )
+
+        spec_requests = []
+        for in_port in range(NUM_PORTS):
+            for in_vc, ivc in enumerate(self.input_vcs[in_port]):
+                if ivc.state is not VCState.VC_ALLOC or ivc.route is None:
+                    continue
+                if ivc.va_ready > cycle:
+                    continue
+                # Bid speculatively only if VC allocation could possibly
+                # succeed this cycle (some permitted candidate VC is free).
+                candidates = self._candidate_vcs(ivc)
+                if any(
+                    self.output_vcs[ivc.route][c].is_free for c in candidates
+                ):
+                    spec_requests.append(
+                        Request(group=in_port, member=in_vc, resource=ivc.route)
+                    )
+
+        nonspec_grants, spec_grants = self._spec_switch_allocator.allocate(
+            nonspec_requests, spec_requests
+        )
+
+        for grant in nonspec_grants:
+            self._grant_switch(grant.group, grant.member, cycle)
+
+        # VC allocation runs in parallel with switch allocation.
+        self._vc_allocation(cycle)
+
+        # Combine: a speculative switch grant is useful only if the same
+        # head also won an output VC with a credit available.
+        for grant in spec_grants:
+            self.stats.spec_grants += 1
+            ivc = self.input_vcs[grant.group][grant.member]
+            if ivc.state is not VCState.ACTIVE or ivc.out_vc is None:
+                self.stats.spec_wasted += 1  # lost the VC allocation
+                continue
+            if not self.output_vcs[ivc.route][ivc.out_vc].credits:
+                self.stats.spec_wasted += 1  # won a VC without a credit
+                continue
+            self._grant_switch(grant.group, grant.member, cycle)
+
+    @property
+    def speculation_success_rate(self) -> float:
+        """Fraction of surviving speculative grants that moved a flit."""
+        if self.stats.spec_grants == 0:
+            return 0.0
+        return 1.0 - self.stats.spec_wasted / self.stats.spec_grants

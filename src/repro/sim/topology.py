@@ -1,0 +1,200 @@
+"""k-ary 2-mesh and 2-cube (torus) topologies and network capacity.
+
+The paper evaluates an 8x8 mesh; the torus is one of the "other
+topologies" its conclusion proposes extending to.  Nodes are numbered
+row-major: ``node = y * k + x``.  Router ports follow the conventional
+5-port layout (p=5): LOCAL (injection/ejection), EAST, WEST, NORTH,
+SOUTH.  NORTH is decreasing ``y``.
+
+Capacity under uniform random traffic is bisection-limited: a ``k x k``
+mesh supports ``4/k`` flits per node per cycle (0.5 at k=8 -- the
+paper's 100%-of-capacity point); the torus's wrap links double the
+bisection, giving ``8/k`` (Dally & Towles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+# Port indices.
+LOCAL, EAST, WEST, NORTH, SOUTH = range(5)
+PORT_NAMES = ("local", "east", "west", "north", "south")
+NUM_PORTS = 5
+
+#: Opposite direction of each port (LOCAL has no opposite).
+OPPOSITE = {EAST: WEST, WEST: EAST, NORTH: SOUTH, SOUTH: NORTH}
+
+#: Ports moving along X and along Y.
+X_PORTS = (EAST, WEST)
+Y_PORTS = (NORTH, SOUTH)
+
+
+def port_dimension(port: int) -> Optional[int]:
+    """0 for X-dimension ports, 1 for Y, None for LOCAL."""
+    if port in X_PORTS:
+        return 0
+    if port in Y_PORTS:
+        return 1
+    if port == LOCAL:
+        return None
+    raise ValueError(f"unknown port {port}")
+
+
+@dataclass(frozen=True)
+class Mesh:
+    """A k x k mesh."""
+
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.k < 2:
+            raise ValueError(f"mesh radix must be >= 2, got {self.k}")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.k * self.k
+
+    def coordinates(self, node: int) -> Tuple[int, int]:
+        """``(x, y)`` of a node id."""
+        self._check_node(node)
+        return node % self.k, node // self.k
+
+    def node_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.k and 0 <= y < self.k):
+            raise ValueError(f"coordinates ({x}, {y}) outside {self.k}x{self.k} mesh")
+        return y * self.k + x
+
+    def neighbor(self, node: int, port: int) -> Optional[int]:
+        """Neighbouring node through ``port``, or None at a mesh edge."""
+        x, y = self.coordinates(node)
+        if port == EAST:
+            return self.node_at(x + 1, y) if x + 1 < self.k else None
+        if port == WEST:
+            return self.node_at(x - 1, y) if x - 1 >= 0 else None
+        if port == NORTH:
+            return self.node_at(x, y - 1) if y - 1 >= 0 else None
+        if port == SOUTH:
+            return self.node_at(x, y + 1) if y + 1 < self.k else None
+        if port == LOCAL:
+            return None
+        raise ValueError(f"unknown port {port}")
+
+    def links(self) -> Iterator[Tuple[int, int, int]]:
+        """All directed links as ``(node, port, neighbor)`` triples."""
+        for node in range(self.num_nodes):
+            for port in (EAST, WEST, NORTH, SOUTH):
+                neighbor = self.neighbor(node, port)
+                if neighbor is not None:
+                    yield node, port, neighbor
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        """Manhattan distance between two nodes."""
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def average_hop_distance(self) -> float:
+        """Mean hop distance under uniform traffic excluding self-pairs.
+
+        Per dimension the mean |i - j| over uniform i, j is
+        ``(k^2 - 1) / (3k)``; the self-pair exclusion rescales by
+        ``n / (n - 1)``.
+        """
+        per_dimension = (self.k * self.k - 1) / (3.0 * self.k)
+        n = self.num_nodes
+        return 2.0 * per_dimension * n / (n - 1)
+
+    def capacity_flits_per_node_cycle(self) -> float:
+        """Uniform-traffic capacity: ``4 / k`` flits per node per cycle."""
+        return 4.0 / self.k
+
+    def nodes(self) -> List[int]:
+        return list(range(self.num_nodes))
+
+    def is_wrap_link(self, node: int, port: int) -> bool:
+        """Whether traversing ``port`` from ``node`` uses a wrap link.
+
+        Always False on a mesh (it has none)."""
+        self._check_node(node)
+        return False
+
+    @property
+    def has_wrap_links(self) -> bool:
+        return False
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} outside 0..{self.num_nodes - 1}")
+
+
+@dataclass(frozen=True)
+class Torus(Mesh):
+    """A k-ary 2-cube: the mesh plus wrap links closing each row/column.
+
+    Deadlock note: rings create cyclic channel dependencies, so routers
+    on a torus need virtual channels with dateline classes
+    (:mod:`repro.sim.dateline`); the network builder rejects wormhole
+    routers on a torus for that reason.
+    """
+
+    def neighbor(self, node: int, port: int) -> Optional[int]:
+        x, y = self.coordinates(node)
+        k = self.k
+        if port == EAST:
+            return self.node_at((x + 1) % k, y)
+        if port == WEST:
+            return self.node_at((x - 1) % k, y)
+        if port == NORTH:
+            return self.node_at(x, (y - 1) % k)
+        if port == SOUTH:
+            return self.node_at(x, (y + 1) % k)
+        if port == LOCAL:
+            return None
+        raise ValueError(f"unknown port {port}")
+
+    def is_wrap_link(self, node: int, port: int) -> bool:
+        x, y = self.coordinates(node)
+        k = self.k
+        if port == EAST:
+            return x == k - 1
+        if port == WEST:
+            return x == 0
+        if port == NORTH:
+            return y == 0
+        if port == SOUTH:
+            return y == k - 1
+        return False
+
+    @property
+    def has_wrap_links(self) -> bool:
+        return True
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        k = self.k
+        step_x = min((dx - sx) % k, (sx - dx) % k)
+        step_y = min((dy - sy) % k, (sy - dy) % k)
+        return step_x + step_y
+
+    def average_hop_distance(self) -> float:
+        # Exact mean of the per-dimension ring distance min(d, k-d),
+        # doubled for two dimensions and rescaled for self-exclusion.
+        k = self.k
+        ring_mean = sum(min(d, k - d) for d in range(k)) / k
+        n = self.num_nodes
+        return 2.0 * ring_mean * n / (n - 1)
+
+    def capacity_flits_per_node_cycle(self) -> float:
+        """Torus wrap links double the bisection: ``8 / k``."""
+        return 8.0 / self.k
+
+
+def make_topology(kind: str, k: int) -> Mesh:
+    """Factory: ``"mesh"`` (the paper's) or ``"torus"``."""
+    if kind == "mesh":
+        return Mesh(k)
+    if kind == "torus":
+        return Torus(k)
+    raise ValueError(f"unknown topology {kind!r}")

@@ -1,0 +1,164 @@
+"""Traffic generation: destination patterns and injection processes.
+
+The paper drives an 8x8 mesh with uniformly distributed traffic from
+constant-rate sources injecting 5-flit packets at a fraction of network
+capacity.  Destination patterns beyond uniform (transpose,
+bit-complement, hotspot) are provided for the extension studies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .flit import Packet
+from .topology import Mesh
+
+#: Maps (mesh, source, rng) -> destination node.
+DestinationPattern = Callable[[Mesh, int, random.Random], int]
+
+
+def uniform_destination(mesh: Mesh, source: int, rng: random.Random) -> int:
+    """Uniform random destination excluding the source itself."""
+    destination = rng.randrange(mesh.num_nodes - 1)
+    if destination >= source:
+        destination += 1
+    return destination
+
+
+def transpose_destination(mesh: Mesh, source: int, rng: random.Random) -> int:
+    """Matrix-transpose pattern: (x, y) -> (y, x); self-pairs fall back
+    to uniform so diagonal nodes still load the network."""
+    x, y = mesh.coordinates(source)
+    destination = mesh.node_at(y, x)
+    if destination == source:
+        return uniform_destination(mesh, source, rng)
+    return destination
+
+
+def bit_complement_destination(mesh: Mesh, source: int, rng: random.Random) -> int:
+    """Bit-complement pattern: (x, y) -> (k-1-x, k-1-y)."""
+    x, y = mesh.coordinates(source)
+    destination = mesh.node_at(mesh.k - 1 - x, mesh.k - 1 - y)
+    if destination == source:  # only possible for odd k centre node
+        return uniform_destination(mesh, source, rng)
+    return destination
+
+
+def make_destination_pattern(name: str) -> DestinationPattern:
+    """Factory for the built-in destination patterns."""
+    patterns = {
+        "uniform": uniform_destination,
+        "transpose": transpose_destination,
+        "bit_complement": bit_complement_destination,
+    }
+    if name not in patterns:
+        raise ValueError(
+            f"unknown traffic pattern {name!r}; choose from {sorted(patterns)}"
+        )
+    return patterns[name]
+
+
+@dataclass
+class PacketSource:
+    """Constant-rate (or Bernoulli) packet generator for one node.
+
+    ``rate_packets_per_cycle`` is the injection rate in packets per
+    cycle.  The constant-rate process accumulates fractional arrivals
+    each cycle (a leaky bucket), matching the paper's "constant rate
+    source"; the Bernoulli process flips an i.i.d. coin per cycle.  A
+    random initial phase decorrelates the sources.
+    """
+
+    node: int
+    mesh: Mesh
+    rate_packets_per_cycle: float
+    packet_length: int
+    rng: random.Random
+    pattern: DestinationPattern = uniform_destination
+    process: str = "constant"
+    #: Mean burst length for the "bursty" (on/off Markov) process.
+    burst_length: float = 8.0
+    _accumulator: float = field(init=False)
+    _bursting: bool = field(init=False, default=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate_packets_per_cycle <= 1.0:
+            raise ValueError(
+                f"rate must be in [0, 1] packets/cycle, got "
+                f"{self.rate_packets_per_cycle}"
+            )
+        if self.packet_length < 1:
+            raise ValueError(f"packet length must be >= 1, got {self.packet_length}")
+        if self.process not in ("constant", "bernoulli", "bursty"):
+            raise ValueError(f"unknown injection process {self.process!r}")
+        if self.burst_length < 1.0:
+            raise ValueError(f"burst_length must be >= 1, got {self.burst_length}")
+        # Random phase in [0, 1) so constant-rate sources don't all fire
+        # on the same cycle.
+        self._accumulator = self.rng.random() if self.process == "constant" else 0.0
+
+    def maybe_generate(self, cycle: int) -> Optional[Packet]:
+        """Generate at most one packet for this cycle."""
+        if self.rate_packets_per_cycle <= 0.0:
+            return None
+        if not self._offers_packet():
+            return None
+        destination = self.pattern(self.mesh, self.node, self.rng)
+        return Packet(
+            source=self.node,
+            destination=destination,
+            length=self.packet_length,
+            creation_cycle=cycle,
+        )
+
+    def _offers_packet(self) -> bool:
+        rate = self.rate_packets_per_cycle
+        if self.process == "constant":
+            self._accumulator += rate
+            if self._accumulator < 1.0:
+                return False
+            self._accumulator -= 1.0
+            return True
+        if self.process == "bernoulli":
+            return self.rng.random() < rate
+
+        # "bursty": a two-state on/off Markov process.  In the ON state
+        # a packet is offered every eligible cycle at one per
+        # packet-length cycles (back-to-back packets); the OFF state is
+        # sized so the long-run average still equals `rate`.  Bursts
+        # average `burst_length` packets.
+        per_burst_cycles = self.burst_length * self.packet_length
+        on_fraction = rate * self.packet_length  # fraction of time ON
+        if on_fraction >= 1.0:
+            on_fraction = 1.0
+        off_cycles = (
+            per_burst_cycles * (1.0 - on_fraction) / on_fraction
+            if on_fraction > 0 else float("inf")
+        )
+        if self._bursting:
+            if self.rng.random() < 1.0 / per_burst_cycles:
+                self._bursting = False
+                return False
+        else:
+            if self.rng.random() < 1.0 / max(off_cycles, 1e-9):
+                self._bursting = True
+        if not self._bursting:
+            return False
+        # ON: emit one packet every `packet_length` cycles.
+        self._accumulator += 1.0 / self.packet_length
+        if self._accumulator < 1.0:
+            return False
+        self._accumulator -= 1.0
+        return True
+
+
+def rate_from_capacity_fraction(
+    mesh: Mesh, fraction_of_capacity: float, packet_length: int
+) -> float:
+    """Convert the paper's x-axis (fraction of capacity) to packets/cycle."""
+    if fraction_of_capacity < 0:
+        raise ValueError(f"fraction must be >= 0, got {fraction_of_capacity}")
+    flits_per_cycle = fraction_of_capacity * mesh.capacity_flits_per_node_cycle()
+    return flits_per_cycle / packet_length

@@ -1,0 +1,127 @@
+"""Tests for the high-level RouterDesign API."""
+
+import pytest
+
+from repro.core import FlowControl, RouterDesign, RoutingRange
+from repro.delaymodel.tau import CMOS_018UM
+from repro.sim.config import MeasurementConfig, RouterKind
+
+
+class TestRouterDesign:
+    def test_wormhole_defaults(self):
+        design = RouterDesign(FlowControl.WORMHOLE)
+        assert design.per_hop_cycles == 3
+        assert design.num_vcs == 1  # forced for wormhole
+
+    def test_vc_design(self):
+        design = RouterDesign(FlowControl.VIRTUAL_CHANNEL, num_vcs=2)
+        assert design.per_hop_cycles == 4
+
+    def test_speculative_design_matches_wormhole(self):
+        spec = RouterDesign(FlowControl.SPECULATIVE_VIRTUAL_CHANNEL, num_vcs=2)
+        wormhole = RouterDesign(FlowControl.WORMHOLE)
+        assert spec.per_hop_cycles == wormhole.per_hop_cycles == 3
+
+    def test_per_hop_ps_in_018um(self):
+        design = RouterDesign(FlowControl.WORMHOLE)
+        # 3 cycles x 20 tau4 x 90 ps = 5.4 ns.
+        assert design.per_hop_ps == pytest.approx(5400.0)
+
+    def test_routing_range_override(self):
+        rpv = RouterDesign(
+            FlowControl.SPECULATIVE_VIRTUAL_CHANNEL,
+            num_vcs=16, routing_range=RoutingRange.RPV,
+        )
+        rv = RouterDesign(
+            FlowControl.SPECULATIVE_VIRTUAL_CHANNEL,
+            num_vcs=16, routing_range=RoutingRange.RV,
+        )
+        assert rv.per_hop_cycles <= rpv.per_hop_cycles
+
+    def test_sim_config_mirrors_design(self):
+        design = RouterDesign(
+            FlowControl.SPECULATIVE_VIRTUAL_CHANNEL, num_vcs=2,
+            buffers_per_vc=4,
+        )
+        config = design.sim_config(injection_fraction=0.3)
+        assert config.router_kind is RouterKind.SPECULATIVE_VC
+        assert config.num_vcs == 2
+        assert config.buffers_per_vc == 4
+        assert config.injection_fraction == 0.3
+
+    def test_deeper_model_pipeline_maps_to_extra_va_cycles(self):
+        # At v=32 the model prescribes a 4-stage speculative pipeline;
+        # the extra allocation stage becomes va_extra_cycles=1.
+        design = RouterDesign(FlowControl.SPECULATIVE_VIRTUAL_CHANNEL, num_vcs=32)
+        assert design.per_hop_cycles == 4
+        config = design.sim_config()
+        assert config.va_extra_cycles == 1
+
+    def test_nonspec_16vc_five_stage_simulable(self):
+        design = RouterDesign(FlowControl.VIRTUAL_CHANNEL, num_vcs=16)
+        assert design.per_hop_cycles == 5
+        assert design.sim_config().va_extra_cycles == 1
+
+    def test_shallower_model_pipeline_rejected(self):
+        # At a very long clock the VC and switch allocators merge into
+        # one stage; the fixed 4-stage simulated router cannot shrink.
+        design = RouterDesign(
+            FlowControl.VIRTUAL_CHANNEL, num_vcs=2, clock_tau4=100.0
+        )
+        assert design.per_hop_cycles < 4
+        with pytest.raises(ValueError):
+            design.sim_config()
+
+    def test_matching_depth_has_no_extra_cycles(self):
+        design = RouterDesign(FlowControl.VIRTUAL_CHANNEL, num_vcs=2)
+        assert design.sim_config().va_extra_cycles == 0
+
+    def test_deep_design_end_to_end_latency(self):
+        """The simulated 5-stage VC router's zero-load latency follows
+        (D+1)H + D + L with D = 5."""
+        design = RouterDesign(
+            FlowControl.VIRTUAL_CHANNEL, num_vcs=16, buffers_per_vc=8,
+            mesh_radix=4,
+        )
+        from repro.sim.network import Network
+        from repro.sim.flit import Packet
+
+        network = Network(design.sim_config(injection_fraction=0.0))
+        packet = Packet(source=0, destination=3, length=5, creation_cycle=0)
+        network.sources[0].enqueue(packet)
+        network.run(160)
+        assert packet.latency == 6 * 3 + 5 + 5
+
+    def test_simulate_end_to_end(self):
+        design = RouterDesign(
+            FlowControl.WORMHOLE, buffers_per_vc=8, mesh_radix=4
+        )
+        result = design.simulate(
+            injection_fraction=0.1,
+            measurement=MeasurementConfig(
+                warmup_cycles=100, sample_packets=100, max_cycles=5_000
+            ),
+        )
+        assert not result.saturated
+        assert result.average_latency > 0
+
+    def test_summary(self):
+        text = RouterDesign(FlowControl.WORMHOLE).summary()
+        assert "3 cycles" in text
+        assert CMOS_018UM.name in text
+        assert "MHz" in text
+
+
+class TestSpeculationReport:
+    def test_measure_speculation(self):
+        from repro.core import measure_speculation
+
+        report = measure_speculation(
+            injection_fraction=0.1, mesh_radix=4,
+            measurement=MeasurementConfig(
+                warmup_cycles=100, sample_packets=100, max_cycles=5_000
+            ),
+        )
+        assert report.spec_grants > 0
+        assert 0.0 <= report.success_rate <= 1.0
+        assert "speculative grants" in report.describe()

@@ -1,0 +1,77 @@
+"""Tests for the Chien-model comparison (Section 2's critique)."""
+
+import pytest
+
+from repro.delaymodel.chien import (
+    chien_router_delay,
+    compare_architectures,
+    comparison_table,
+    render_comparison,
+)
+
+
+class TestChienDelay:
+    def test_breakdown_sums(self):
+        breakdown = chien_router_delay(5, 2, 32)
+        assert breakdown.total_tau == pytest.approx(
+            breakdown.address_decode_tau
+            + breakdown.routing_tau
+            + breakdown.crossbar_arbitration_tau
+            + breakdown.crossbar_traversal_tau
+            + breakdown.vc_controller_tau
+        )
+
+    def test_no_vc_controller_at_v1(self):
+        assert chien_router_delay(5, 1, 32).vc_controller_tau == 0.0
+        assert chien_router_delay(5, 2, 32).vc_controller_tau > 0.0
+
+    def test_grows_rapidly_with_vcs(self):
+        """The Section 2 complaint: per-VC crossbar ports make delay grow
+        'very rapidly with the number of virtual channels'."""
+        v2 = chien_router_delay(5, 2, 32).total_tau
+        v8 = chien_router_delay(5, 8, 32).total_tau
+        assert v8 > v2 + 50.0  # tens of tau of growth
+
+    def test_crossbar_dominates_growth(self):
+        v2 = chien_router_delay(5, 2, 32)
+        v8 = chien_router_delay(5, 8, 32)
+        crossbar_growth = (
+            v8.crossbar_traversal_tau + v8.crossbar_arbitration_tau
+            - v2.crossbar_traversal_tau - v2.crossbar_arbitration_tau
+        )
+        total_growth = v8.total_tau - v2.total_tau
+        # the p*v-port crossbar and its arbitration account for most of
+        # the growth (the rest is the v:1 VC controller).
+        assert crossbar_growth > 0.6 * total_growth
+
+    def test_invalid_v(self):
+        with pytest.raises(ValueError):
+            chien_router_delay(5, 0, 32)
+
+
+class TestComparison:
+    def test_chien_clock_stretches_with_v(self):
+        v2 = compare_architectures(5, 2, 32)
+        v8 = compare_architectures(5, 8, 32)
+        assert v8.chien_clock_tau4 > v2.chien_clock_tau4
+
+    def test_pipelined_clock_fixed(self):
+        for v in (1, 2, 4, 8):
+            assert compare_architectures(5, v, 32).pipelined_clock_tau4 == 20.0
+
+    def test_chien_slower_than_pipelined_clock(self):
+        comparison = compare_architectures(5, 4, 32)
+        assert comparison.chien_frequency_penalty > 1.5
+
+    def test_table_covers_requested_vs(self):
+        table = comparison_table(v_values=(1, 2, 4))
+        assert [c.v for c in table] == [1, 2, 4]
+
+    def test_wormhole_case_uses_wormhole_pipeline(self):
+        comparison = compare_architectures(5, 1, 32)
+        assert comparison.pipelined_stages == 3
+
+    def test_render(self):
+        text = render_comparison(comparison_table())
+        assert "Chien" in text
+        assert "stages" in text

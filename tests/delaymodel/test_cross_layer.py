@@ -1,0 +1,74 @@
+"""Cross-layer consistency tests: delay model <-> simulator <-> analysis.
+
+The repository's three layers describe the same machine from different
+angles; these tests assert they stay mutually consistent as the code
+evolves.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FlowControl, RouterDesign
+from repro.delaymodel.optimizer import credit_loop_cycles
+from repro.delaymodel.pipeline import pipeline_for
+from repro.experiments.analysis import ROUTER_DEPTHS
+from repro.sim.config import RouterKind
+
+
+class TestDepthConsistency:
+    """The analysis table's depths equal the model's prescribed pipelines
+    at the paper's reference configuration."""
+
+    def test_wormhole(self):
+        design = pipeline_for(FlowControl.WORMHOLE, 5, 32)
+        assert design.depth == ROUTER_DEPTHS["wormhole"]
+
+    def test_virtual_channel(self):
+        design = pipeline_for(FlowControl.VIRTUAL_CHANNEL, 5, 32, v=2)
+        assert design.depth == ROUTER_DEPTHS["virtual_channel"]
+
+    def test_speculative(self):
+        design = pipeline_for(
+            FlowControl.SPECULATIVE_VIRTUAL_CHANNEL, 5, 32, v=2
+        )
+        assert design.depth == ROUTER_DEPTHS["speculative_vc"]
+
+    def test_vct_shares_wormhole_depth(self):
+        assert ROUTER_DEPTHS["virtual_cut_through"] == ROUTER_DEPTHS["wormhole"]
+
+
+class TestRouterDesignGuards:
+    """RouterDesign refuses model/simulator depth mismatches for every
+    configuration, not just the reference one."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        flow=st.sampled_from(list(FlowControl)),
+        v=st.sampled_from([2, 4, 8, 16, 32]),
+    )
+    def test_sim_config_realises_model_depth(self, flow, v):
+        design = RouterDesign(flow, num_vcs=v)
+        base = {
+            FlowControl.WORMHOLE: 3,
+            FlowControl.VIRTUAL_CHANNEL: 4,
+            FlowControl.SPECULATIVE_VIRTUAL_CHANNEL: 3,
+        }[flow]
+        config = design.sim_config()
+        assert config.num_vcs == design.num_vcs
+        # base depth + mapped extra allocation stages = model depth.
+        assert base + config.va_extra_cycles == design.per_hop_cycles
+
+
+class TestCreditLoopConsistency:
+    """The optimizer's loop formula matches each simulated router's
+    measured streaming behaviour (pinned in tests/sim/test_trace.py)."""
+
+    @pytest.mark.parametrize(
+        "name,depth", sorted(ROUTER_DEPTHS.items()),
+    )
+    def test_loop_formula_defined_for_every_kind(self, name, depth):
+        loop = credit_loop_cycles(depth)
+        assert loop == depth + 2  # depth-1 + flit prop + write + credit prop
+
+    def test_every_router_kind_has_a_depth(self):
+        assert {k.value for k in RouterKind} == set(ROUTER_DEPTHS)

@@ -1,0 +1,99 @@
+"""Tests for the constructive gate-level derivations of Table 1 modules.
+
+The constructive paths are structural reconstructions, not fits: they
+must track the closed forms' values (within ~1-2 tau4) and, more
+importantly, their *scaling* in p, v and w.
+"""
+
+import pytest
+
+from repro.delaymodel.arbiter import matrix_arbiter_core_path, matrix_arbiter_path
+from repro.delaymodel.derivations import (
+    combiner_path,
+    crossbar_path,
+    separable_allocator_path,
+)
+from repro.delaymodel.modules import (
+    RoutingRange,
+    combiner_delay,
+    crossbar_delay,
+    switch_allocator_delay,
+    vc_allocator_delay,
+)
+
+PS = (5, 7)
+VS = (2, 4, 8, 16)
+
+
+class TestCrossbarPath:
+    @pytest.mark.parametrize("p,w", [(5, 32), (7, 32), (5, 64), (10, 32)])
+    def test_tracks_closed_form(self, p, w):
+        constructed = crossbar_path(p, w).delay
+        closed = crossbar_delay(p, w)
+        assert constructed == pytest.approx(closed, abs=7.0)  # ~1.4 tau4
+
+    def test_scaling_in_width_and_ports(self):
+        assert crossbar_path(5, 64).delay > crossbar_path(5, 32).delay
+        assert crossbar_path(10, 32).delay > crossbar_path(5, 32).delay
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            crossbar_path(1, 32)
+        with pytest.raises(ValueError):
+            crossbar_path(5, 0)
+
+
+class TestSeparableAllocatorPath:
+    @pytest.mark.parametrize("p", PS)
+    @pytest.mark.parametrize("v", VS)
+    def test_switch_allocator_figure_7b(self, p, v):
+        constructed = separable_allocator_path(v, p, fanout_between=p).delay
+        closed = switch_allocator_delay(p, v)
+        assert constructed == pytest.approx(closed, abs=10.0)  # ~2 tau4
+
+    @pytest.mark.parametrize("p", PS)
+    @pytest.mark.parametrize("v", VS)
+    def test_vc_allocator_figure_8b(self, p, v):
+        constructed = separable_allocator_path(
+            v, p * v, fanout_between=p * v
+        ).delay
+        closed = vc_allocator_delay(p, v, RoutingRange.RP)
+        assert constructed == pytest.approx(closed, abs=10.0)
+
+    def test_degenerate_first_stage_skipped(self):
+        single = separable_allocator_path(1, 5)
+        full = separable_allocator_path(4, 5)
+        assert single.delay < full.delay
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            separable_allocator_path(0, 5)
+        with pytest.raises(ValueError):
+            separable_allocator_path(2, 1)
+
+
+class TestCombinerPath:
+    @pytest.mark.parametrize("p,v", [(5, 2), (5, 8), (7, 16)])
+    def test_tracks_closed_form(self, p, v):
+        constructed = combiner_path(p, v).delay
+        closed = combiner_delay(p, v)
+        assert constructed == pytest.approx(closed, abs=5.0)  # 1 tau4
+
+    def test_shallow(self):
+        # the combiner must comfortably fold into the crossbar stage.
+        assert combiner_path(7, 32).delay < 40.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            combiner_path(1, 2)
+
+
+class TestCorePath:
+    @pytest.mark.parametrize("n", [2, 5, 16])
+    def test_core_lighter_than_full_arbiter(self, n):
+        assert matrix_arbiter_core_path(n).delay < matrix_arbiter_path(n).delay
+
+    def test_core_monotone(self):
+        assert (
+            matrix_arbiter_core_path(16).delay > matrix_arbiter_core_path(4).delay
+        )

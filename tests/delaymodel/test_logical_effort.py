@@ -1,0 +1,195 @@
+"""Tests for the logical-effort engine (EQ 2 / EQ 3) and the gate library."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.delaymodel import gates
+from repro.delaymodel.logical_effort import (
+    Path,
+    Stage,
+    buffer_chain_delay,
+    inverter_delay,
+    log2,
+    log4,
+    log8,
+    optimal_stage_count,
+    path_from_efforts,
+)
+
+
+class TestStage:
+    def test_effort_delay_is_g_times_h(self):
+        stage = Stage("x", logical_effort=2.0, electrical_effort=3.0, parasitic=1.0)
+        assert stage.effort_delay == 6.0
+
+    def test_delay_adds_parasitic(self):
+        stage = Stage("x", 2.0, 3.0, 1.5)
+        assert stage.delay == 7.5
+
+    @pytest.mark.parametrize("g,h,p", [(0.0, 1.0, 1.0), (1.0, 0.0, 1.0), (1.0, 1.0, -0.1)])
+    def test_invalid_stage_rejected(self, g, h, p):
+        with pytest.raises(ValueError):
+            Stage("bad", g, h, p)
+
+
+class TestInverterDelay:
+    def test_eq3_tau4_definition(self):
+        # EQ 3 worked example: inverter driving 4 inverters = 5 tau.
+        assert inverter_delay(4) == 5.0
+
+    def test_unit_fanout(self):
+        # Definition of tau itself: inverter driving one copy = 2 tau
+        # (1 effort + 1 parasitic).
+        assert inverter_delay(1) == 2.0
+
+    def test_rejects_nonpositive_fanout(self):
+        with pytest.raises(ValueError):
+            inverter_delay(0)
+
+
+class TestPath:
+    def test_eq2_sums_effort_and_parasitic(self):
+        path = Path("p")
+        path.add(Stage("a", 1.0, 4.0, 1.0))
+        path.add(Stage("b", 4.0 / 3.0, 3.0, 2.0))
+        assert path.effort_delay == pytest.approx(4.0 + 4.0)
+        assert path.parasitic_delay == pytest.approx(3.0)
+        assert path.delay == pytest.approx(11.0)
+
+    def test_empty_path_has_zero_delay(self):
+        assert Path("empty").delay == 0.0
+
+    def test_path_effort_is_product(self):
+        path = path_from_efforts("p", [("a", 1.0, 4.0, 1.0), ("b", 2.0, 3.0, 0.0)])
+        assert path.path_effort == pytest.approx(24.0)
+
+    def test_extend_and_len(self):
+        path = Path("p").extend([Stage("a", 1, 1, 1), Stage("b", 1, 1, 1)])
+        assert len(path) == 2
+
+    def test_describe_mentions_stages(self):
+        path = path_from_efforts("demo", [("nand2", 4 / 3, 2.0, 2.0)])
+        text = path.describe()
+        assert "demo" in text
+        assert "nand2" in text
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=10),
+                st.floats(min_value=0.1, max_value=10),
+                st.floats(min_value=0.0, max_value=10),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_delay_equals_sum_of_stage_delays(self, triples):
+        path = Path("prop")
+        for i, (g, h, p) in enumerate(triples):
+            path.add(Stage(f"s{i}", g, h, p))
+        assert path.delay == pytest.approx(sum(g * h + p for g, h, p in triples))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=10),
+                st.floats(min_value=0.1, max_value=10),
+                st.floats(min_value=0.0, max_value=10),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_delay_monotone_under_stage_addition(self, triples):
+        path = Path("prop")
+        last = 0.0
+        for i, (g, h, p) in enumerate(triples):
+            path.add(Stage(f"s{i}", g, h, p))
+            assert path.delay >= last
+            last = path.delay
+
+
+class TestHelpers:
+    def test_log_bases(self):
+        assert log2(8) == pytest.approx(3.0)
+        assert log4(16) == pytest.approx(2.0)
+        assert log8(64) == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("fn", [log2, log4, log8])
+    def test_log_domain_errors(self, fn):
+        with pytest.raises(ValueError):
+            fn(0)
+
+    def test_optimal_stage_count_unity(self):
+        assert optimal_stage_count(1.0) == 1
+        assert optimal_stage_count(0.5) == 1
+
+    def test_optimal_stage_count_grows(self):
+        assert optimal_stage_count(4.0) == 1
+        assert optimal_stage_count(64.0) == 3
+        assert optimal_stage_count(4.0 ** 6) == 6
+
+    def test_buffer_chain_delay_zero_for_unit_fanout(self):
+        assert buffer_chain_delay(1.0) == 0.0
+
+    def test_buffer_chain_delay_matches_table1_term(self):
+        # The crossbar's "9 log8(x)" term: stage effort 8 -> 9 tau per stage.
+        assert buffer_chain_delay(8.0) == pytest.approx(9.0)
+        assert buffer_chain_delay(64.0) == pytest.approx(18.0)
+
+    def test_buffer_chain_rejects_below_one(self):
+        with pytest.raises(ValueError):
+            buffer_chain_delay(0.5)
+
+    @given(st.floats(min_value=1.0, max_value=1e6))
+    def test_buffer_chain_monotone(self, fanout):
+        assert buffer_chain_delay(fanout * 2) > buffer_chain_delay(fanout)
+
+
+class TestGateLibrary:
+    def test_inverter_reference_values(self):
+        inv = gates.inverter()
+        assert inv.logical_effort == 1.0
+        assert inv.parasitic == 1.0
+
+    def test_nand_efforts(self):
+        assert gates.nand(2).logical_effort == pytest.approx(4.0 / 3.0)
+        assert gates.nand(3).logical_effort == pytest.approx(5.0 / 3.0)
+        assert gates.nand(2).parasitic == 2.0
+
+    def test_nor_efforts(self):
+        assert gates.nor(2).logical_effort == pytest.approx(5.0 / 3.0)
+        assert gates.nor(3).logical_effort == pytest.approx(7.0 / 3.0)
+        assert gates.nor(3).parasitic == 3.0
+
+    def test_nor_worse_than_nand(self):
+        # PMOS stacks make NOR slower than NAND at equal width.
+        for n in (2, 3, 4):
+            assert gates.nor(n).logical_effort > gates.nand(n).logical_effort
+
+    def test_eq6_update_path_efforts(self):
+        # EQ 6: h_eff = nor2 + nor3 = 5/3 + 7/3 = 4; h_par = 2 + 3 = 5.
+        nor2, nor3 = gates.nor(2), gates.nor(3)
+        assert nor2.logical_effort + nor3.logical_effort == pytest.approx(4.0)
+        assert nor2.parasitic + nor3.parasitic == pytest.approx(5.0)
+
+    def test_mux_effort(self):
+        assert gates.mux(2).logical_effort == 2.0
+
+    def test_aoi_effort(self):
+        aoi22 = gates.aoi(2, 2)
+        assert aoi22.logical_effort == pytest.approx(2.0)
+        assert aoi22.parasitic == 4.0
+
+    def test_stage_factory(self):
+        stage = gates.nand(2).stage(3.0, "labelled")
+        assert stage.name == "labelled"
+        assert stage.delay == pytest.approx(4.0 / 3.0 * 3.0 + 2.0)
+
+    @pytest.mark.parametrize("factory", [gates.nand, gates.nor, gates.mux])
+    def test_zero_width_rejected(self, factory):
+        with pytest.raises(ValueError):
+            factory(0)

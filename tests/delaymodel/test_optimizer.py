@@ -1,0 +1,82 @@
+"""Tests for the clock/design-space optimizer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.delaymodel.optimizer import (
+    credit_loop_cycles,
+    min_buffers_for_full_throughput,
+    optimal_clock,
+    render_clock_sweep,
+    sweep_clock,
+)
+from repro.delaymodel.pipeline import FlowControl
+
+
+class TestSweepClock:
+    def test_points_for_each_clock(self):
+        points = sweep_clock(
+            FlowControl.WORMHOLE, 5, 32, clocks_tau4=(15, 20, 30)
+        )
+        assert [p.clock_tau4 for p in points] == [15, 20, 30]
+
+    def test_stages_nonincreasing_in_clock(self):
+        points = sweep_clock(
+            FlowControl.VIRTUAL_CHANNEL, 5, 32, v=4,
+            clocks_tau4=tuple(range(10, 41, 2)),
+        )
+        stages = [p.stages for p in points]
+        assert all(a >= b for a, b in zip(stages, stages[1:]))
+
+    def test_per_hop_is_product(self):
+        for point in sweep_clock(FlowControl.WORMHOLE, 5, 32):
+            assert point.per_hop_tau4 == point.stages * point.clock_tau4
+
+
+class TestOptimalClock:
+    def test_optimum_is_minimal(self):
+        clocks = tuple(range(10, 41, 1))
+        best = optimal_clock(FlowControl.WORMHOLE, 5, 32, clocks_tau4=clocks)
+        points = sweep_clock(FlowControl.WORMHOLE, 5, 32, clocks_tau4=clocks)
+        assert best.per_hop_tau4 == min(p.per_hop_tau4 for p in points)
+
+    def test_vc_router_optimum_below_60_tau4(self):
+        best = optimal_clock(FlowControl.VIRTUAL_CHANNEL, 5, 32, v=2)
+        # The 4-stage pipe at clk=20 costs 80 tau4/hop; a slower clock
+        # with fewer stages does better in absolute latency.
+        assert best.per_hop_tau4 < 80.0
+
+    def test_render(self):
+        points = sweep_clock(FlowControl.WORMHOLE, 5, 32, clocks_tau4=(20, 30))
+        assert "<- min" in render_clock_sweep(points)
+
+
+class TestCreditLoop:
+    """The loop lengths the simulator realises (DESIGN.md section 4)."""
+
+    def test_depth3_loop_is_5(self):
+        assert credit_loop_cycles(3) == 5
+
+    def test_depth4_loop_is_6(self):
+        assert credit_loop_cycles(4) == 6
+
+    def test_depth1_loop_is_3(self):
+        assert credit_loop_cycles(1) == 3
+
+    def test_fig18_slow_credits_loop_is_8(self):
+        assert credit_loop_cycles(3, credit_propagation=4) == 8
+
+    def test_min_buffers(self):
+        # Figures 14/15: 8 buffers/VC cover the loops, 4 do not.
+        assert min_buffers_for_full_throughput(3) == 5
+        assert min_buffers_for_full_throughput(4) == 6
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            credit_loop_cycles(0)
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=8))
+    def test_loop_monotone(self, depth, prop):
+        assert credit_loop_cycles(depth + 1, prop) > credit_loop_cycles(depth, prop)
+        assert credit_loop_cycles(depth, prop + 1) > credit_loop_cycles(depth, prop)

@@ -1,0 +1,227 @@
+"""Tests for the EQ 1 pipeline designer and the canonical pipelines."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.delaymodel.modules import AtomicModule, RoutingRange
+from repro.delaymodel.pipeline import (
+    EQ1_TOLERANCE_TAU,
+    FlowControl,
+    check_combiner_fits_crossbar_stage,
+    design_pipeline,
+    pipeline_for,
+    speculative_vc_pipeline,
+    virtual_channel_pipeline,
+    wormhole_pipeline,
+)
+
+
+def module(name, t, h=0.0, own_stage=False):
+    return AtomicModule(name, t, h, force_own_stage=own_stage)
+
+
+class TestDesignPipelineMechanics:
+    def test_single_small_module(self):
+        design = design_pipeline([module("a", 50.0)], clock_tau4=20.0)
+        assert design.depth == 1
+
+    def test_modules_pack_when_they_fit(self):
+        design = design_pipeline(
+            [module("a", 40.0), module("b", 40.0, h=10.0)], clock_tau4=20.0
+        )
+        assert design.depth == 1
+        assert design.stages[0].module_names() == ["a", "b"]
+
+    def test_overhead_of_last_module_counts(self):
+        # 40 + 55 = 95 fits, but h_b = 10 pushes it to 105 > 100 -> 2 stages.
+        design = design_pipeline(
+            [module("a", 40.0), module("b", 55.0, h=10.0)], clock_tau4=20.0
+        )
+        assert design.depth == 2
+
+    def test_overhead_of_earlier_module_does_not_count(self):
+        # EQ 1 charges only h_b: a's overhead overlaps with b's latency.
+        design = design_pipeline(
+            [module("a", 40.0, h=50.0), module("b", 55.0)], clock_tau4=20.0
+        )
+        assert design.depth == 1
+
+    def test_force_own_stage(self):
+        design = design_pipeline(
+            [module("a", 10.0), module("xb", 10.0, own_stage=True), module("c", 10.0)],
+            clock_tau4=20.0,
+        )
+        assert design.depth == 3
+        assert design.stages[1].module_names() == ["xb"]
+
+    def test_oversized_module_straddles(self):
+        design = design_pipeline([module("big", 250.0)], clock_tau4=20.0)
+        assert design.depth == 3
+        assert design.straddling_modules() == ["big"]
+
+    def test_straddle_tail_shares_stage_with_next_module(self):
+        # big spills 20 tau into stage 2, where small (60 + h 10) joins.
+        design = design_pipeline(
+            [module("big", 120.0, h=5.0), module("small", 60.0, h=10.0)],
+            clock_tau4=20.0,
+        )
+        assert design.depth == 2
+        assert design.stages[1].module_names() == ["big", "small"]
+
+    def test_straddle_starts_at_fresh_boundary(self):
+        design = design_pipeline(
+            [module("a", 30.0), module("big", 150.0)], clock_tau4=20.0
+        )
+        # 'a' alone in stage 1; 'big' occupies stages 2-3.
+        assert design.depth == 3
+        assert design.stages[0].module_names() == ["a"]
+
+    def test_tolerance_admits_borderline_fit(self):
+        borderline = module("b", 100.5, h=0.0)
+        design = design_pipeline([borderline], clock_tau4=20.0)
+        assert design.depth == 1
+        strict = design_pipeline([borderline], clock_tau4=20.0, tolerance_tau=0.0)
+        assert strict.depth == 2
+
+    def test_rejects_empty_module_list(self):
+        with pytest.raises(ValueError):
+            design_pipeline([], clock_tau4=20.0)
+
+    def test_rejects_bad_clock(self):
+        with pytest.raises(ValueError):
+            design_pipeline([module("a", 1.0)], clock_tau4=0.0)
+
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(ValueError):
+            design_pipeline([module("a", 1.0)], clock_tau4=20.0, tolerance_tau=-1.0)
+
+    def test_stage_occupancies_bounded(self):
+        design = design_pipeline(
+            [module("a", 95.0, h=5.0), module("b", 170.0, h=9.0), module("c", 20.0)],
+            clock_tau4=20.0,
+        )
+        for occupancy in design.stage_occupancies():
+            assert occupancy <= 1.0 + EQ1_TOLERANCE_TAU / 100.0 + 1e-9
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1.0, max_value=400.0),
+                st.floats(min_value=0.0, max_value=20.0),
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+        st.floats(min_value=5.0, max_value=40.0),
+    )
+    def test_eq1_invariants_hold_for_random_modules(self, specs, clock_tau4):
+        modules = [module(f"m{i}", t, h) for i, (t, h) in enumerate(specs)]
+        design = design_pipeline(modules, clock_tau4=clock_tau4)
+        clk = clock_tau4 * 5.0
+        budget = clk + EQ1_TOLERANCE_TAU
+        # 1. No stage exceeds the budget.
+        for stage in design.stages:
+            assert stage.occupancy_tau <= budget + 1e-9
+        # 2. Total latency placed equals total module latency.
+        placed = sum(sl.latency_tau for s in design.stages for sl in s.slices)
+        assert placed == pytest.approx(sum(t for t, _ in specs))
+        # 3. Module order is preserved across stages.
+        order = [sl.module.name for s in design.stages for sl in s.slices]
+        deduped = [order[0]]
+        for name in order[1:]:
+            if name != deduped[-1]:
+                deduped.append(name)
+        assert deduped == [m.name for m in modules]
+        # 4. Depth is at least the trivial lower bound.
+        total = sum(t for t, _ in specs)
+        assert design.depth >= max(1, int(total // (budget + 1e-9)))
+
+
+class TestCanonicalPipelines:
+    """Figure 11's headline stage counts at the 20-tau4 clock."""
+
+    def test_wormhole_is_three_stages(self):
+        assert wormhole_pipeline(5, 32).depth == 3
+        assert wormhole_pipeline(7, 32).depth == 3
+
+    @pytest.mark.parametrize("p", [5, 7])
+    @pytest.mark.parametrize("v", [2, 4, 8])
+    def test_nonspec_vc_four_stages_up_to_8vcs(self, p, v):
+        assert virtual_channel_pipeline(p, v, 32).depth == 4
+
+    @pytest.mark.parametrize("p", [5, 7])
+    def test_nonspec_vc_five_stages_at_16vcs(self, p):
+        assert virtual_channel_pipeline(p, 16, 32).depth == 5
+
+    @pytest.mark.parametrize("p", [5, 7])
+    @pytest.mark.parametrize("v", [2, 4, 8, 16])
+    def test_spec_vc_three_stages_up_to_16vcs(self, p, v):
+        assert speculative_vc_pipeline(p, v, 32).depth == 3
+
+    @pytest.mark.parametrize("p", [5, 7])
+    def test_spec_vc_four_stages_at_32vcs(self, p):
+        assert speculative_vc_pipeline(p, 32, 32).depth == 4
+
+    def test_spec_matches_wormhole_latency(self):
+        # The paper's core claim: same per-hop latency as wormhole.
+        assert (
+            speculative_vc_pipeline(5, 2, 32).depth == wormhole_pipeline(5, 32).depth
+        )
+
+    def test_nonspec_vc_one_stage_deeper_than_wormhole(self):
+        assert (
+            virtual_channel_pipeline(5, 2, 32).depth
+            == wormhole_pipeline(5, 32).depth + 1
+        )
+
+    def test_first_stage_is_routing(self):
+        for design in (
+            wormhole_pipeline(5, 32),
+            virtual_channel_pipeline(5, 2, 32),
+            speculative_vc_pipeline(5, 2, 32),
+        ):
+            assert design.stages[0].module_names() == ["route+decode"]
+
+    def test_last_stage_is_crossbar(self):
+        for design in (
+            wormhole_pipeline(5, 32),
+            virtual_channel_pipeline(5, 2, 32),
+            speculative_vc_pipeline(5, 2, 32),
+        ):
+            assert design.stages[-1].module_names() == ["crossbar"]
+
+    def test_slow_clock_shrinks_pipeline(self):
+        # With a very long cycle everything but the crossbar packs together.
+        design = virtual_channel_pipeline(5, 2, 32, clock_tau4=100.0)
+        assert design.depth < virtual_channel_pipeline(5, 2, 32).depth
+
+    def test_routing_range_affects_vc_pipeline(self):
+        rv = virtual_channel_pipeline(5, 16, 32, RoutingRange.RV)
+        rpv = virtual_channel_pipeline(5, 16, 32, RoutingRange.RPV)
+        assert rv.depth <= rpv.depth
+
+    def test_pipeline_for_dispatch(self):
+        assert pipeline_for(FlowControl.WORMHOLE, 5, 32).depth == 3
+        assert pipeline_for(FlowControl.VIRTUAL_CHANNEL, 5, 32, v=2).depth == 4
+        assert (
+            pipeline_for(FlowControl.SPECULATIVE_VIRTUAL_CHANNEL, 5, 32, v=2).depth
+            == 3
+        )
+
+    def test_describe_output(self):
+        text = wormhole_pipeline(5, 32).describe()
+        assert "3 stages" in text
+        assert "crossbar" in text
+
+    def test_combiner_slack_positive_for_paper_configs(self):
+        for p in (5, 7):
+            for v in (2, 4, 8, 16, 32):
+                assert check_combiner_fits_crossbar_stage(p, v, 32) > 0.0
+
+    def test_combiner_slack_violation_raises(self):
+        with pytest.raises(ValueError):
+            check_combiner_fits_crossbar_stage(5, 2, 32, clock_tau4=8.0)
+
+    def test_per_hop_latency_tau(self):
+        design = wormhole_pipeline(5, 32)
+        assert design.latency_tau == pytest.approx(3 * 100.0)

@@ -1,0 +1,67 @@
+"""Tests for the tau/tau4 unit system and technology grounding."""
+
+import math
+
+import pytest
+
+from repro.delaymodel.tau import (
+    CMOS_018UM,
+    CMOS_08UM,
+    DEFAULT_CLOCK_TAU4,
+    TAU4_IN_TAU,
+    Technology,
+    tau4_to_tau,
+    tau_to_tau4,
+)
+
+
+class TestUnitConversions:
+    def test_tau4_is_five_tau(self):
+        # EQ 3: an inverter driving four inverters has delay g*h + p = 5 tau.
+        assert TAU4_IN_TAU == 5.0
+
+    def test_tau4_to_tau(self):
+        assert tau4_to_tau(20.0) == 100.0
+
+    def test_tau_to_tau4(self):
+        assert tau_to_tau4(100.0) == 20.0
+
+    def test_roundtrip(self):
+        for value in (0.0, 1.0, 3.7, 123.456):
+            assert math.isclose(tau_to_tau4(tau4_to_tau(value)), value)
+
+    def test_default_clock_is_20_tau4(self):
+        assert DEFAULT_CLOCK_TAU4 == 20.0
+
+
+class TestTechnology:
+    def test_018um_tau4_is_90ps(self):
+        assert CMOS_018UM.tau4_ps == 90.0
+
+    def test_018um_20tau4_cycle_is_about_2ns(self):
+        # Paper footnote 12: a 20-tau4 cycle is approximately 2 ns.
+        assert CMOS_018UM.tau4_to_ps(20.0) == pytest.approx(1800.0)
+        assert 1500.0 < CMOS_018UM.tau4_to_ps(20.0) < 2100.0
+
+    def test_018um_clock_near_500mhz(self):
+        # "corresponding to a 500 MHz clock"
+        assert CMOS_018UM.clock_frequency_mhz(20.0) == pytest.approx(555.6, abs=1.0)
+
+    def test_tau_ps_derived_from_tau4(self):
+        assert CMOS_018UM.tau_ps == pytest.approx(18.0)
+
+    def test_tau_to_ps(self):
+        assert CMOS_018UM.tau_to_ps(10.0) == pytest.approx(180.0)
+
+    def test_08um_slower_than_018um(self):
+        assert CMOS_08UM.tau4_ps > CMOS_018UM.tau4_ps
+
+    def test_invalid_tau4_rejected(self):
+        with pytest.raises(ValueError):
+            Technology("bad", 0.0)
+        with pytest.raises(ValueError):
+            Technology("bad", -1.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            CMOS_018UM.tau4_ps = 50.0

@@ -1,0 +1,76 @@
+"""Tests for the closed-form analysis, cross-validated against simulation."""
+
+import pytest
+
+from repro.experiments.analysis import (
+    ROUTER_DEPTHS,
+    paper_zero_load_predictions,
+    predicted_zero_load_latency,
+    sustainable_vc_rate,
+    zero_load_latency_for_path,
+)
+from repro.sim.config import RouterKind, SimConfig
+from repro.sim.flit import Packet
+from repro.sim.network import Network
+from repro.sim.topology import Mesh
+
+
+class TestClosedForms:
+    def test_path_formula_wormhole(self):
+        # (D+1)*H + D + L: the DESIGN.md section 4 accounting.
+        assert zero_load_latency_for_path(3, 3, 5) == 4 * 3 + 3 + 5
+
+    def test_mesh_prediction_8x8(self):
+        mesh = Mesh(8)
+        assert predicted_zero_load_latency(mesh, 3, 5) == pytest.approx(29.3, abs=0.1)
+        assert predicted_zero_load_latency(mesh, 4, 5) == pytest.approx(35.7, abs=0.1)
+        assert predicted_zero_load_latency(mesh, 1, 5) == pytest.approx(16.7, abs=0.1)
+
+    def test_paper_predictions_close_to_quotes(self):
+        for prediction in paper_zero_load_predictions():
+            assert prediction.predicted == pytest.approx(
+                prediction.paper_value, abs=1.5
+            ), prediction
+
+    def test_rate_capped_at_one(self):
+        assert sustainable_vc_rate(100, 3) == 1.0
+
+    def test_rate_below_loop(self):
+        assert sustainable_vc_rate(4, 3) == pytest.approx(4 / 5)
+        assert sustainable_vc_rate(4, 4) == pytest.approx(4 / 6)
+        assert sustainable_vc_rate(4, 3, credit_propagation=4) == pytest.approx(0.5)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            zero_load_latency_for_path(0, 3, 5)
+        with pytest.raises(ValueError):
+            zero_load_latency_for_path(3, 0, 5)
+
+    def test_depth_table_matches_router_kinds(self):
+        assert set(ROUTER_DEPTHS) == {k.value for k in RouterKind}
+
+
+class TestFormulaVsSimulator:
+    """The closed form must track the actual simulator exactly on
+    deterministic single-packet paths."""
+
+    @pytest.mark.parametrize("kind,vcs,depth", [
+        (RouterKind.WORMHOLE, 1, 3),
+        (RouterKind.VIRTUAL_CHANNEL, 2, 4),
+        (RouterKind.SPECULATIVE_VC, 2, 3),
+        (RouterKind.SINGLE_CYCLE_WORMHOLE, 1, 1),
+    ])
+    @pytest.mark.parametrize("hops", [1, 3, 6])
+    def test_exact_agreement(self, kind, vcs, depth, hops):
+        network = Network(SimConfig(
+            router_kind=kind, num_vcs=vcs, mesh_radix=4, buffers_per_vc=8,
+            injection_fraction=0.0,
+        ))
+        src = 0
+        destinations = {1: 1, 3: 3, 6: 15}  # east, then east+south corner
+        dst = destinations[hops]
+        packet = Packet(source=src, destination=dst, length=5,
+                        creation_cycle=0)
+        network.sources[src].enqueue(packet)
+        network.run(40 + 8 * hops)
+        assert packet.latency == zero_load_latency_for_path(hops, depth, 5)

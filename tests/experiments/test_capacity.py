@@ -1,0 +1,49 @@
+"""Tests for the capacity analysis."""
+
+import pytest
+
+from repro.experiments.capacity import (
+    analyze_uniform_capacity,
+    theoretical_capacity,
+)
+from repro.sim.routing import yx_route
+from repro.sim.topology import Mesh
+
+
+class TestUniformCapacity:
+    def test_8x8_matches_bisection_bound(self):
+        """Channel-load analysis reproduces the 4/k = 0.5 flits/node/cycle
+        capacity the paper's traffic axis normalises by."""
+        mesh = Mesh(8)
+        analysis = analyze_uniform_capacity(mesh)
+        assert analysis.capacity_flits_per_node == pytest.approx(
+            theoretical_capacity(mesh), rel=0.02
+        )
+
+    @pytest.mark.parametrize("k", [2, 4, 6, 8])
+    def test_even_radices_match_formula(self, k):
+        """Exact channel loads equal the bisection bound corrected by the
+        self-exclusion factor (n-1)/n (uniform destinations != source)."""
+        mesh = Mesh(k)
+        n = mesh.num_nodes
+        analysis = analyze_uniform_capacity(mesh)
+        expected = (4.0 / k) * (n - 1) / n
+        assert analysis.capacity_flits_per_node == pytest.approx(expected, rel=1e-6)
+
+    def test_bottleneck_on_bisection(self):
+        """The busiest channel under DOR+uniform crosses the central cut."""
+        mesh = Mesh(8)
+        analysis = analyze_uniform_capacity(mesh)
+        node, port = analysis.bottleneck
+        x, y = mesh.coordinates(node)
+        assert x in (3, 4)  # horizontal bisection columns
+
+    def test_yx_routing_same_capacity_by_symmetry(self):
+        mesh = Mesh(6)
+        xy = analyze_uniform_capacity(mesh)
+        yx = analyze_uniform_capacity(mesh, yx_route)
+        assert xy.max_channel_load == pytest.approx(yx.max_channel_load)
+
+    def test_max_load_positive(self):
+        analysis = analyze_uniform_capacity(Mesh(4))
+        assert analysis.max_channel_load > 0

@@ -1,0 +1,37 @@
+"""Smoke tests for the python -m repro.experiments command line."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_cli(*args, timeout=300):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.experiments", *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+class TestCLI:
+    def test_default_prints_delay_model(self):
+        result = run_cli()
+        assert result.returncode == 0
+        assert "Table 1" in result.stdout
+        assert "Figure 11" in result.stdout
+        assert "Figure 12" in result.stdout
+        assert "turnaround" in result.stdout
+
+    def test_help(self):
+        result = run_cli("--help")
+        assert result.returncode == 0
+        assert "--simulate" in result.stdout
+        assert "--paper-scale" in result.stdout
+        assert "--ablations" in result.stdout
+
+    @pytest.mark.slow
+    def test_simulate_tiny_sample(self):
+        result = run_cli("--simulate", "--sample-packets", "60", timeout=590)
+        assert result.returncode == 0
+        assert "Figure 13" in result.stdout
+        assert "zero-load" in result.stdout

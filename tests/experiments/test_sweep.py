@@ -1,0 +1,84 @@
+"""Tests for the sweep driver."""
+
+import pytest
+
+from repro.experiments.sweep import compare_curves, find_saturation, sweep
+from repro.sim.config import MeasurementConfig, RouterKind, SimConfig
+
+FAST = MeasurementConfig(
+    warmup_cycles=100, sample_packets=120, max_cycles=4_000, drain_cycles=1_500
+)
+
+
+def base_config():
+    return SimConfig(
+        router_kind=RouterKind.WORMHOLE, mesh_radix=4, buffers_per_vc=8,
+        seed=2,
+    )
+
+
+class TestSweep:
+    def test_points_cover_loads(self):
+        curve = sweep(base_config(), "wh", loads=(0.05, 0.2), measurement=FAST)
+        assert [p.injection_fraction for p in curve.points] == [0.05, 0.2]
+        assert curve.label == "wh"
+
+    def test_latency_monotone_in_load(self):
+        curve = sweep(
+            base_config(), "wh", loads=(0.05, 0.3, 0.5), measurement=FAST
+        )
+        latencies = [p.average_latency for p in curve.points]
+        assert latencies == sorted(latencies)
+
+    def test_stops_after_saturation(self):
+        saturating = MeasurementConfig(
+            warmup_cycles=200, sample_packets=2_000, max_cycles=1_500,
+            drain_cycles=100,
+        )
+        curve = sweep(
+            base_config(), "wh", loads=(0.9, 0.95, 1.0),
+            measurement=saturating,
+        )
+        # the first saturated point ends the sweep
+        assert len(curve.points) == 1
+        assert curve.points[0].saturated
+
+    def test_find_saturation_bounds(self):
+        curve = sweep(
+            base_config(), "wh", loads=(0.05, 0.3), measurement=FAST
+        )
+        saturation = find_saturation(curve)
+        assert saturation >= 0.3  # both points well below saturation
+
+    def test_compare_curves_renders(self):
+        curve = sweep(base_config(), "wh", loads=(0.05,), measurement=FAST)
+        text = compare_curves([curve])
+        assert "zero-load latency" in text
+        assert "saturation" in text
+
+
+class TestRunWithSeeds:
+    def test_aggregates_across_seeds(self):
+        from repro.experiments.sweep import run_with_seeds
+
+        aggregate = run_with_seeds(
+            base_config(), load=0.2, seeds=(1, 2, 3), measurement=FAST
+        )
+        assert len(aggregate.runs) == 3
+        assert aggregate.latency_ci95 >= 0.0
+        assert aggregate.mean_latency > 0
+        assert "seeds" in aggregate.describe()
+
+    def test_seed_variation_is_small_below_saturation(self):
+        from repro.experiments.sweep import run_with_seeds
+
+        aggregate = run_with_seeds(
+            base_config(), load=0.1, seeds=(1, 2, 3, 4), measurement=FAST
+        )
+        assert aggregate.latency_std < 0.05 * aggregate.mean_latency
+
+    def test_empty_seeds_rejected(self):
+        from repro.experiments.sweep import run_with_seeds
+
+        with pytest.raises(ValueError):
+            run_with_seeds(base_config(), load=0.2, seeds=())

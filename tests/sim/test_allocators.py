@@ -1,0 +1,216 @@
+"""Tests for the separable allocators, including the speculative pair."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.allocators import (
+    Grant,
+    Request,
+    SeparableAllocator,
+    SpeculativeSwitchAllocator,
+)
+
+
+def grants_valid(requests, grants):
+    """Matching constraints: one grant per group and per resource, and
+    every grant corresponds to an actual request."""
+    request_set = {(r.group, r.member, r.resource) for r in requests}
+    groups = [g.group for g in grants]
+    resources = [g.resource for g in grants]
+    assert len(groups) == len(set(groups)), "two grants to one group"
+    assert len(resources) == len(set(resources)), "one resource granted twice"
+    for g in grants:
+        assert (g.group, g.member, g.resource) in request_set
+
+
+class TestSeparableAllocator:
+    def test_single_request_granted(self):
+        allocator = SeparableAllocator(2, 2, 3)
+        grants = allocator.allocate([Request(0, 1, 2)])
+        assert grants == [Grant(0, 1, 2)]
+
+    def test_no_requests(self):
+        assert SeparableAllocator(2, 2, 2).allocate([]) == []
+
+    def test_conflicting_requests_one_winner(self):
+        allocator = SeparableAllocator(2, 1, 1)
+        grants = allocator.allocate([Request(0, 0, 0), Request(1, 0, 0)])
+        assert len(grants) == 1
+
+    def test_disjoint_requests_all_granted(self):
+        allocator = SeparableAllocator(3, 1, 3)
+        requests = [Request(i, 0, i) for i in range(3)]
+        assert len(allocator.allocate(requests)) == 3
+
+    def test_stage1_limits_one_per_group(self):
+        # Two VCs of the same input port requesting different outputs:
+        # the v:1 first stage lets only one through (the separable
+        # allocator's efficiency loss, which we must reproduce).
+        allocator = SeparableAllocator(1, 2, 2)
+        grants = allocator.allocate([Request(0, 0, 0), Request(0, 1, 1)])
+        assert len(grants) == 1
+
+    def test_busy_resources_masked(self):
+        allocator = SeparableAllocator(2, 1, 2)
+        grants = allocator.allocate(
+            [Request(0, 0, 0), Request(1, 0, 1)], busy_resources=[0]
+        )
+        assert grants == [Grant(1, 0, 1)]
+
+    def test_fairness_across_groups(self):
+        allocator = SeparableAllocator(2, 1, 1)
+        requests = [Request(0, 0, 0), Request(1, 0, 0)]
+        winners = [allocator.allocate(requests)[0].group for _ in range(10)]
+        assert winners.count(0) == 5
+        assert winners.count(1) == 5
+
+    def test_fairness_within_group(self):
+        allocator = SeparableAllocator(1, 2, 2)
+        requests = [Request(0, 0, 0), Request(0, 1, 1)]
+        winners = [allocator.allocate(requests)[0].member for _ in range(10)]
+        assert winners.count(0) == 5
+        assert winners.count(1) == 5
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            SeparableAllocator(0, 1, 1)
+
+    @pytest.mark.parametrize(
+        "request_", [Request(5, 0, 0), Request(0, 5, 0), Request(0, 0, 5)]
+    )
+    def test_out_of_range_requests(self, request_):
+        with pytest.raises(ValueError):
+            SeparableAllocator(2, 2, 2).allocate([request_])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=1),
+                st.integers(min_value=0, max_value=3),
+            ),
+            max_size=20,
+        )
+    )
+    def test_matching_constraints_hold(self, triples):
+        allocator = SeparableAllocator(4, 2, 4)
+        requests = [Request(*t) for t in triples]
+        grants = allocator.allocate(requests)
+        grants_valid(requests, grants)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=1),
+                st.integers(min_value=0, max_value=3),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_nonempty_requests_get_some_grant(self, triples):
+        """The allocator is work-conserving at the first stage: at least
+        one request is always granted."""
+        allocator = SeparableAllocator(4, 2, 4)
+        grants = allocator.allocate([Request(*t) for t in triples])
+        assert len(grants) >= 1
+
+
+class TestSpeculativeSwitchAllocator:
+    def test_nonspec_beats_spec_on_same_output(self):
+        allocator = SpeculativeSwitchAllocator(2, 2)
+        nonspec, spec = allocator.allocate(
+            nonspec_requests=[Request(0, 0, 1)],
+            spec_requests=[Request(1, 0, 1)],
+        )
+        assert [g.group for g in nonspec] == [0]
+        assert spec == []
+
+    def test_nonspec_beats_spec_on_same_input(self):
+        # Input port 0's non-speculative VC wins output 1; its other
+        # (speculative) VC cannot also use the input port this cycle.
+        allocator = SpeculativeSwitchAllocator(2, 2)
+        nonspec, spec = allocator.allocate(
+            nonspec_requests=[Request(0, 0, 1)],
+            spec_requests=[Request(0, 1, 0)],
+        )
+        assert len(nonspec) == 1
+        assert spec == []
+
+    def test_spec_wins_idle_resources(self):
+        allocator = SpeculativeSwitchAllocator(2, 2)
+        nonspec, spec = allocator.allocate(
+            nonspec_requests=[Request(0, 0, 1)],
+            spec_requests=[Request(1, 1, 0)],
+        )
+        assert len(nonspec) == 1
+        assert len(spec) == 1
+
+    def test_spec_only_traffic_flows(self):
+        allocator = SpeculativeSwitchAllocator(2, 2)
+        nonspec, spec = allocator.allocate([], [Request(0, 0, 1)])
+        assert nonspec == []
+        assert len(spec) == 1
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=4),
+                st.integers(min_value=0, max_value=1),
+                st.integers(min_value=0, max_value=4),
+            ),
+            max_size=12,
+        ),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=4),
+                st.integers(min_value=0, max_value=1),
+                st.integers(min_value=0, max_value=4),
+            ),
+            max_size=12,
+        ),
+    )
+    def test_combined_grants_conflict_free(self, nonspec_triples, spec_triples):
+        """Non-spec priority: the union of grants is a valid matching,
+        and no speculative grant shares a port with a non-spec grant."""
+        allocator = SpeculativeSwitchAllocator(5, 2)
+        nonspec_requests = [Request(*t) for t in nonspec_triples]
+        spec_requests = [Request(*t) for t in spec_triples]
+        nonspec, spec = allocator.allocate(nonspec_requests, spec_requests)
+        grants_valid(nonspec_requests + spec_requests, nonspec + spec)
+        nonspec_inputs = {g.group for g in nonspec}
+        nonspec_outputs = {g.resource for g in nonspec}
+        for g in spec:
+            assert g.group not in nonspec_inputs
+            assert g.resource not in nonspec_outputs
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=4),
+                st.integers(min_value=0, max_value=1),
+                st.integers(min_value=0, max_value=4),
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=4),
+                st.integers(min_value=0, max_value=1),
+                st.integers(min_value=0, max_value=4),
+            ),
+            max_size=12,
+        ),
+    )
+    def test_speculation_never_hurts_nonspec(self, nonspec_triples, spec_triples):
+        """Conservative speculation: non-spec grants are identical with
+        and without speculative competition."""
+        nonspec_requests = [Request(*t) for t in nonspec_triples]
+        spec_requests = [Request(*t) for t in spec_triples]
+        with_spec = SpeculativeSwitchAllocator(5, 2)
+        without_spec = SpeculativeSwitchAllocator(5, 2)
+        grants_with, _ = with_spec.allocate(nonspec_requests, spec_requests)
+        grants_without, _ = without_spec.allocate(nonspec_requests, [])
+        assert grants_with == grants_without

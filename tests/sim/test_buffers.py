@@ -1,0 +1,83 @@
+"""Tests for the input-queue flit buffers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.buffers import FlitBuffer
+from repro.sim.flit import Packet
+
+
+def flits(n):
+    return Packet(source=0, destination=1, length=n, creation_cycle=0).make_flits()
+
+
+class TestFlitBuffer:
+    def test_fifo_order(self):
+        buffer = FlitBuffer(8)
+        sequence = flits(5)
+        for flit in sequence:
+            buffer.push(flit)
+        assert [buffer.pop() for _ in range(5)] == sequence
+
+    def test_front_does_not_pop(self):
+        buffer = FlitBuffer(4)
+        (flit,) = flits(1)
+        buffer.push(flit)
+        assert buffer.front() is flit
+        assert len(buffer) == 1
+
+    def test_front_of_empty_is_none(self):
+        assert FlitBuffer(2).front() is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            FlitBuffer(2).pop()
+
+    def test_overflow_raises(self):
+        buffer = FlitBuffer(2)
+        f = flits(3)
+        buffer.push(f[0])
+        buffer.push(f[1])
+        with pytest.raises(OverflowError):
+            buffer.push(f[2])
+
+    def test_free_slots(self):
+        buffer = FlitBuffer(3)
+        assert buffer.free_slots == 3
+        buffer.push(flits(1)[0])
+        assert buffer.free_slots == 2
+        assert not buffer.is_full
+
+    def test_bool_and_len(self):
+        buffer = FlitBuffer(2)
+        assert not buffer
+        buffer.push(flits(1)[0])
+        assert buffer
+        assert len(buffer) == 1
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            FlitBuffer(0)
+
+    def test_iteration_preserves_order(self):
+        buffer = FlitBuffer(8)
+        sequence = flits(4)
+        for flit in sequence:
+            buffer.push(flit)
+        assert list(buffer) == sequence
+
+    @given(st.lists(st.sampled_from(["push", "pop"]), max_size=60))
+    def test_occupancy_invariant_under_random_ops(self, ops):
+        buffer = FlitBuffer(4)
+        supply = iter(flits(60))
+        model = []
+        for op in ops:
+            if op == "push" and not buffer.is_full:
+                flit = next(supply)
+                buffer.push(flit)
+                model.append(flit)
+            elif op == "pop" and buffer:
+                assert buffer.pop() is model.pop(0)
+            assert 0 <= len(buffer) <= 4
+            assert len(buffer) == len(model)
+            assert buffer.front() is (model[0] if model else None)

@@ -1,0 +1,78 @@
+"""Tests for the bursty (on/off Markov) injection process."""
+
+import random
+
+import pytest
+
+from repro.sim.config import MeasurementConfig, RouterKind, SimConfig
+from repro.sim.engine import simulate
+from repro.sim.topology import Mesh
+from repro.sim.traffic import PacketSource
+
+k8 = Mesh(8)
+
+
+def bursty_source(rate, burst_length=8.0, seed=0):
+    return PacketSource(
+        node=0, mesh=k8, rate_packets_per_cycle=rate, packet_length=5,
+        rng=random.Random(seed), process="bursty", burst_length=burst_length,
+    )
+
+
+class TestBurstyProcess:
+    def test_long_run_rate_tracks_target(self):
+        for rate in (0.02, 0.05, 0.08):
+            source = bursty_source(rate, seed=1)
+            cycles = 150_000
+            generated = sum(
+                source.maybe_generate(c) is not None for c in range(cycles)
+            )
+            assert generated / cycles == pytest.approx(rate, rel=0.10)
+
+    def test_actually_bursty(self):
+        """Inter-arrival gaps are bimodal: many short (in-burst) gaps and
+        some very long (off-period) gaps -- unlike the constant process."""
+        source = bursty_source(0.02, burst_length=8.0, seed=2)
+        arrivals = [c for c in range(100_000) if source.maybe_generate(c)]
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        short = sum(g <= 6 for g in gaps)   # back-to-back 5-flit packets
+        long = sum(g > 100 for g in gaps)   # off periods
+        assert short > 0.5 * len(gaps)
+        assert long > 0.02 * len(gaps)
+
+    def test_constant_process_is_not_bursty(self):
+        source = PacketSource(
+            node=0, mesh=k8, rate_packets_per_cycle=0.02, packet_length=5,
+            rng=random.Random(2), process="constant",
+        )
+        arrivals = [c for c in range(50_000) if source.maybe_generate(c)]
+        gaps = {b - a for a, b in zip(arrivals, arrivals[1:])}
+        assert gaps == {50}
+
+    def test_burst_length_validated(self):
+        with pytest.raises(ValueError):
+            bursty_source(0.05, burst_length=0.5)
+
+    def test_zero_rate(self):
+        source = bursty_source(0.0)
+        assert all(source.maybe_generate(c) is None for c in range(1000))
+
+
+class TestBurstyEndToEnd:
+    def test_simulates_and_raises_latency(self):
+        """Bursty arrivals at equal average load queue more at the
+        sources, so latency (which counts source queueing) rises."""
+        measurement = MeasurementConfig(
+            warmup_cycles=400, sample_packets=500, max_cycles=25_000,
+            drain_cycles=8_000,
+        )
+        latencies = {}
+        for process in ("constant", "bursty"):
+            result = simulate(SimConfig(
+                router_kind=RouterKind.SPECULATIVE_VC, num_vcs=2,
+                buffers_per_vc=4, injection_fraction=0.3,
+                injection_process=process, seed=6,
+            ), measurement)
+            assert not result.saturated
+            latencies[process] = result.average_latency
+        assert latencies["bursty"] > latencies["constant"] + 3.0

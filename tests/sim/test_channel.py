@@ -1,0 +1,88 @@
+"""Tests for the pipelined flit/credit channels."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.channel import PipelinedChannel
+
+
+class TestPipelinedChannel:
+    def test_delivery_after_delay_plus_one(self):
+        channel = PipelinedChannel(1)
+        channel.send("x", cycle=5)
+        assert channel.deliver(6) == []
+        assert channel.deliver(7) == ["x"]
+
+    def test_zero_delay_delivers_next_cycle(self):
+        channel = PipelinedChannel(0)
+        channel.send("x", cycle=3)
+        assert channel.deliver(3) == []
+        assert channel.deliver(4) == ["x"]
+
+    def test_items_preserve_order(self):
+        channel = PipelinedChannel(1)
+        for cycle, item in enumerate("abc"):
+            channel.send(item, cycle)
+        assert channel.deliver(10) == ["a", "b", "c"]
+
+    def test_partial_delivery(self):
+        channel = PipelinedChannel(0)
+        channel.send("a", 0)
+        channel.send("b", 5)
+        assert channel.deliver(1) == ["a"]
+        assert channel.deliver(5) == []
+        assert channel.deliver(6) == ["b"]
+
+    def test_multiple_items_same_cycle(self):
+        channel = PipelinedChannel(2)
+        channel.send("a", 0)
+        channel.send("b", 0)
+        assert channel.deliver(3) == ["a", "b"]
+
+    def test_occupancy(self):
+        channel = PipelinedChannel(3)
+        assert channel.occupancy == 0
+        channel.send("a", 0)
+        assert channel.occupancy == 1
+        assert bool(channel)
+        channel.deliver(4)
+        assert channel.occupancy == 0
+        assert not channel
+
+    def test_peek_all(self):
+        channel = PipelinedChannel(1)
+        channel.send("a", 0)
+        channel.send("b", 1)
+        assert channel.peek_all() == ["a", "b"]
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            PipelinedChannel(-1)
+
+    def test_rejects_time_travel(self):
+        channel = PipelinedChannel(0)
+        channel.send("a", 10)
+        with pytest.raises(ValueError):
+            channel.send("b", 3)
+
+    @given(
+        st.integers(min_value=0, max_value=5),
+        st.lists(st.integers(min_value=0, max_value=30), max_size=20),
+    )
+    def test_every_item_arrives_exactly_once(self, delay, send_cycles):
+        channel = PipelinedChannel(delay)
+        for i, cycle in enumerate(sorted(send_cycles)):
+            channel.send(i, cycle)
+        received = []
+        for cycle in range(40 + delay):
+            received.extend(channel.deliver(cycle))
+        assert received == list(range(len(send_cycles)))
+        assert channel.occupancy == 0
+
+    @given(st.integers(min_value=0, max_value=5))
+    def test_arrival_cycle_exact(self, delay):
+        channel = PipelinedChannel(delay)
+        channel.send("x", 7)
+        arrival = 7 + delay + 1
+        assert channel.deliver(arrival - 1) == []
+        assert channel.deliver(arrival) == ["x"]

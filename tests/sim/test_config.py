@@ -1,0 +1,102 @@
+"""Tests for simulation configuration validation."""
+
+import pytest
+
+from repro.sim.config import (
+    MeasurementConfig,
+    RouterKind,
+    SimConfig,
+    paper_scale,
+)
+
+
+class TestRouterKind:
+    def test_single_cycle_flags(self):
+        assert RouterKind.SINGLE_CYCLE_WORMHOLE.is_single_cycle
+        assert RouterKind.SINGLE_CYCLE_VC.is_single_cycle
+        assert not RouterKind.WORMHOLE.is_single_cycle
+
+    def test_vc_flags(self):
+        assert RouterKind.VIRTUAL_CHANNEL.uses_vcs
+        assert RouterKind.SPECULATIVE_VC.uses_vcs
+        assert RouterKind.SINGLE_CYCLE_VC.uses_vcs
+        assert not RouterKind.WORMHOLE.uses_vcs
+
+
+class TestSimConfig:
+    def test_defaults_follow_paper(self):
+        config = SimConfig()
+        assert config.mesh_radix == 8
+        assert config.packet_length == 5
+        assert config.flit_propagation == 1
+        assert config.credit_propagation == 1
+        assert config.traffic_pattern == "uniform"
+
+    def test_wormhole_requires_single_queue(self):
+        with pytest.raises(ValueError):
+            SimConfig(router_kind=RouterKind.WORMHOLE, num_vcs=2)
+
+    def test_vc_router_requires_multiple_vcs(self):
+        with pytest.raises(ValueError):
+            SimConfig(router_kind=RouterKind.VIRTUAL_CHANNEL, num_vcs=1)
+
+    def test_buffers_per_port(self):
+        config = SimConfig(
+            router_kind=RouterKind.VIRTUAL_CHANNEL, num_vcs=2, buffers_per_vc=4
+        )
+        assert config.buffers_per_port == 8
+
+    def test_credit_channel_delay_default(self):
+        # 1-cycle propagation, 0-cycle processing: a credit sent at grant
+        # cycle t is usable at t+1 (channel adds the receive cycle).
+        assert SimConfig().credit_channel_delay == 0
+
+    def test_credit_channel_delay_fig18(self):
+        config = SimConfig(
+            router_kind=RouterKind.SPECULATIVE_VC, num_vcs=2,
+            credit_propagation=4,
+        )
+        assert config.credit_channel_delay == 3
+
+    def test_credit_pipeline_override(self):
+        config = SimConfig(credit_pipeline=2)
+        assert config.effective_credit_pipeline == 2
+        assert config.credit_channel_delay == 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mesh_radix": 1},
+            {"buffers_per_vc": 0},
+            {"packet_length": 0},
+            {"injection_fraction": -0.1},
+            {"flit_propagation": 0},
+            {"credit_propagation": 0},
+        ],
+    )
+    def test_invalid_values(self, kwargs):
+        with pytest.raises(ValueError):
+            SimConfig(**kwargs)
+
+
+class TestMeasurementConfig:
+    def test_defaults_valid(self):
+        config = MeasurementConfig()
+        assert config.max_cycles > config.warmup_cycles
+
+    def test_paper_scale(self):
+        config = paper_scale()
+        assert config.warmup_cycles == 10_000
+        assert config.sample_packets == 100_000
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"warmup_cycles": -1},
+            {"sample_packets": 0},
+            {"warmup_cycles": 100, "max_cycles": 100},
+        ],
+    )
+    def test_invalid_values(self, kwargs):
+        with pytest.raises(ValueError):
+            MeasurementConfig(**kwargs)

@@ -1,0 +1,119 @@
+"""Tests for credit counters and the Figure 16 turnaround accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.credit import (
+    CreditCounter,
+    CreditLoopTiming,
+    InfiniteCredits,
+    NONSPECULATIVE_VC_TIMING,
+    SINGLE_CYCLE_TIMING,
+    SPECULATIVE_VC_SLOW_CREDIT_TIMING,
+    SPECULATIVE_VC_TIMING,
+    WORMHOLE_TIMING,
+    turnaround_cycles,
+    turnaround_timeline,
+)
+
+
+class TestCreditCounter:
+    def test_starts_full(self):
+        assert CreditCounter(4).available == 4
+
+    def test_consume_restore(self):
+        counter = CreditCounter(2)
+        counter.consume()
+        assert counter.available == 1
+        counter.restore()
+        assert counter.available == 2
+
+    def test_underflow_raises(self):
+        counter = CreditCounter(1)
+        counter.consume()
+        with pytest.raises(ValueError):
+            counter.consume()
+
+    def test_overflow_raises(self):
+        with pytest.raises(ValueError):
+            CreditCounter(1).restore()
+
+    def test_bool(self):
+        counter = CreditCounter(1)
+        assert counter
+        counter.consume()
+        assert not counter
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            CreditCounter(0)
+
+    @given(st.lists(st.booleans(), max_size=100))
+    def test_never_escapes_range(self, ops):
+        counter = CreditCounter(3)
+        for consume in ops:
+            if consume and counter.available > 0:
+                counter.consume()
+            elif not consume and counter.available < 3:
+                counter.restore()
+            assert 0 <= counter.available <= 3
+
+
+class TestInfiniteCredits:
+    def test_always_available(self):
+        credits = InfiniteCredits()
+        for _ in range(1000):
+            credits.consume()
+        assert credits
+
+    def test_restore_noop(self):
+        credits = InfiniteCredits()
+        credits.restore()
+        assert credits
+
+
+class TestTurnaround:
+    """The Section 5.2 / Figure 16 turnaround accounting."""
+
+    def test_wormhole_turnaround_is_4(self):
+        assert WORMHOLE_TIMING.turnaround == 4
+
+    def test_speculative_vc_turnaround_is_4(self):
+        assert SPECULATIVE_VC_TIMING.turnaround == 4
+
+    def test_nonspeculative_vc_turnaround_is_5(self):
+        assert NONSPECULATIVE_VC_TIMING.turnaround == 5
+
+    def test_single_cycle_turnaround_is_2(self):
+        # "In a single-cycle router, a credit can be sent and received in
+        # 2 cycles."
+        assert SINGLE_CYCLE_TIMING.turnaround == 2
+
+    def test_slow_credit_turnaround_is_7(self):
+        # Figure 18: 4-cycle credit propagation -> 7 cycles.
+        assert SPECULATIVE_VC_SLOW_CREDIT_TIMING.turnaround == 7
+
+    def test_turnaround_cycles_helper(self):
+        assert turnaround_cycles(credit_pipeline=1, flit_pipeline=1) == 4
+        assert turnaround_cycles(credit_pipeline=2, flit_pipeline=1) == 5
+
+    def test_timeline_is_monotone_and_complete(self):
+        events = turnaround_timeline(WORMHOLE_TIMING)
+        offsets = [offset for offset, _ in events]
+        assert offsets == sorted(offsets)
+        assert offsets[0] == 0
+        assert offsets[-1] == WORMHOLE_TIMING.turnaround
+        assert len(events) == 5
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(ValueError):
+            CreditLoopTiming(-1, 0, 0, 0)
+
+    @given(
+        st.integers(min_value=0, max_value=8),
+        st.integers(min_value=0, max_value=8),
+        st.integers(min_value=0, max_value=8),
+        st.integers(min_value=0, max_value=8),
+    )
+    def test_turnaround_is_component_sum(self, a, b, c, d):
+        assert CreditLoopTiming(a, b, c, d).turnaround == a + b + c + d

@@ -1,0 +1,87 @@
+"""Tests for packets and flit segmentation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.flit import Flit, FlitType, Packet
+
+
+def make_packet(length=5, src=0, dst=1, created=0):
+    return Packet(source=src, destination=dst, length=length,
+                  creation_cycle=created)
+
+
+class TestPacket:
+    def test_unique_ids(self):
+        a, b = make_packet(), make_packet()
+        assert a.packet_id != b.packet_id
+
+    def test_latency_requires_delivery(self):
+        packet = make_packet(created=10)
+        with pytest.raises(ValueError):
+            _ = packet.latency
+        packet.ejection_cycle = 42
+        assert packet.latency == 32
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            make_packet(length=0)
+
+    def test_rejects_self_destination(self):
+        with pytest.raises(ValueError):
+            make_packet(src=3, dst=3)
+
+
+class TestFlitSegmentation:
+    def test_five_flit_packet(self):
+        flits = make_packet(length=5).make_flits()
+        types = [f.flit_type for f in flits]
+        assert types == [
+            FlitType.HEAD, FlitType.BODY, FlitType.BODY, FlitType.BODY,
+            FlitType.TAIL,
+        ]
+
+    def test_two_flit_packet(self):
+        # The paper's walkthrough example: one head, one tail.
+        flits = make_packet(length=2).make_flits()
+        assert [f.flit_type for f in flits] == [FlitType.HEAD, FlitType.TAIL]
+
+    def test_single_flit_packet(self):
+        (flit,) = make_packet(length=1).make_flits()
+        assert flit.flit_type is FlitType.HEAD_TAIL
+        assert flit.is_head and flit.is_tail
+
+    def test_indices_sequential(self):
+        flits = make_packet(length=7).make_flits()
+        assert [f.index for f in flits] == list(range(7))
+
+    def test_flits_share_packet(self):
+        packet = make_packet()
+        assert all(f.packet is packet for f in packet.make_flits())
+
+    def test_destination_passthrough(self):
+        flits = make_packet(dst=42, src=0).make_flits()
+        assert all(f.destination == 42 for f in flits)
+
+    @given(st.integers(min_value=1, max_value=64))
+    def test_exactly_one_head_and_tail(self, length):
+        flits = make_packet(length=length).make_flits()
+        assert len(flits) == length
+        assert sum(f.is_head for f in flits) == 1
+        assert sum(f.is_tail for f in flits) == 1
+        assert flits[0].is_head
+        assert flits[-1].is_tail
+
+    def test_vcid_defaults_to_zero_and_is_mutable(self):
+        flit = make_packet().make_flits()[0]
+        assert flit.vcid == 0
+        flit.vcid = 3  # routers rewrite it at each hop
+        assert flit.vcid == 3
+
+
+class TestFlitType:
+    def test_head_tail_flags(self):
+        assert FlitType.HEAD.is_head and not FlitType.HEAD.is_tail
+        assert FlitType.TAIL.is_tail and not FlitType.TAIL.is_head
+        assert not FlitType.BODY.is_head and not FlitType.BODY.is_tail
+        assert FlitType.HEAD_TAIL.is_head and FlitType.HEAD_TAIL.is_tail

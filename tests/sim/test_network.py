@@ -1,0 +1,209 @@
+"""Integration tests of the network: delivery, conservation, invariants."""
+
+import pytest
+
+from repro.sim.config import RouterKind, SimConfig
+from repro.sim.flit import Packet
+from repro.sim.network import Network
+from repro.sim.topology import Mesh
+
+ALL_KINDS = [
+    (RouterKind.WORMHOLE, 1),
+    (RouterKind.VIRTUAL_CHANNEL, 2),
+    (RouterKind.SPECULATIVE_VC, 2),
+    (RouterKind.SINGLE_CYCLE_WORMHOLE, 1),
+    (RouterKind.SINGLE_CYCLE_VC, 2),
+]
+
+
+def make_network(kind, vcs, radix=4, load=0.0, bufs=4, seed=3, **kw):
+    config = SimConfig(
+        router_kind=kind, num_vcs=vcs, mesh_radix=radix,
+        buffers_per_vc=bufs, injection_fraction=load, seed=seed, **kw,
+    )
+    return Network(config)
+
+
+def send_packet(network, src, dst, length=5):
+    packet = Packet(source=src, destination=dst, length=length, creation_cycle=0)
+    network.sources[src].enqueue(packet)
+    return packet
+
+
+class TestSinglePacketDelivery:
+    @pytest.mark.parametrize("kind,vcs", ALL_KINDS)
+    def test_packet_arrives(self, kind, vcs):
+        network = make_network(kind, vcs)
+        packet = send_packet(network, 0, 15)  # corner to corner, 6 hops
+        network.run(100)
+        assert packet.ejection_cycle is not None
+        assert network.sinks[15].packets_ejected == 1
+
+    @pytest.mark.parametrize("kind,vcs", ALL_KINDS)
+    def test_single_hop(self, kind, vcs):
+        network = make_network(kind, vcs)
+        packet = send_packet(network, 0, 1)
+        network.run(60)
+        assert packet.ejection_cycle is not None
+
+    def test_wormhole_latency_formula(self):
+        # Pipelined latency: tail = 4H + 8 cycles for an H-hop path
+        # (3-stage pipe + 1-cycle links, 5-flit packet, see DESIGN.md).
+        network = make_network(RouterKind.WORMHOLE, 1, bufs=8)
+        packet = send_packet(network, 0, 3)  # 3 hops east
+        network.run(80)
+        assert packet.latency == 4 * 3 + 8
+
+    def test_vc_latency_formula(self):
+        # 4-stage pipe: tail = 5H + 9.
+        network = make_network(RouterKind.VIRTUAL_CHANNEL, 2, bufs=8)
+        packet = send_packet(network, 0, 3)
+        network.run(80)
+        assert packet.latency == 5 * 3 + 9
+
+    def test_spec_vc_matches_wormhole_latency(self):
+        # The headline claim: per-hop latency equal to wormhole.
+        spec = make_network(RouterKind.SPECULATIVE_VC, 2, bufs=8)
+        packet = send_packet(spec, 0, 3)
+        spec.run(80)
+        assert packet.latency == 4 * 3 + 8
+
+    def test_single_cycle_latency_formula(self):
+        # 1-stage pipe: tail = 2H + 6.
+        network = make_network(RouterKind.SINGLE_CYCLE_WORMHOLE, 1, bufs=8)
+        packet = send_packet(network, 0, 3)
+        network.run(80)
+        assert packet.latency == 2 * 3 + 6
+
+    @pytest.mark.parametrize("kind,vcs", ALL_KINDS)
+    def test_flit_count_preserved(self, kind, vcs):
+        network = make_network(kind, vcs)
+        send_packet(network, 5, 10, length=7)
+        network.run(120)
+        assert network.sinks[10].flits_ejected == 7
+
+    @pytest.mark.parametrize("length", [1, 2, 5, 9])
+    def test_various_packet_lengths(self, length):
+        network = make_network(RouterKind.SPECULATIVE_VC, 2, bufs=4)
+        packet = send_packet(network, 0, 12, length=length)
+        network.run(150)
+        assert packet.ejection_cycle is not None
+        assert network.sinks[12].flits_ejected == length
+
+
+class TestManyPacketsIntegrity:
+    @pytest.mark.parametrize("kind,vcs", ALL_KINDS)
+    def test_all_packets_delivered_and_conserved(self, kind, vcs):
+        network = make_network(kind, vcs, load=0.3, seed=7)
+        for _ in range(400):
+            network.step()
+            if network.cycle % 16 == 0:
+                network.check_conservation()
+                network.check_credit_invariants()
+        # stop injecting, drain
+        for generator in network.generators:
+            generator.rate_packets_per_cycle = 0.0
+        for _ in range(2000):
+            network.step()
+            if network.drained():
+                break
+        assert network.drained(), f"{kind} did not drain"
+        assert network.total_flits_injected() == network.total_flits_ejected()
+        assert network.packets_generated > 50
+
+    @pytest.mark.parametrize("kind,vcs", ALL_KINDS)
+    def test_packets_arrive_at_their_destination_in_order(self, kind, vcs):
+        """Flits of each packet eject in index order (no reordering)."""
+        arrivals = {}
+
+        network = make_network(kind, vcs, load=0.35, seed=11)
+        original_accepts = []
+        for sink in network.sinks:
+            original = sink.accept
+
+            def wrapped(flit, cycle, original=original):
+                order = arrivals.setdefault(flit.packet.packet_id, [])
+                order.append(flit.index)
+                original(flit, cycle)
+
+            sink.accept = wrapped
+            original_accepts.append(original)
+
+        network.run(600)
+        assert arrivals, "no packets delivered"
+        for packet_id, indices in arrivals.items():
+            assert indices == sorted(indices), (
+                f"packet {packet_id} flits reordered: {indices}"
+            )
+
+    def test_wormhole_output_no_packet_interleaving(self):
+        """Wormhole holds the switch per packet: flits of different
+        packets never interleave on one channel."""
+        network = make_network(RouterKind.WORMHOLE, 1, load=0.4, seed=5)
+        streams = {}
+        flit_links = network._flit_links
+
+        def snoop():
+            for channel, router, port in flit_links:
+                for _, flit in list(channel._in_flight):
+                    key = id(channel)
+                    last = streams.setdefault(key, [])
+                    if not last or last[-1] != (flit.packet.packet_id, flit.index):
+                        last.append((flit.packet.packet_id, flit.index))
+
+        for _ in range(400):
+            network.step()
+            snoop()
+
+        for stream in streams.values():
+            open_packet = None
+            for packet_id, index in stream:
+                if open_packet is None or packet_id != open_packet[0]:
+                    # new packet may only start if previous one finished
+                    # (its tail seen) -- index 0 begins a packet.
+                    assert index == 0, f"packet {packet_id} began mid-stream"
+                    open_packet = (packet_id, index)
+                else:
+                    assert index == open_packet[1] + 1
+                    open_packet = (packet_id, index)
+
+
+class TestSaturationBehavior:
+    def test_backlog_grows_beyond_capacity(self):
+        network = make_network(RouterKind.WORMHOLE, 1, load=0.95, seed=1)
+        network.run(800)
+        backlog = sum(s.backlog_flits for s in network.sources)
+        assert backlog > 100  # sources cannot inject at offered rate
+
+    def test_network_keeps_ejecting_at_overload(self):
+        """No deadlock: ejection continues even far beyond saturation."""
+        network = make_network(RouterKind.SPECULATIVE_VC, 2, load=0.95, seed=1)
+        network.run(400)
+        mid = network.total_flits_ejected()
+        network.run(400)
+        assert network.total_flits_ejected() > mid + 100
+
+
+class TestInjectionRejection:
+    def test_over_bandwidth_injection_rejected(self):
+        # 4x4 mesh capacity is 1 flit/node/cycle; at 5 flits/packet a
+        # load fraction above 5.0 would need >1 packet/node/cycle.
+        with pytest.raises(ValueError):
+            make_network(RouterKind.WORMHOLE, 1, load=6.0)
+
+
+class TestNetworkStructure:
+    def test_router_count(self):
+        network = make_network(RouterKind.WORMHOLE, 1, radix=5)
+        assert len(network.routers) == 25
+
+    def test_channel_count(self):
+        network = make_network(RouterKind.WORMHOLE, 1, radix=4)
+        # 4k(k-1) directed mesh links + k^2 ejection channels tracked
+        # separately.
+        assert len(network._flit_links) == 4 * 4 * 3
+        assert len(network._ejection_links) == 16
+
+    def test_drained_initially(self):
+        network = make_network(RouterKind.WORMHOLE, 1)
+        assert network.drained()

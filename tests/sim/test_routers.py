@@ -1,0 +1,164 @@
+"""Targeted router-behaviour tests: blocking, VC interleaving, speculation."""
+
+import pytest
+
+from repro.sim.config import RouterKind, SimConfig
+from repro.sim.flit import Packet
+from repro.sim.network import Network
+from repro.sim.routers.base import VCState
+from repro.sim.topology import EAST, LOCAL
+
+
+def make_network(kind, vcs, radix=4, bufs=4, seed=0, **kw):
+    return Network(SimConfig(
+        router_kind=kind, num_vcs=vcs, mesh_radix=radix,
+        buffers_per_vc=bufs, injection_fraction=0.0, seed=seed, **kw,
+    ))
+
+
+def send(network, src, dst, length):
+    packet = Packet(source=src, destination=dst, length=length,
+                    creation_cycle=0)
+    network.sources[src].enqueue(packet)
+    return packet
+
+
+class TestVirtualChannelInterleaving:
+    """The raison d'etre of VCs: a short packet is not serialised behind a
+    long packet sharing its physical channel (head-of-line blocking)."""
+
+    def run_two_packets(self, kind, vcs):
+        network = make_network(kind, vcs, bufs=4)
+        long_packet = send(network, 0, 3, length=24)   # 0 -> 3 along the top
+        short_packet = send(network, 0, 1, length=2)   # shares channel 0->1
+        network.run(200)
+        assert long_packet.ejection_cycle is not None
+        assert short_packet.ejection_cycle is not None
+        return long_packet, short_packet
+
+    def test_wormhole_serialises_short_behind_long(self):
+        long_packet, short_packet = self.run_two_packets(RouterKind.WORMHOLE, 1)
+        # The single input queue forces the short packet to wait for all
+        # 24 flits of the long one.
+        assert short_packet.ejection_cycle > long_packet.creation_cycle + 24
+
+    def test_vc_router_interleaves(self):
+        long_packet, short_packet = self.run_two_packets(
+            RouterKind.VIRTUAL_CHANNEL, 2
+        )
+        # The short packet travels on the second VC, finishing long
+        # before the long packet's 24 flits have even been injected.
+        assert short_packet.ejection_cycle < long_packet.ejection_cycle
+
+    def test_vc_short_packet_beats_wormhole_short_packet(self):
+        _, wormhole_short = self.run_two_packets(RouterKind.WORMHOLE, 1)
+        _, vc_short = self.run_two_packets(RouterKind.VIRTUAL_CHANNEL, 2)
+        assert vc_short.ejection_cycle < wormhole_short.ejection_cycle
+
+
+class TestWormholePortHolding:
+    def test_output_port_held_until_tail(self):
+        network = make_network(RouterKind.WORMHOLE, 1, bufs=8)
+        send(network, 0, 2, length=6)
+        router = network.routers[0]
+        held_cycles = []
+        for _ in range(40):
+            network.step()
+            if router.port_held_by[EAST] is not None:
+                held_cycles.append(network.cycle)
+        # Held continuously for the packet's traversal, then released.
+        assert len(held_cycles) >= 5
+        assert held_cycles == list(range(held_cycles[0], held_cycles[-1] + 1))
+        assert router.port_held_by[EAST] is None
+
+    def test_second_packet_waits_for_release(self):
+        network = make_network(RouterKind.WORMHOLE, 1, bufs=8)
+        first = send(network, 0, 1, length=8)
+        second = send(network, 4, 1, length=2)  # node below; competes for
+        network.run(100)                        # ejection port at node 1
+        assert first.ejection_cycle is not None
+        assert second.ejection_cycle is not None
+
+
+class TestSpeculativeBehaviour:
+    def test_speculation_succeeds_in_empty_network(self):
+        network = make_network(RouterKind.SPECULATIVE_VC, 2, bufs=8)
+        packet = send(network, 0, 3, length=5)
+        network.run(80)
+        grants = sum(r.stats.spec_grants for r in network.routers)
+        wasted = sum(r.stats.spec_wasted for r in network.routers)
+        assert packet.ejection_cycle is not None
+        assert grants >= 3          # one per hop for the head flit
+        assert wasted == 0          # nothing contended, all succeed
+
+    def test_speculative_head_saves_a_cycle_per_hop(self):
+        spec = make_network(RouterKind.SPECULATIVE_VC, 2, bufs=8)
+        nonspec = make_network(RouterKind.VIRTUAL_CHANNEL, 2, bufs=8)
+        spec_packet = send(spec, 0, 3, length=5)
+        nonspec_packet = send(nonspec, 0, 3, length=5)
+        spec.run(100)
+        nonspec.run(100)
+        # 3 hops + ejection: 4 routers on the path, 1 cycle saved in each.
+        assert nonspec_packet.latency - spec_packet.latency == 4
+
+    def test_wasted_speculation_under_contention(self):
+        network = make_network(RouterKind.SPECULATIVE_VC, 2, bufs=2, seed=3)
+        for generator in network.generators:
+            generator.rate_packets_per_cycle = 0.08
+        network.run(600)
+        wasted = sum(r.stats.spec_wasted for r in network.routers)
+        grants = sum(r.stats.spec_grants for r in network.routers)
+        assert grants > 0
+        # Some speculation fails under load, but it must stay bounded.
+        assert 0 < wasted < grants
+
+    def test_bodies_are_never_speculative(self):
+        """Only head flits bid speculatively (bodies inherit the VC), so
+        speculative grants are at most one per routed packet per hop."""
+        network = make_network(RouterKind.SPECULATIVE_VC, 2, bufs=8)
+        send(network, 0, 3, length=30)
+        network.run(200)
+        grants = sum(r.stats.spec_grants for r in network.routers)
+        routed = sum(r.stats.packets_routed for r in network.routers)
+        assert grants <= routed
+
+
+class TestVCAllocationStates:
+    def test_head_walks_through_states(self):
+        network = make_network(RouterKind.VIRTUAL_CHANNEL, 2, bufs=4)
+        send(network, 0, 3, length=5)
+        router = network.routers[0]
+        observed = set()
+        for _ in range(12):
+            network.step()
+            observed.add(router.input_vcs[LOCAL][0].state)
+        assert VCState.ACTIVE in observed
+        # the VC returns to idle after the tail departs
+        network.run(80)
+        assert router.input_vcs[LOCAL][0].state is VCState.IDLE
+
+    def test_output_vc_released_after_tail(self):
+        network = make_network(RouterKind.VIRTUAL_CHANNEL, 2, bufs=4)
+        send(network, 0, 1, length=5)
+        network.run(60)
+        for router in network.routers:
+            for port_vcs in router.output_vcs:
+                for ovc in port_vcs:
+                    assert ovc.is_free
+
+    def test_two_packets_use_distinct_output_vcs(self):
+        network = make_network(RouterKind.VIRTUAL_CHANNEL, 2, bufs=4)
+        send(network, 0, 3, length=20)
+        send(network, 0, 3, length=20)
+        seen_pairs = set()
+        router = network.routers[0]
+        for _ in range(30):
+            network.step()
+            holders = [
+                ovc.held_by
+                for ovc in router.output_vcs[EAST]
+                if ovc.held_by is not None
+            ]
+            if len(holders) == 2:
+                seen_pairs.add(tuple(sorted(holders)))
+        assert seen_pairs, "packets never held two output VCs concurrently"

@@ -1,0 +1,101 @@
+"""Tests for dimension-ordered routing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.routing import (
+    dimension_order_route,
+    make_routing_function,
+    route_path,
+    yx_route,
+)
+from repro.sim.topology import EAST, LOCAL, Mesh, NORTH, SOUTH, WEST
+
+k8 = Mesh(8)
+nodes = st.integers(min_value=0, max_value=63)
+
+
+class TestDimensionOrderRouting:
+    def test_eject_at_destination(self):
+        assert dimension_order_route(k8, 5, 5) == LOCAL
+
+    def test_x_first(self):
+        src = k8.node_at(1, 1)
+        dst = k8.node_at(5, 5)
+        assert dimension_order_route(k8, src, dst) == EAST
+        dst_west = k8.node_at(0, 5)
+        assert dimension_order_route(k8, src, dst_west) == WEST
+
+    def test_y_after_x_aligned(self):
+        src = k8.node_at(3, 1)
+        assert dimension_order_route(k8, src, k8.node_at(3, 5)) == SOUTH
+        assert dimension_order_route(k8, src, k8.node_at(3, 0)) == NORTH
+
+    @given(nodes, nodes)
+    def test_path_length_is_manhattan_distance(self, src, dst):
+        path = route_path(k8, src, dst)
+        assert path[-1] == LOCAL
+        assert len(path) - 1 == k8.hop_distance(src, dst)
+
+    @given(nodes, nodes)
+    def test_path_reaches_destination(self, src, dst):
+        node = src
+        for port in route_path(k8, src, dst):
+            if port == LOCAL:
+                break
+            node = k8.neighbor(node, port)
+        assert node == dst
+
+    @given(nodes, nodes)
+    def test_no_turns_back_into_x(self, src, dst):
+        """Dimension order: once the route leaves X for Y it never returns."""
+        path = route_path(k8, src, dst)
+        seen_y = False
+        for port in path:
+            if port in (NORTH, SOUTH):
+                seen_y = True
+            if port in (EAST, WEST):
+                assert not seen_y
+
+    @given(nodes, nodes)
+    def test_deterministic(self, src, dst):
+        assert route_path(k8, src, dst) == route_path(k8, src, dst)
+
+
+class TestYXRouting:
+    @given(nodes, nodes)
+    def test_yx_reaches_destination(self, src, dst):
+        node = src
+        for port in route_path(k8, src, dst, yx_route):
+            if port == LOCAL:
+                break
+            node = k8.neighbor(node, port)
+        assert node == dst
+
+    @given(nodes, nodes)
+    def test_yx_first_moves_vertical(self, src, dst):
+        sx, sy = k8.coordinates(src)
+        dx, dy = k8.coordinates(dst)
+        port = yx_route(k8, src, dst)
+        if sy != dy:
+            assert port in (NORTH, SOUTH)
+        elif sx != dx:
+            assert port in (EAST, WEST)
+        else:
+            assert port == LOCAL
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert make_routing_function("xy") is dimension_order_route
+        assert make_routing_function("yx") is yx_route
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_routing_function("chaotic")
+
+    def test_router_resolved_functions_refuse_direct_calls(self):
+        for name in ("o1turn", "adaptive"):
+            fn = make_routing_function(name)
+            with pytest.raises(TypeError):
+                fn(k8, 0, 5)

@@ -1,0 +1,104 @@
+"""Tests for the network snapshot/debug utilities and latency breakdown."""
+
+import pytest
+
+from repro.sim.config import RouterKind, SimConfig
+from repro.sim.flit import Packet
+from repro.sim.network import Network
+from repro.sim.snapshot import busiest_routers, describe_router, occupancy_map
+
+
+def make_network(load=0.0, kind=RouterKind.SPECULATIVE_VC, vcs=2, seed=1):
+    return Network(SimConfig(
+        router_kind=kind, num_vcs=vcs, mesh_radix=4, buffers_per_vc=4,
+        injection_fraction=load, seed=seed,
+    ))
+
+
+class TestOccupancyMap:
+    def test_idle_network_all_empty(self):
+        text = occupancy_map(make_network())
+        assert text.count(".") >= 16
+
+    def test_loaded_network_shows_fills(self):
+        network = make_network(load=0.6, seed=2)
+        network.run(300)
+        text = occupancy_map(network)
+        assert any(glyph in text for glyph in "-+#@")
+
+    def test_grid_shape(self):
+        lines = occupancy_map(make_network()).splitlines()
+        grid = [l for l in lines if set(l.replace(" ", "")) <= set(".-+#@")]
+        assert len(grid) == 4
+        assert all(len(row.split()) == 4 for row in grid)
+
+
+class TestDescribeRouter:
+    def test_idle_router(self):
+        network = make_network()
+        assert "(idle)" in describe_router(network.routers[5])
+
+    def test_active_router_lists_vcs(self):
+        network = make_network()
+        packet = Packet(source=0, destination=3, length=5, creation_cycle=0)
+        network.sources[0].enqueue(packet)
+        network.run(2)
+        text = describe_router(network.routers[0])
+        assert "local" in text
+        assert "buffered=" in text
+
+    def test_wormhole_held_ports_shown(self):
+        network = make_network(kind=RouterKind.WORMHOLE, vcs=1)
+        packet = Packet(source=0, destination=3, length=10, creation_cycle=0)
+        network.sources[0].enqueue(packet)
+        network.run(5)
+        assert "held ports" in describe_router(network.routers[0])
+
+
+class TestBusiestRouters:
+    def test_returns_requested_count_sorted(self):
+        network = make_network(load=0.5, seed=3)
+        network.run(200)
+        top = busiest_routers(network, count=3)
+        assert len(top) == 3
+        fills = [r.buffered_flits() for r in top]
+        assert fills == sorted(fills, reverse=True)
+
+
+class TestLatencyBreakdown:
+    def test_zero_load_has_no_queueing(self):
+        network = make_network()
+        packet = Packet(source=0, destination=3, length=5, creation_cycle=0)
+        network.sources[0].enqueue(packet)
+        network.run(80)
+        assert packet.queueing_latency == 0
+        assert packet.network_latency == packet.latency
+
+    def test_backlog_shows_as_queueing(self):
+        network = make_network()
+        first = Packet(source=0, destination=3, length=5, creation_cycle=0)
+        second = Packet(source=0, destination=2, length=5, creation_cycle=0)
+        network.sources[0].enqueue(first)
+        network.sources[0].enqueue(second)
+        network.run(120)
+        # both VCs available: second starts on the other VC immediately
+        assert second.queueing_latency <= 1
+        # wormhole: strictly serialized behind the first packet
+        network = make_network(kind=RouterKind.WORMHOLE, vcs=1)
+        first = Packet(source=0, destination=3, length=5, creation_cycle=0)
+        second = Packet(source=0, destination=2, length=5, creation_cycle=0)
+        network.sources[0].enqueue(first)
+        network.sources[0].enqueue(second)
+        network.run(120)
+        assert second.queueing_latency >= 4
+        assert (
+            second.latency
+            == second.queueing_latency + second.network_latency
+        )
+
+    def test_breakdown_requires_delivery(self):
+        packet = Packet(source=0, destination=1, length=5, creation_cycle=0)
+        with pytest.raises(ValueError):
+            _ = packet.queueing_latency
+        with pytest.raises(ValueError):
+            _ = packet.network_latency

@@ -1,0 +1,107 @@
+"""Tests for the mesh topology and capacity."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.topology import (
+    EAST,
+    LOCAL,
+    Mesh,
+    NORTH,
+    NUM_PORTS,
+    OPPOSITE,
+    SOUTH,
+    WEST,
+)
+
+meshes = st.integers(min_value=2, max_value=10).map(Mesh)
+k8 = Mesh(8)
+
+
+class TestCoordinates:
+    def test_row_major_numbering(self):
+        assert k8.coordinates(0) == (0, 0)
+        assert k8.coordinates(7) == (7, 0)
+        assert k8.coordinates(8) == (0, 1)
+        assert k8.coordinates(63) == (7, 7)
+
+    def test_node_at_inverse(self):
+        for node in k8.nodes():
+            assert k8.node_at(*k8.coordinates(node)) == node
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            k8.coordinates(64)
+        with pytest.raises(ValueError):
+            k8.node_at(8, 0)
+
+    def test_rejects_tiny_mesh(self):
+        with pytest.raises(ValueError):
+            Mesh(1)
+
+
+class TestNeighbors:
+    def test_interior_node(self):
+        node = k8.node_at(3, 3)
+        assert k8.neighbor(node, EAST) == k8.node_at(4, 3)
+        assert k8.neighbor(node, WEST) == k8.node_at(2, 3)
+        assert k8.neighbor(node, NORTH) == k8.node_at(3, 2)
+        assert k8.neighbor(node, SOUTH) == k8.node_at(3, 4)
+
+    def test_edges_have_no_neighbor(self):
+        assert k8.neighbor(k8.node_at(0, 0), WEST) is None
+        assert k8.neighbor(k8.node_at(0, 0), NORTH) is None
+        assert k8.neighbor(k8.node_at(7, 7), EAST) is None
+        assert k8.neighbor(k8.node_at(7, 7), SOUTH) is None
+
+    def test_local_has_no_neighbor(self):
+        assert k8.neighbor(0, LOCAL) is None
+
+    def test_unknown_port(self):
+        with pytest.raises(ValueError):
+            k8.neighbor(0, 9)
+
+    @given(meshes)
+    def test_links_are_symmetric(self, mesh):
+        links = set(mesh.links())
+        for node, port, neighbor in links:
+            assert (neighbor, OPPOSITE[port], node) in links
+
+    @given(meshes)
+    def test_link_count(self, mesh):
+        # A k x k mesh has 2 * k * (k-1) bidirectional links = 4k(k-1)
+        # directed channels.
+        assert len(list(mesh.links())) == 4 * mesh.k * (mesh.k - 1)
+
+
+class TestDistancesAndCapacity:
+    def test_hop_distance(self):
+        assert k8.hop_distance(k8.node_at(0, 0), k8.node_at(7, 7)) == 14
+        assert k8.hop_distance(5, 5) == 0
+
+    def test_average_hop_distance_8x8(self):
+        # Mean per-dimension distance (k^2-1)/3k = 2.625; x2 dims,
+        # rescaled by 64/63 for self-exclusion: ~5.33.
+        assert k8.average_hop_distance() == pytest.approx(5.25 * 64 / 63)
+
+    @given(meshes)
+    def test_average_matches_exhaustive(self, mesh):
+        n = mesh.num_nodes
+        total = sum(
+            mesh.hop_distance(s, d)
+            for s in mesh.nodes()
+            for d in mesh.nodes()
+            if s != d
+        )
+        assert mesh.average_hop_distance() == pytest.approx(total / (n * (n - 1)))
+
+    def test_capacity_8x8_is_half_flit(self):
+        # The paper's traffic axis: 100% of capacity = 0.5 flits/node/cycle.
+        assert k8.capacity_flits_per_node_cycle() == 0.5
+
+    @given(meshes)
+    def test_capacity_formula(self, mesh):
+        assert mesh.capacity_flits_per_node_cycle() == pytest.approx(4.0 / mesh.k)
+
+    def test_num_ports_constant(self):
+        assert NUM_PORTS == 5

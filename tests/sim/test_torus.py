@@ -1,0 +1,245 @@
+"""Tests for the torus topology, torus routing, and dateline VC classes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.dateline import (
+    AllVCs,
+    DatelineVCs,
+    O1TurnVCs,
+    class_partition,
+    make_vc_policy,
+    o1turn_choice,
+    vc_class,
+)
+from repro.sim.flit import Packet
+from repro.sim.routing import dimension_order_route, route_path
+from repro.sim.topology import (
+    EAST,
+    LOCAL,
+    Mesh,
+    NORTH,
+    OPPOSITE,
+    SOUTH,
+    Torus,
+    WEST,
+    make_topology,
+    port_dimension,
+)
+
+t4 = Torus(4)
+t8 = Torus(8)
+
+
+class TestTorusTopology:
+    def test_wrap_neighbors(self):
+        assert t4.neighbor(t4.node_at(3, 0), EAST) == t4.node_at(0, 0)
+        assert t4.neighbor(t4.node_at(0, 0), WEST) == t4.node_at(3, 0)
+        assert t4.neighbor(t4.node_at(0, 0), NORTH) == t4.node_at(0, 3)
+        assert t4.neighbor(t4.node_at(0, 3), SOUTH) == t4.node_at(0, 0)
+
+    def test_interior_matches_mesh(self):
+        mesh = Mesh(4)
+        node = t4.node_at(1, 1)
+        for port in (EAST, WEST, NORTH, SOUTH):
+            assert t4.neighbor(node, port) == mesh.neighbor(node, port)
+
+    def test_is_wrap_link(self):
+        assert t4.is_wrap_link(t4.node_at(3, 1), EAST)
+        assert not t4.is_wrap_link(t4.node_at(2, 1), EAST)
+        assert t4.is_wrap_link(t4.node_at(0, 1), WEST)
+        assert t4.is_wrap_link(t4.node_at(1, 0), NORTH)
+        assert t4.is_wrap_link(t4.node_at(1, 3), SOUTH)
+
+    def test_mesh_has_no_wrap_links(self):
+        mesh = Mesh(4)
+        assert not mesh.has_wrap_links
+        assert not any(
+            mesh.is_wrap_link(n, p)
+            for n in mesh.nodes() for p in (EAST, WEST, NORTH, SOUTH)
+            if mesh.neighbor(n, p) is not None
+        )
+
+    def test_every_node_has_four_neighbors(self):
+        for node in t4.nodes():
+            for port in (EAST, WEST, NORTH, SOUTH):
+                assert t4.neighbor(node, port) is not None
+
+    @given(st.integers(min_value=2, max_value=8).map(Torus))
+    def test_links_symmetric_and_counted(self, torus):
+        links = set(torus.links())
+        assert len(links) == 4 * torus.k * torus.k
+        for node, port, neighbor in links:
+            assert (neighbor, OPPOSITE[port], node) in links
+
+    def test_ring_hop_distance(self):
+        assert t8.hop_distance(t8.node_at(0, 0), t8.node_at(7, 0)) == 1
+        assert t8.hop_distance(t8.node_at(0, 0), t8.node_at(4, 0)) == 4
+        assert t8.hop_distance(t8.node_at(1, 1), t8.node_at(6, 6)) == 6
+
+    @given(st.integers(min_value=2, max_value=8).map(Torus))
+    def test_average_matches_exhaustive(self, torus):
+        n = torus.num_nodes
+        total = sum(
+            torus.hop_distance(s, d)
+            for s in torus.nodes() for d in torus.nodes() if s != d
+        )
+        assert torus.average_hop_distance() == pytest.approx(
+            total / (n * (n - 1))
+        )
+
+    def test_torus_shorter_than_mesh(self):
+        assert t8.average_hop_distance() < Mesh(8).average_hop_distance()
+
+    def test_capacity_doubled(self):
+        assert t8.capacity_flits_per_node_cycle() == 1.0
+        assert Mesh(8).capacity_flits_per_node_cycle() == 0.5
+
+    def test_factory(self):
+        assert isinstance(make_topology("torus", 4), Torus)
+        assert type(make_topology("mesh", 4)) is Mesh
+        with pytest.raises(ValueError):
+            make_topology("hypercube", 4)
+
+    def test_port_dimension(self):
+        assert port_dimension(EAST) == port_dimension(WEST) == 0
+        assert port_dimension(NORTH) == port_dimension(SOUTH) == 1
+        assert port_dimension(LOCAL) is None
+        with pytest.raises(ValueError):
+            port_dimension(9)
+
+
+class TestTorusRouting:
+    @given(st.integers(min_value=0, max_value=63),
+           st.integers(min_value=0, max_value=63))
+    def test_paths_are_minimal(self, src, dst):
+        path = route_path(t8, src, dst)
+        assert len(path) - 1 == t8.hop_distance(src, dst)
+
+    @given(st.integers(min_value=0, max_value=63),
+           st.integers(min_value=0, max_value=63))
+    def test_paths_reach_destination(self, src, dst):
+        node = src
+        for port in route_path(t8, src, dst):
+            if port == LOCAL:
+                break
+            node = t8.neighbor(node, port)
+        assert node == dst
+
+    def test_takes_short_way_around(self):
+        # (0,0) -> (7,0): one hop WEST via the wrap link, not 7 east.
+        assert dimension_order_route(t8, t8.node_at(0, 0), t8.node_at(7, 0)) == WEST
+
+    def test_tie_breaks_east(self):
+        # distance 4 both ways on a ring of 8.
+        assert dimension_order_route(t8, t8.node_at(0, 0), t8.node_at(4, 0)) == EAST
+
+    @given(st.integers(min_value=0, max_value=63),
+           st.integers(min_value=0, max_value=63))
+    def test_wraps_at_most_once_per_dimension(self, src, dst):
+        node = src
+        wraps = {0: 0, 1: 0}
+        for port in route_path(t8, src, dst):
+            if port == LOCAL:
+                break
+            if t8.is_wrap_link(node, port):
+                wraps[port_dimension(port)] += 1
+            node = t8.neighbor(node, port)
+        assert wraps[0] <= 1 and wraps[1] <= 1
+
+
+class TestVCClassPartition:
+    def test_partition_two(self):
+        assert class_partition(2) == ((0,), (1,))
+
+    def test_partition_odd(self):
+        assert class_partition(3) == ((0, 1), (2,))
+
+    def test_partition_four(self):
+        assert class_partition(4) == ((0, 1), (2, 3))
+
+    def test_vc_class(self):
+        assert vc_class(0, 2) == 0
+        assert vc_class(1, 2) == 1
+        assert vc_class(1, 4) == 0
+        assert vc_class(2, 4) == 1
+
+    def test_rejects_single_vc(self):
+        with pytest.raises(ValueError):
+            class_partition(1)
+
+
+def head_flit():
+    return Packet(source=0, destination=1, length=1, creation_cycle=0).make_flits()[0]
+
+
+class TestDatelinePolicy:
+    policy = DatelineVCs(2)
+
+    def allowed(self, node, arrival, in_vc, route):
+        return self.policy.allowed_vcs(t4, node, arrival, in_vc, route, head_flit())
+
+    def test_fresh_dimension_class0(self):
+        # injected (LOCAL) heading EAST over a normal link
+        assert self.allowed(t4.node_at(1, 1), LOCAL, 0, EAST) == (0,)
+
+    def test_crossing_dateline_gives_class1(self):
+        assert self.allowed(t4.node_at(3, 1), LOCAL, 0, EAST) == (1,)
+
+    def test_stays_class1_after_crossing(self):
+        # arrived in class-1 VC, continuing EAST over a normal link
+        assert self.allowed(t4.node_at(0, 1), WEST, 1, EAST) == (1,)
+
+    def test_dimension_change_resets_class(self):
+        # arrived in class-1 VC on X, turning SOUTH over a normal link
+        assert self.allowed(t4.node_at(0, 1), WEST, 1, SOUTH) == (0,)
+
+    def test_ejection_unrestricted(self):
+        assert set(self.allowed(t4.node_at(0, 1), WEST, 1, LOCAL)) == {0, 1}
+
+    def test_class0_continues_class0(self):
+        assert self.allowed(t4.node_at(1, 1), WEST, 0, EAST) == (0,)
+
+
+class TestO1TurnPolicy:
+    def test_choice_deterministic(self):
+        packet = Packet(source=0, destination=1, length=1, creation_cycle=0)
+        assert o1turn_choice(packet) == o1turn_choice(packet)
+
+    def test_choice_roughly_balanced(self):
+        packets = [
+            Packet(source=0, destination=1, length=1, creation_cycle=0)
+            for _ in range(400)
+        ]
+        yx = sum(o1turn_choice(p) == "yx" for p in packets)
+        assert 120 < yx < 280
+
+    def test_classes_follow_choice(self):
+        policy = O1TurnVCs(2)
+        flit = head_flit()
+        allowed = policy.allowed_vcs(Mesh(4), 5, LOCAL, 0, EAST, flit)
+        expected = (1,) if o1turn_choice(flit.packet) == "yx" else (0,)
+        assert allowed == expected
+
+    def test_ejection_unrestricted(self):
+        policy = O1TurnVCs(2)
+        assert set(policy.allowed_vcs(Mesh(4), 5, EAST, 0, LOCAL, head_flit())) == {0, 1}
+
+
+class TestPolicyFactory:
+    def test_mesh_default_unrestricted(self):
+        assert isinstance(make_vc_policy("xy", Mesh(4), 2), AllVCs)
+
+    def test_torus_gets_dateline(self):
+        assert isinstance(make_vc_policy("xy", t4, 2), DatelineVCs)
+
+    def test_o1turn_on_mesh(self):
+        assert isinstance(make_vc_policy("o1turn", Mesh(4), 2), O1TurnVCs)
+
+    def test_o1turn_on_torus_rejected(self):
+        with pytest.raises(ValueError):
+            make_vc_policy("o1turn", t4, 4)
+
+    def test_all_vcs_policy(self):
+        policy = AllVCs(3)
+        assert policy.allowed_vcs(Mesh(4), 0, LOCAL, 0, EAST, head_flit()) == (0, 1, 2)

@@ -1,0 +1,141 @@
+"""Tests for traffic patterns and injection processes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.topology import Mesh
+from repro.sim.traffic import (
+    PacketSource,
+    bit_complement_destination,
+    make_destination_pattern,
+    rate_from_capacity_fraction,
+    transpose_destination,
+    uniform_destination,
+)
+
+k8 = Mesh(8)
+
+
+class TestDestinationPatterns:
+    def test_uniform_never_self(self):
+        rng = random.Random(0)
+        for node in (0, 17, 63):
+            for _ in range(200):
+                assert uniform_destination(k8, node, rng) != node
+
+    def test_uniform_covers_all_destinations(self):
+        rng = random.Random(1)
+        seen = {uniform_destination(k8, 0, rng) for _ in range(5000)}
+        assert seen == set(range(1, 64))
+
+    def test_uniform_is_roughly_uniform(self):
+        rng = random.Random(2)
+        counts = {}
+        samples = 63 * 300
+        for _ in range(samples):
+            d = uniform_destination(k8, 10, rng)
+            counts[d] = counts.get(d, 0) + 1
+        expected = samples / 63
+        assert all(0.6 * expected < c < 1.4 * expected for c in counts.values())
+
+    def test_transpose(self):
+        rng = random.Random(0)
+        src = k8.node_at(2, 5)
+        assert transpose_destination(k8, src, rng) == k8.node_at(5, 2)
+
+    def test_transpose_diagonal_falls_back(self):
+        rng = random.Random(0)
+        src = k8.node_at(3, 3)
+        assert transpose_destination(k8, src, rng) != src
+
+    def test_bit_complement(self):
+        rng = random.Random(0)
+        src = k8.node_at(1, 2)
+        assert bit_complement_destination(k8, src, rng) == k8.node_at(6, 5)
+
+    def test_factory(self):
+        assert make_destination_pattern("uniform") is uniform_destination
+        with pytest.raises(ValueError):
+            make_destination_pattern("tornado")
+
+
+class TestPacketSource:
+    def make_source(self, rate, process="constant", seed=0):
+        return PacketSource(
+            node=0, mesh=k8, rate_packets_per_cycle=rate, packet_length=5,
+            rng=random.Random(seed), process=process,
+        )
+
+    def test_zero_rate_generates_nothing(self):
+        source = self.make_source(0.0)
+        assert all(source.maybe_generate(c) is None for c in range(100))
+
+    def test_constant_rate_exact_count(self):
+        source = self.make_source(0.25)
+        generated = sum(
+            source.maybe_generate(c) is not None for c in range(1000)
+        )
+        assert generated in (250, 251)  # random phase shifts by at most 1
+
+    def test_constant_rate_even_spacing(self):
+        source = self.make_source(0.2)
+        cycles = [c for c in range(100) if source.maybe_generate(c)]
+        gaps = {b - a for a, b in zip(cycles, cycles[1:])}
+        assert gaps == {5}
+
+    def test_bernoulli_rate_statistical(self):
+        source = self.make_source(0.3, process="bernoulli")
+        generated = sum(
+            source.maybe_generate(c) is not None for c in range(4000)
+        )
+        assert 0.25 * 4000 < generated < 0.35 * 4000
+
+    def test_packet_fields(self):
+        source = self.make_source(1.0)
+        packet = source.maybe_generate(17)
+        assert packet is not None
+        assert packet.source == 0
+        assert packet.destination != 0
+        assert packet.length == 5
+        assert packet.creation_cycle == 17
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            self.make_source(1.5)
+        with pytest.raises(ValueError):
+            self.make_source(-0.1)
+
+    def test_invalid_process(self):
+        with pytest.raises(ValueError):
+            self.make_source(0.1, process="poisson")
+
+    @given(st.floats(min_value=0.01, max_value=1.0), st.integers(0, 100))
+    @settings(max_examples=25)
+    def test_constant_rate_tracks_target(self, rate, seed):
+        source = PacketSource(
+            node=0, mesh=k8, rate_packets_per_cycle=rate, packet_length=5,
+            rng=random.Random(seed),
+        )
+        cycles = 2000
+        generated = sum(
+            source.maybe_generate(c) is not None for c in range(cycles)
+        )
+        assert abs(generated - rate * cycles) <= 1.0
+
+
+class TestRateConversion:
+    def test_full_capacity_8x8(self):
+        # 100% capacity = 0.5 flits/node/cycle = 0.1 packets at length 5.
+        assert rate_from_capacity_fraction(k8, 1.0, 5) == pytest.approx(0.1)
+
+    def test_scales_linearly(self):
+        assert rate_from_capacity_fraction(k8, 0.4, 5) == pytest.approx(0.04)
+
+    def test_packet_length_divides(self):
+        assert rate_from_capacity_fraction(k8, 1.0, 1) == pytest.approx(0.5)
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            rate_from_capacity_fraction(k8, -0.1, 5)

@@ -1,0 +1,140 @@
+"""Tests for the virtual cut-through router."""
+
+import pytest
+
+from repro.sim.config import MeasurementConfig, RouterKind, SimConfig
+from repro.sim.engine import simulate
+from repro.sim.flit import Packet
+from repro.sim.network import Network
+
+FAST = MeasurementConfig(
+    warmup_cycles=150, sample_packets=200, max_cycles=8_000,
+    drain_cycles=2_500,
+)
+
+
+def vct_network(radix=4, bufs=8, load=0.0, seed=0, length=5):
+    return Network(SimConfig(
+        router_kind=RouterKind.VIRTUAL_CUT_THROUGH, mesh_radix=radix,
+        buffers_per_vc=bufs, injection_fraction=load, seed=seed,
+        packet_length=length,
+    ))
+
+
+def send(network, src, dst, length=5):
+    packet = Packet(source=src, destination=dst, length=length,
+                    creation_cycle=0)
+    network.sources[src].enqueue(packet)
+    return packet
+
+
+class TestVCTBasics:
+    def test_requires_packet_sized_buffers(self):
+        with pytest.raises(ValueError):
+            vct_network(bufs=4, length=5)
+
+    def test_zero_load_latency_matches_wormhole(self):
+        # Same 3-stage datapath: (D+1)H + D + L.
+        network = vct_network()
+        packet = send(network, 0, 3)
+        network.run(80)
+        assert packet.latency == 4 * 3 + 8
+
+    def test_delivery_under_load(self):
+        network = vct_network(load=0.3, seed=5)
+        network.run(500)
+        for generator in network.generators:
+            generator.rate_packets_per_cycle = 0.0
+        for _ in range(3000):
+            network.step()
+            if network.drained():
+                break
+        assert network.drained()
+        assert network.total_flits_injected() == network.total_flits_ejected()
+
+    def test_no_packet_spreading(self):
+        """The defining VCT property: a packet's flits never straddle
+        more than two routers' buffers plus the wire (the whole packet
+        was admitted downstream before its head advanced)."""
+        network = vct_network(load=0.45, seed=7)
+        violations = []
+        for _ in range(400):
+            network.step()
+            # count routers holding flits of each packet
+            holders = {}
+            for router in network.routers:
+                for port_vcs in router.input_vcs:
+                    for ivc in port_vcs:
+                        for flit in ivc.buffer:
+                            holders.setdefault(
+                                flit.packet.packet_id, set()
+                            ).add(router.node)
+            for packet_id, nodes in holders.items():
+                if len(nodes) > 2:
+                    violations.append((packet_id, nodes))
+        assert not violations
+
+    def test_wormhole_does_spread(self):
+        """Contrast: wormhole packets with small buffers straddle many
+        routers under congestion."""
+        network = Network(SimConfig(
+            router_kind=RouterKind.WORMHOLE, mesh_radix=4, buffers_per_vc=2,
+            injection_fraction=0.6, seed=7, packet_length=8,
+        ))
+        max_spread = 0
+        for _ in range(400):
+            network.step()
+            holders = {}
+            for router in network.routers:
+                for port_vcs in router.input_vcs:
+                    for ivc in port_vcs:
+                        for flit in ivc.buffer:
+                            holders.setdefault(
+                                flit.packet.packet_id, set()
+                            ).add(router.node)
+            for nodes in holders.values():
+                max_spread = max(max_spread, len(nodes))
+        assert max_spread >= 3
+
+    def test_head_waits_for_whole_packet_space(self):
+        """A head with some but insufficient downstream credit stalls."""
+        network = vct_network(bufs=8)
+        router = network.routers[0]
+        from repro.sim.topology import EAST
+
+        counter = router.output_vcs[EAST][0].credits
+        for _ in range(4):
+            counter.consume()  # leave 4 < packet length 5
+        packet = send(network, 0, 2, length=5)
+        network.run(40)
+        assert packet.ejection_cycle is None
+        assert router.stats.credits_stalled > 0
+        # restoring space releases it
+        for _ in range(4):
+            counter.restore()
+        network.run(60)
+        assert packet.ejection_cycle is not None
+
+
+class TestVCTPerformance:
+    def latency(self, kind, bufs, load):
+        return simulate(SimConfig(
+            router_kind=kind, mesh_radix=8, buffers_per_vc=bufs,
+            injection_fraction=load, seed=3,
+        ), FAST).average_latency
+
+    def test_vct_matches_wormhole_with_ample_buffers(self):
+        """With deep buffers the whole-packet admission rarely binds and
+        VCT tracks wormhole closely."""
+        wormhole = self.latency(RouterKind.WORMHOLE, 24, 0.55)
+        vct = self.latency(RouterKind.VIRTUAL_CUT_THROUGH, 24, 0.55)
+        assert vct <= wormhole * 1.10
+
+    def test_vct_pays_admission_cost_with_tight_buffers(self):
+        """With buffers barely above the packet size, requiring a whole
+        packet's worth of space stalls heads that wormhole would trickle
+        forward -- the flow-control/buffer-sizing interaction the
+        Related Work models disagree about."""
+        wormhole = self.latency(RouterKind.WORMHOLE, 8, 0.45)
+        vct = self.latency(RouterKind.VIRTUAL_CUT_THROUGH, 8, 0.45)
+        assert vct > wormhole * 1.2

@@ -1,0 +1,80 @@
+"""Paper anchor tests: zero-load latencies on the 8x8 mesh (Section 5).
+
+These run the real simulator at 5% load and pin the measured averages to
+the figures' quoted zero-load numbers:
+
+* Figure 13/14: wormhole 29 cycles.
+* Figure 13: non-speculative VC 36 (2vcsX4bufs); Figure 14: 35 (2vcsX8bufs).
+* Figure 13/14: speculative VC 30 / 29 -- equal to wormhole per hop.
+* Figure 17: single-cycle routers 16.
+"""
+
+import pytest
+
+from repro.sim.config import MeasurementConfig, RouterKind, SimConfig
+from repro.sim.engine import simulate
+
+MEAS = MeasurementConfig(warmup_cycles=200, sample_packets=300, max_cycles=30_000)
+
+
+def zero_load_latency(kind, vcs, bufs, **kw):
+    config = SimConfig(
+        router_kind=kind, num_vcs=vcs, buffers_per_vc=bufs,
+        injection_fraction=0.05, seed=42, **kw,
+    )
+    return simulate(config, MEAS).average_latency
+
+
+class TestZeroLoadAnchors:
+    def test_wormhole_29(self):
+        assert zero_load_latency(RouterKind.WORMHOLE, 1, 8) == pytest.approx(29, abs=1.2)
+
+    def test_nonspec_vc_35_to_36(self):
+        latency = zero_load_latency(RouterKind.VIRTUAL_CHANNEL, 2, 4)
+        assert latency == pytest.approx(35.5, abs=1.5)
+
+    def test_spec_vc_29_to_30(self):
+        latency = zero_load_latency(RouterKind.SPECULATIVE_VC, 2, 4)
+        assert latency == pytest.approx(29.5, abs=1.5)
+
+    def test_single_cycle_wormhole_16(self):
+        latency = zero_load_latency(RouterKind.SINGLE_CYCLE_WORMHOLE, 1, 8)
+        assert latency == pytest.approx(16.5, abs=1.2)
+
+    def test_single_cycle_vc_16(self):
+        latency = zero_load_latency(RouterKind.SINGLE_CYCLE_VC, 2, 4)
+        assert latency == pytest.approx(16.5, abs=1.2)
+
+    def test_spec_vc_matches_wormhole(self):
+        wormhole = zero_load_latency(RouterKind.WORMHOLE, 1, 8)
+        spec = zero_load_latency(RouterKind.SPECULATIVE_VC, 2, 4)
+        assert abs(spec - wormhole) <= 1.0
+
+    def test_nonspec_vc_one_stage_slower(self):
+        """The extra pipeline stage costs ~1 cycle per hop: with ~6.3
+        routers on the average path, VC is ~6 cycles slower at zero load."""
+        wormhole = zero_load_latency(RouterKind.WORMHOLE, 1, 8)
+        vc = zero_load_latency(RouterKind.VIRTUAL_CHANNEL, 2, 4)
+        assert 4.5 <= vc - wormhole <= 8.0
+
+    def test_unit_latency_model_underestimates_by_half(self):
+        """Section 5.2: the single-cycle model underestimates zero-load
+        latency substantially (the paper quotes 56% against its
+        pipelined counterpart's 29-36 cycles)."""
+        pipelined = zero_load_latency(RouterKind.VIRTUAL_CHANNEL, 2, 4)
+        unit = zero_load_latency(RouterKind.SINGLE_CYCLE_VC, 2, 4)
+        assert unit < 0.55 * pipelined
+
+    def test_more_buffers_do_not_raise_zero_load(self):
+        small = zero_load_latency(RouterKind.SPECULATIVE_VC, 2, 4)
+        large = zero_load_latency(RouterKind.SPECULATIVE_VC, 2, 8)
+        assert large <= small + 0.5
+
+    def test_fig18_slow_credits_leave_zero_load_alone(self):
+        """Credit latency does not directly impact zero-load latency
+        (Section 6) -- only buffer turnaround, hence throughput."""
+        fast = zero_load_latency(RouterKind.SPECULATIVE_VC, 2, 4,
+                                 credit_propagation=1)
+        slow = zero_load_latency(RouterKind.SPECULATIVE_VC, 2, 4,
+                                 credit_propagation=4)
+        assert slow == pytest.approx(fast, abs=3.0)

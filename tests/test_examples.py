@@ -1,0 +1,54 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Each runs in a subprocess with its quickest settings and must
+exit 0 and print its headline content.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", [], "zero-load latency"),
+    ("pipeline_explorer.py", [], "Pipeline depth vs clock"),
+    ("design_space.py", [], "Chien"),
+    ("paper_walkthrough.py", [], "packet latency"),
+    ("compare_flow_control.py", ["--quick"], "saturation"),
+    ("credit_loop_study.py", ["--quick"], "turnaround"),
+    ("beyond_the_paper.py", ["--quick"], "torus"),
+    ("congestion_atlas.py", ["--cycles", "300", "--load", "0.4"],
+     "buffer occupancy"),
+    ("speculation_anatomy.py", None, "speculative"),  # None -> importable only
+]
+
+
+@pytest.mark.parametrize(
+    "script,args,needle",
+    [case for case in CASES if case[1] is not None],
+    ids=[case[0] for case in CASES if case[1] is not None],
+)
+@pytest.mark.slow
+def test_example_runs(script, args, needle):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert needle.lower() in result.stdout.lower()
+
+
+@pytest.mark.parametrize("script", [case[0] for case in CASES])
+def test_example_compiles(script):
+    """Cheap per-commit check: every example at least byte-compiles."""
+    source = (EXAMPLES / script).read_text()
+    compile(source, script, "exec")
+
+
+def test_all_examples_covered():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == {case[0] for case in CASES}
