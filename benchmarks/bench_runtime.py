@@ -1,0 +1,158 @@
+"""Microbenchmark: the parallel sweep runtime vs the serial path.
+
+Runs a figure-sized grid (3 router configs x 8 loads = 24 points, the
+shape of Figures 13/14) four ways --
+
+* serial, no cache (the pre-runtime baseline),
+* 4 workers, no cache (parallel fan-out),
+* serial with a cold cache (execution + store overhead),
+* serial with a warm cache (every point served from disk),
+
+-- verifies the parallel results are bit-identical to serial and that
+the warm pass serves >= 95% from cache, then writes the wall times to
+``benchmarks/BENCH_runtime.json`` so the perf trajectory is tracked
+from this PR onward.
+
+Run standalone (full scale)::
+
+    PYTHONPATH=src python benchmarks/bench_runtime.py [--workers 4]
+
+or via pytest (reduced scale)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_runtime.py -q
+
+On a single-core machine the parallel pass cannot beat serial; the
+JSON records ``cpu_count`` so readers can judge the speedup number.
+The >= 2x target applies on >= 4 cores.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.runtime import Experiment, ResultCache
+from repro.sim.config import MeasurementConfig, RouterKind, SimConfig
+
+RESULT_PATH = Path(__file__).parent / "BENCH_runtime.json"
+
+#: The Figure 13 curve trio: the grid rows.
+GRID_CONFIGS = [
+    SimConfig(router_kind=RouterKind.WORMHOLE, buffers_per_vc=8, seed=1),
+    SimConfig(router_kind=RouterKind.VIRTUAL_CHANNEL, num_vcs=2,
+              buffers_per_vc=4, seed=1),
+    SimConfig(router_kind=RouterKind.SPECULATIVE_VC, num_vcs=2,
+              buffers_per_vc=4, seed=1),
+]
+
+#: 8 loads x 3 configs = 24 points, a full figure's worth.
+GRID_LOADS = (0.05, 0.15, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50)
+
+
+def bench_measurement(scale: str) -> MeasurementConfig:
+    if scale == "quick":  # pytest wrapper: seconds, not minutes
+        return MeasurementConfig(
+            warmup_cycles=100, sample_packets=120, max_cycles=6_000,
+            drain_cycles=2_000,
+        )
+    return MeasurementConfig(
+        warmup_cycles=400, sample_packets=700, max_cycles=20_000,
+        drain_cycles=5_000,
+    )
+
+
+def run_benchmark(
+    scale: str = "bench",
+    workers: int = 4,
+    mesh_radix: Optional[int] = None,
+    write_json: bool = True,
+) -> dict:
+    measurement = bench_measurement(scale)
+    configs = GRID_CONFIGS
+    if mesh_radix is not None:
+        from dataclasses import replace
+
+        configs = [replace(c, mesh_radix=mesh_radix) for c in configs]
+
+    def grid_with(experiment):
+        start = time.perf_counter()
+        grid = experiment.run_grid(configs, loads=GRID_LOADS)
+        return grid, time.perf_counter() - start
+
+    serial_grid, serial_s = grid_with(Experiment(measurement, workers=0))
+    parallel_grid, parallel_s = grid_with(
+        Experiment(measurement, workers=workers)
+    )
+    if parallel_grid.results != serial_grid.results:
+        raise AssertionError(
+            "parallel grid is not bit-identical to the serial grid"
+        )
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cold = Experiment(measurement, workers=0, cache=ResultCache(tmp))
+        cold_grid, cold_s = grid_with(cold)
+        warm = Experiment(measurement, workers=0, cache=ResultCache(tmp))
+        warm_grid, warm_s = grid_with(warm)
+        hit_rate = warm.stats.cache_hit_rate
+    if warm_grid.results != serial_grid.results:
+        raise AssertionError("cached grid differs from the executed grid")
+    if hit_rate < 0.95:
+        raise AssertionError(
+            f"warm cache served only {hit_rate:.0%} of points (need >= 95%)"
+        )
+
+    total_cycles = sum(
+        r.counters.total_cycles for r in serial_grid.results if r.counters
+    )
+    record = {
+        "benchmark": "runtime",
+        "scale": scale,
+        "grid_points": len(serial_grid),
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "cycles_simulated_per_pass": total_cycles,
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "parallel_speedup": round(serial_s / parallel_s, 3),
+        "cold_cache_seconds": round(cold_s, 3),
+        "warm_cache_seconds": round(warm_s, 3),
+        "warm_cache_speedup": round(serial_s / warm_s, 1),
+        "warm_cache_hit_rate": round(hit_rate, 4),
+        "parallel_bit_identical": True,
+    }
+    if write_json:
+        RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+def test_runtime_microbenchmark():
+    """Pytest entry: quick scale, correctness assertions included."""
+    record = run_benchmark(scale="quick", workers=2, write_json=True)
+    assert record["parallel_bit_identical"]
+    assert record["warm_cache_hit_rate"] >= 0.95
+    assert record["grid_points"] >= 24
+    # The warm cache must beat re-simulating by a wide margin.
+    assert record["warm_cache_seconds"] < record["serial_seconds"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--scale", choices=("quick", "bench"),
+                        default="bench")
+    args = parser.parse_args()
+    record = run_benchmark(scale=args.scale, workers=args.workers)
+    print(json.dumps(record, indent=2))
+    print(f"\nwritten to {RESULT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,11 +8,13 @@ paper's headline claim -- a speculative virtual-channel router gets
 wormhole latency *and* virtual-channel throughput.
 
 Run:  python examples/compare_flow_control.py [--buffers 8|16] [--quick]
+                                              [--workers N] [--cache]
 """
 
 import argparse
 
-from repro.experiments.sweep import compare_curves, sweep
+from repro.experiments.sweep import compare_curves
+from repro.runtime import Experiment
 from repro.sim import MeasurementConfig, RouterKind, SimConfig
 
 
@@ -25,6 +27,14 @@ def main() -> None:
     parser.add_argument(
         "--quick", action="store_true",
         help="fewer load points and smaller samples (~1 minute)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="run sweep points across N worker processes",
+    )
+    parser.add_argument(
+        "--cache", action="store_true",
+        help="reuse results from the on-disk cache across invocations",
     )
     args = parser.parse_args()
 
@@ -58,10 +68,14 @@ def main() -> None:
 
     print(f"8x8 mesh, {args.buffers} flit buffers per input port, "
           f"5-flit packets, uniform traffic\n")
-    curves = [
-        sweep(config, label, loads, measurement)
-        for label, config in configs
-    ]
+    # One Experiment batches every (curve, load) point: with --workers
+    # they fan out in parallel, with --cache re-runs are near-instant.
+    experiment = Experiment(
+        measurement, workers=args.workers, cache=args.cache or None,
+    )
+    curves = experiment.run_sweeps(
+        [(label, config) for label, config in configs], loads
+    )
     print(compare_curves(curves))
     print(
         "\nExpected shape (paper Figures 13/14): the wormhole router"

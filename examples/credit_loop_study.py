@@ -11,13 +11,14 @@ This example
    propagation delay, showing the saturation point walking backwards
    while zero-load latency stays put.
 
-Run:  python examples/credit_loop_study.py [--quick]
+Run:  python examples/credit_loop_study.py [--quick] [--workers N]
 """
 
 import argparse
 
 from repro.experiments.figures import fig16
-from repro.experiments.sweep import find_saturation, sweep
+from repro.experiments.sweep import find_saturation
+from repro.runtime import Experiment
 from repro.sim import MeasurementConfig, RouterKind, SimConfig
 
 
@@ -25,6 +26,8 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="smaller samples, fewer load points")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="run sweep points across N worker processes")
     args = parser.parse_args()
 
     print(fig16())
@@ -46,16 +49,19 @@ def main() -> None:
         propagations = (1, 2, 4)
 
     print("Speculative VC router (2 VCs x 4 buffers), 8x8 mesh:")
-    for propagation in propagations:
-        config = SimConfig(
-            router_kind=RouterKind.SPECULATIVE_VC,
-            num_vcs=2, buffers_per_vc=4,
-            credit_propagation=propagation,
+    experiment = Experiment(measurement, workers=args.workers)
+    labeled = [
+        (
+            f"{propagation}-cycle credit propagation",
+            SimConfig(
+                router_kind=RouterKind.SPECULATIVE_VC,
+                num_vcs=2, buffers_per_vc=4,
+                credit_propagation=propagation,
+            ),
         )
-        curve = sweep(
-            config, f"{propagation}-cycle credit propagation", loads,
-            measurement,
-        )
+        for propagation in propagations
+    ]
+    for curve in experiment.run_sweeps(labeled, loads):
         print(curve.describe())
         print(
             f"  -> zero-load {curve.zero_load_latency():.1f} cycles, "

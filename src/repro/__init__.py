@@ -22,19 +22,42 @@ from .delaymodel import (
     virtual_channel_pipeline,
     wormhole_pipeline,
 )
-from .sim import MeasurementConfig, RouterKind, SimConfig, simulate
+from .runtime import (
+    Experiment,
+    GridResult,
+    ProgressHook,
+    ResultCache,
+    RunCounters,
+)
+from .sim import (
+    MeasurementConfig,
+    RouterKind,
+    RunResult,
+    SimConfig,
+    SweepResult,
+    paper_scale,
+    simulate,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Experiment",
     "FlowControl",
+    "GridResult",
     "MeasurementConfig",
+    "ProgressHook",
+    "ResultCache",
     "RouterDesign",
     "RouterKind",
     "RoutingRange",
+    "RunCounters",
+    "RunResult",
     "SimConfig",
+    "SweepResult",
     "__version__",
     "generate_table1",
+    "paper_scale",
     "simulate",
     "speculative_vc_pipeline",
     "virtual_channel_pipeline",

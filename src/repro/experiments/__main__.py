@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import argparse
 
+from ..runtime.experiment import Experiment
 from ..sim.config import MeasurementConfig, paper_scale
+from ..sim.instrumentation import PrintProgress
 from .report import delay_model_report, simulation_report
 
 
@@ -36,21 +38,50 @@ def main(argv=None) -> int:
         "--sample-packets", type=int, default=None,
         help="override the measured packet sample size per run",
     )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="simulation worker processes (default $REPRO_WORKERS or serial)",
+    )
+    parser.add_argument(
+        "--cache", action="store_true",
+        help="serve repeated points from the on-disk result cache "
+             "($REPRO_CACHE_DIR or ~/.cache/repro-sim)",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print one line per finished simulation point",
+    )
     args = parser.parse_args(argv)
 
     measurement = paper_scale() if args.paper_scale else MeasurementConfig()
     if args.sample_packets is not None:
         measurement.sample_packets = args.sample_packets
 
+    overrides = {"workers": args.workers}
+    if args.cache:
+        overrides["cache"] = True
+    if args.progress:
+        overrides["progress"] = PrintProgress()
+    experiment = Experiment.from_env(measurement, **overrides)
+
     print(delay_model_report())
     if args.simulate:
         print()
-        print(simulation_report(measurement))
+        print(simulation_report(measurement, experiment=experiment))
     if args.ablations:
         from .ablations import render_all
 
         print()
         print(render_all(measurement))
+    if args.simulate or args.ablations:
+        stats = experiment.stats
+        if stats.points_requested:
+            print(
+                f"\n[runtime] {stats.points_requested} points, "
+                f"{stats.points_executed} executed, "
+                f"{stats.cache_hits} from cache, "
+                f"{stats.wall_seconds:.1f}s"
+            )
     return 0
 
 

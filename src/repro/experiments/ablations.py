@@ -21,8 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
+from ..runtime.experiment import Experiment
 from ..sim.config import MeasurementConfig, RouterKind, SimConfig
-from ..sim.engine import simulate
 from ..sim.metrics import RunResult
 
 
@@ -47,14 +47,25 @@ def _run_variants(
     variants: Dict[str, SimConfig],
     loads: Sequence[float],
     measurement: Optional[MeasurementConfig],
+    experiment: Optional[Experiment] = None,
 ) -> AblationResult:
-    runs = {
-        label: [
-            simulate(replace(config, injection_fraction=load), measurement)
-            for load in loads
-        ]
-        for label, config in variants.items()
-    }
+    """Run every (variant, load) point as one Experiment batch.
+
+    Honors ``$REPRO_WORKERS`` / ``$REPRO_CACHE`` when no experiment is
+    passed, so the whole ablation fans out in parallel for free.
+    """
+    if experiment is None:
+        experiment = Experiment.from_env(measurement)
+    flat = [
+        replace(config, injection_fraction=load)
+        for config in variants.values()
+        for load in loads
+    ]
+    results = experiment.run_many(flat)
+    runs = {}
+    for index, label in enumerate(variants):
+        start = index * len(loads)
+        runs[label] = results[start:start + len(loads)]
     return AblationResult(name, runs)
 
 
@@ -396,7 +407,12 @@ def many_vcs_study(
 def render_all(
     measurement: Optional[MeasurementConfig] = None,
 ) -> str:
-    """Run every ablation at default scale and render a combined report."""
+    """Run every ablation at default scale and render a combined report.
+
+    Each study batches its points through the experiment runtime, so
+    ``REPRO_WORKERS=4 python -m repro.experiments --ablations`` runs
+    every batch in parallel.
+    """
     sections = [
         allocator_ablation(measurement=measurement).render(),
         arbiter_ablation(measurement=measurement).render(),

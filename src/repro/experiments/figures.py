@@ -25,6 +25,7 @@ from ..delaymodel.pipeline import (
 )
 from ..delaymodel.table1 import Table1Row, generate_table1, render_table1
 from ..delaymodel.tau import tau_to_tau4
+from ..runtime.experiment import Experiment
 from ..sim.config import MeasurementConfig, RouterKind, SimConfig
 from ..sim.credit import (
     NONSPECULATIVE_VC_TIMING,
@@ -35,7 +36,7 @@ from ..sim.credit import (
     turnaround_timeline,
 )
 from ..sim.metrics import SweepResult
-from .sweep import DEFAULT_LOADS, find_saturation, sweep
+from .sweep import DEFAULT_LOADS, find_saturation
 
 #: Channel width used throughout the paper's pipeline figures.
 PAPER_W = 32
@@ -224,18 +225,33 @@ def _run_figure(
     specs: Sequence[CurveSpec],
     measurement: Optional[MeasurementConfig],
     loads: Sequence[float],
+    experiment: Optional[Experiment] = None,
 ) -> SimFigureResult:
-    curves = [
-        (spec, sweep(spec.config, spec.label, loads, measurement))
-        for spec in specs
-    ]
-    return SimFigureResult(figure, curves)
+    """Run every curve of a figure through one :class:`Experiment`.
+
+    With a parallel/cached experiment attached, all the figure's
+    (curve, load) points fan out as a single batch, so an entire figure
+    reproduces in one parallel wave and re-runs serve from cache.
+    """
+    if experiment is None:
+        experiment = Experiment.from_env(measurement)
+    elif measurement is not None and measurement != experiment.measurement:
+        experiment = Experiment(
+            measurement, workers=experiment.workers, cache=experiment.cache,
+            progress=experiment.progress,
+            check_invariants=experiment.check_invariants,
+        )
+    sweeps = experiment.run_sweeps(
+        [(spec.label, spec.config) for spec in specs], loads
+    )
+    return SimFigureResult(figure, list(zip(specs, sweeps)))
 
 
 def fig13(
     measurement: Optional[MeasurementConfig] = None,
     loads: Sequence[float] = DEFAULT_LOADS,
     seed: int = 1,
+    experiment: Optional[Experiment] = None,
 ) -> SimFigureResult:
     """Figure 13: 8 buffers per input port.
 
@@ -266,13 +282,14 @@ def fig13(
         ),
     ]
     return _run_figure("Figure 13 (8 buffers per input port)", specs,
-                       measurement, loads)
+                       measurement, loads, experiment)
 
 
 def fig14(
     measurement: Optional[MeasurementConfig] = None,
     loads: Sequence[float] = DEFAULT_LOADS,
     seed: int = 1,
+    experiment: Optional[Experiment] = None,
 ) -> SimFigureResult:
     """Figure 14: 16 buffers per input port, 2 VCs.
 
@@ -303,13 +320,14 @@ def fig14(
         ),
     ]
     return _run_figure("Figure 14 (16 buffers per input port, 2 VCs)", specs,
-                       measurement, loads)
+                       measurement, loads, experiment)
 
 
 def fig15(
     measurement: Optional[MeasurementConfig] = None,
     loads: Sequence[float] = DEFAULT_LOADS,
     seed: int = 1,
+    experiment: Optional[Experiment] = None,
 ) -> SimFigureResult:
     """Figure 15: 16 buffers per input port, 4 VCs.
 
@@ -341,7 +359,7 @@ def fig15(
         ),
     ]
     return _run_figure("Figure 15 (16 buffers per input port, 4 VCs)", specs,
-                       measurement, loads)
+                       measurement, loads, experiment)
 
 
 def fig16() -> str:
@@ -369,6 +387,7 @@ def fig17(
     measurement: Optional[MeasurementConfig] = None,
     loads: Sequence[float] = DEFAULT_LOADS,
     seed: int = 1,
+    experiment: Optional[Experiment] = None,
 ) -> SimFigureResult:
     """Figure 17: pipelined model vs single-cycle model (8 buffers).
 
@@ -417,13 +436,14 @@ def fig17(
         ),
     ]
     return _run_figure("Figure 17 (single-cycle vs pipelined models)", specs,
-                       measurement, loads)
+                       measurement, loads, experiment)
 
 
 def fig18(
     measurement: Optional[MeasurementConfig] = None,
     loads: Sequence[float] = DEFAULT_LOADS,
     seed: int = 1,
+    experiment: Optional[Experiment] = None,
 ) -> SimFigureResult:
     """Figure 18: credit propagation delay 1 vs 4 cycles (specVC 2vcsX4bufs).
 
@@ -449,4 +469,4 @@ def fig18(
         ),
     ]
     return _run_figure("Figure 18 (credit propagation delay)", specs,
-                       measurement, loads)
+                       measurement, loads, experiment)

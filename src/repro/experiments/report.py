@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from ..runtime.experiment import Experiment
 from ..sim.config import MeasurementConfig
 from . import figures
 
@@ -31,13 +32,20 @@ def delay_model_report() -> str:
 def simulation_report(
     measurement: Optional[MeasurementConfig] = None,
     loads: Optional[Sequence[float]] = None,
+    experiment: Optional[Experiment] = None,
 ) -> str:
-    """Figures 13-15, 17 and 18 (runs the simulator; minutes at default scale)."""
+    """Figures 13-15, 17 and 18 (runs the simulator; minutes at default scale).
+
+    Pass an :class:`Experiment` with workers/cache attached to fan each
+    figure out in parallel and reuse previously computed points.
+    """
     kwargs = {}
     if measurement is not None:
         kwargs["measurement"] = measurement
     if loads is not None:
         kwargs["loads"] = loads
+    if experiment is not None:
+        kwargs["experiment"] = experiment
     sections = []
     for fig in (figures.fig13, figures.fig14, figures.fig15,
                 figures.fig17, figures.fig18):

@@ -1,23 +1,33 @@
 """Injection-rate sweeps producing latency-throughput curves.
 
 Each of the paper's Figures 13-15, 17 and 18 is a set of
-latency-vs-offered-load curves over the 8x8 mesh.  :func:`sweep` runs
-one curve; :func:`find_saturation` reads the saturation point off a
-curve the way the paper quotes them (the load where average latency
-diverges).
+latency-vs-offered-load curves over the 8x8 mesh.  These module-level
+functions are **thin deprecated shims** over the unified
+:class:`repro.runtime.Experiment` façade -- :func:`sweep` is
+``Experiment.run_sweep`` and :func:`run_with_seeds` is
+``Experiment.run_with_seeds``; new code should construct an
+``Experiment`` directly (it adds parallel workers and result caching).
+:func:`find_saturation` reads the saturation point off a curve the way
+the paper quotes them (the load where average latency diverges).
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
+import math
 from typing import Iterable, List, Optional, Sequence
 
+from ..runtime.experiment import DEFAULT_LOADS, Experiment
 from ..sim.config import MeasurementConfig, SimConfig
-from ..sim.engine import simulate
 from ..sim.metrics import AggregateResult, SweepResult
 
-#: Offered loads used when a sweep doesn't specify its own grid.
-DEFAULT_LOADS: Sequence[float] = (0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75)
+__all__ = [
+    "DEFAULT_LOADS",
+    "SATURATION_LATENCY_MULTIPLE",
+    "compare_curves",
+    "find_saturation",
+    "run_with_seeds",
+    "sweep",
+]
 
 #: A run is called saturated when its average latency exceeds this
 #: multiple of the curve's zero-load latency (the knee of the curve).
@@ -33,18 +43,16 @@ def sweep(
 ) -> SweepResult:
     """Run one latency-throughput curve.
 
+    .. deprecated:: use ``Experiment(measurement).run_sweep(...)``,
+       which adds parallel execution and result caching.
+
     ``stop_after_saturation`` skips the remaining (higher) loads once a
     point saturates -- they are strictly more expensive to simulate and
     add no information beyond "the curve is vertical here".
     """
-    result = SweepResult(label=label)
-    for load in sorted(loads):
-        config = replace(base_config, injection_fraction=load)
-        point = simulate(config, measurement)
-        result.points.append(point)
-        if stop_after_saturation and point.saturated:
-            break
-    return result
+    return Experiment(measurement).run_sweep(
+        base_config, label, loads, stop_after_saturation
+    )
 
 
 def run_with_seeds(
@@ -55,28 +63,29 @@ def run_with_seeds(
 ) -> AggregateResult:
     """Run one configuration/load across several seeds and aggregate.
 
+    .. deprecated:: use ``Experiment(measurement).run_with_seeds(...)``.
+
     Gives mean latency with a 95% confidence interval -- use it when a
     comparison's margin is within a few cycles and a single-seed result
     would be ambiguous.
     """
-    if not seeds:
-        raise ValueError("need at least one seed")
-    runs = [
-        simulate(
-            replace(base_config, injection_fraction=load, seed=seed),
-            measurement,
-        )
-        for seed in seeds
-    ]
-    return AggregateResult(injection_fraction=load, runs=runs)
+    return Experiment(measurement).run_with_seeds(base_config, load, seeds)
 
 
 def find_saturation(
     curve: SweepResult, latency_multiple: float = SATURATION_LATENCY_MULTIPLE
 ) -> float:
-    """Saturation load: the highest load still on the flat part of the curve."""
+    """Saturation load: the highest load still on the flat part of the curve.
+
+    Robust to degenerate curves: an empty sweep, or one whose *first*
+    point already saturated (no finite zero-load latency exists to
+    anchor the knee), reports a saturation load of 0.0 instead of
+    raising.
+    """
+    if not curve.points:
+        return 0.0
     zero_load = curve.zero_load_latency()
-    if zero_load == float("inf"):
+    if not math.isfinite(zero_load):
         return 0.0
     return curve.saturation_fraction(latency_multiple * zero_load)
 

@@ -1,0 +1,46 @@
+"""Parallel sweep runtime: the one way to run experiments.
+
+::
+
+    from repro.runtime import Experiment
+
+    exp = Experiment(workers=4, cache=True)
+    grid = exp.run_grid(configs, loads=(0.05, 0.25, 0.45), seeds=(1, 2, 3))
+
+:class:`Experiment` owns the measurement scale, the process pool, the
+content-addressed on-disk :class:`ResultCache`, and progress reporting;
+``run_one`` / ``run_sweep`` / ``run_grid`` cover everything the older
+``Simulator(cfg).run()`` / ``simulate(...)`` / ``sweep(...)`` entry
+points did (those remain as thin deprecated shims).
+"""
+
+from ..sim.instrumentation import (
+    NullProgress,
+    PrintProgress,
+    ProgressHook,
+    RunCounters,
+)
+from .cache import ResultCache, code_fingerprint, config_key, default_cache_dir
+from .experiment import (
+    DEFAULT_LOADS,
+    Experiment,
+    ExperimentStats,
+    GridPoint,
+    GridResult,
+)
+
+__all__ = [
+    "DEFAULT_LOADS",
+    "Experiment",
+    "ExperimentStats",
+    "GridPoint",
+    "GridResult",
+    "NullProgress",
+    "PrintProgress",
+    "ProgressHook",
+    "ResultCache",
+    "RunCounters",
+    "code_fingerprint",
+    "config_key",
+    "default_cache_dir",
+]

@@ -1,0 +1,160 @@
+"""Content-addressed on-disk cache of simulation results.
+
+A run is fully determined by its :class:`~repro.sim.config.SimConfig`
+(which includes the seed), its
+:class:`~repro.sim.config.MeasurementConfig`, and the simulator code
+itself, so the cache key is a SHA-256 over a canonical JSON encoding of
+all three.  Any config field change -- including the seed -- produces a
+different key, and editing anything under ``repro/sim`` rotates the
+code fingerprint, so stale entries can never be served.
+
+Entries are one JSON file each, sharded by key prefix, written
+atomically (temp file + rename) so concurrent writers on the same
+machine cannot corrupt each other.  Results round-trip exactly:
+``RunResult.from_dict(result.to_dict()) == result``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..sim.config import MeasurementConfig, SimConfig
+from ..sim.metrics import RunResult
+
+#: Cache format version; bump to invalidate every existing entry.
+CACHE_FORMAT = 1
+
+_code_fingerprint: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Hash of every source file the simulation outcome depends on.
+
+    Covers ``repro/sim`` (the engine and routers).  Computed once per
+    process; survives process restarts unchanged as long as the sources
+    do, which is exactly the invariant the cache needs.
+    """
+    global _code_fingerprint
+    if _code_fingerprint is None:
+        sim_root = Path(__file__).resolve().parent.parent / "sim"
+        digest = hashlib.sha256()
+        for path in sorted(sim_root.rglob("*.py")):
+            digest.update(path.name.encode())
+            digest.update(path.read_bytes())
+        _code_fingerprint = digest.hexdigest()
+    return _code_fingerprint
+
+
+def _jsonable(value: Any) -> Any:
+    """Make dataclass-dict values canonical-JSON-safe (enums -> values)."""
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "value") and value.__class__.__module__ != "builtins":
+        return value.value  # enum members
+    return value
+
+
+def config_key(
+    config: SimConfig,
+    measurement: Optional[MeasurementConfig] = None,
+    code_version: Optional[str] = None,
+) -> str:
+    """Stable content hash identifying one simulation run."""
+    payload = {
+        "format": CACHE_FORMAT,
+        "config": _jsonable(asdict(config)),
+        "measurement": _jsonable(asdict(measurement or MeasurementConfig())),
+        "code": code_version if code_version is not None else code_fingerprint(),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/repro-sim``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-sim"
+
+
+class ResultCache:
+    """On-disk :class:`RunResult` store addressed by :func:`config_key`."""
+
+    def __init__(self, directory: Union[str, Path, None] = None) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """The cached result for ``key``, or None (a recorded miss)."""
+        path = self._path(key)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return RunResult.from_dict(data["result"])
+
+    def put(self, key: str, result: RunResult,
+            metadata: Optional[Dict[str, Any]] = None) -> Path:
+        """Store ``result`` under ``key`` atomically; returns the path."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": CACHE_FORMAT,
+            "key": key,
+            "metadata": metadata or {},
+            "result": result.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        if not self.directory.exists():
+            return 0
+        return sum(
+            1 for p in self.directory.glob("*/*.json")
+            if not p.name.startswith(".tmp-")
+        )
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.directory.exists():
+            for path in self.directory.glob("*/*.json"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,424 @@
+"""The unified experiment runtime: one façade over every way to run.
+
+:class:`Experiment` replaces the three historical entry points
+(``Simulator(cfg).run()``, module-level ``simulate(cfg, meas)``, and
+``experiments.sweep.sweep(...)``) with one object that owns the
+measurement scale, the worker pool, the result cache, and progress
+reporting:
+
+* :meth:`Experiment.run_one` -- a single point.
+* :meth:`Experiment.run_sweep` -- one latency-throughput curve.
+* :meth:`Experiment.run_grid` -- a config x load x seed cartesian grid,
+  the shape behind every figure of Section 5.
+
+Points fan out over a :class:`concurrent.futures.ProcessPoolExecutor`
+when ``workers > 1`` (serial otherwise -- bit-identical results either
+way, since each run is a pure function of config + seed), and identical
+points are deduplicated and served from the content-addressed
+:class:`~repro.runtime.cache.ResultCache` when one is attached.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..sim.config import MeasurementConfig, SimConfig
+from ..sim.engine import Simulator
+from ..sim.instrumentation import NullProgress, ProgressHook
+from ..sim.metrics import AggregateResult, RunResult, SweepResult
+from .cache import ResultCache, config_key
+
+#: Offered loads used when a sweep doesn't specify its own grid
+#: (mirrors ``experiments.sweep.DEFAULT_LOADS``; duplicated to keep the
+#: runtime layer importable without the experiments layer).
+DEFAULT_LOADS: Sequence[float] = (0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75)
+
+
+def _execute_payload(
+    payload: Tuple[SimConfig, Optional[MeasurementConfig], bool]
+) -> RunResult:
+    """Worker entry point: run one point (top level so it pickles)."""
+    config, measurement, check_invariants = payload
+    return Simulator(config, measurement, check_invariants).run()
+
+
+@dataclass
+class GridPoint:
+    """One executed point of a grid: the exact config and its result."""
+
+    config: SimConfig
+    result: RunResult
+    cached: bool = field(default=False, compare=False)
+
+
+@dataclass
+class GridResult:
+    """Every point of a :meth:`Experiment.run_grid` call, in grid order."""
+
+    points: List[GridPoint] = field(default_factory=list)
+
+    @property
+    def results(self) -> List[RunResult]:
+        return [p.result for p in self.points]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def seeds(self) -> List[int]:
+        return sorted({p.config.seed for p in self.points})
+
+    def curve(self, label: str, *, seed: Optional[int] = None,
+              where=None) -> SweepResult:
+        """A subset of the grid as a latency-throughput curve.
+
+        ``seed`` keeps one seed's points; ``where`` is an optional
+        predicate over each point's :class:`SimConfig` (e.g. one router
+        kind out of a multi-config grid).
+        """
+        points = [
+            p.result for p in self.points
+            if (seed is None or p.config.seed == seed)
+            and (where is None or where(p.config))
+        ]
+        return SweepResult(label=label, points=points)
+
+    def describe(self) -> str:
+        lines = [f"grid of {len(self.points)} points:"]
+        for point in self.points:
+            lines.append(
+                f"  seed {point.config.seed}  " + point.result.describe()
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class ExperimentStats:
+    """Cumulative accounting across an :class:`Experiment`'s batches."""
+
+    points_requested: int = 0
+    points_executed: int = 0
+    cache_hits: int = 0
+    deduplicated: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        if not self.points_requested:
+            return 0.0
+        return self.cache_hits / self.points_requested
+
+
+class Experiment:
+    """Owns how simulation points run: scale, parallelism, cache, progress.
+
+    Parameters
+    ----------
+    measurement:
+        Sampling scale shared by every point (default
+        :class:`MeasurementConfig`).
+    workers:
+        Process count for parallel execution; ``0``/``1`` run serially
+        in-process (determinism debugging, no fork overhead).  ``None``
+        reads ``$REPRO_WORKERS`` (default serial).
+    cache:
+        ``None`` disables caching; ``True`` uses the default directory
+        (``$REPRO_CACHE_DIR`` or ``~/.cache/repro-sim``); a path or a
+        :class:`ResultCache` selects a specific store.
+    progress:
+        A :class:`~repro.sim.instrumentation.ProgressHook` observing
+        point starts/finishes.
+    check_invariants:
+        Per-cycle conservation/credit checks (slow; tests only).
+    """
+
+    def __init__(
+        self,
+        measurement: Optional[MeasurementConfig] = None,
+        *,
+        workers: Optional[int] = None,
+        cache: Union[ResultCache, str, Path, bool, None] = None,
+        progress: Optional[ProgressHook] = None,
+        check_invariants: bool = False,
+    ) -> None:
+        self.measurement = measurement or MeasurementConfig()
+        if workers is None:
+            workers = int(os.environ.get("REPRO_WORKERS", "0"))
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.workers = workers
+        self.cache = self._resolve_cache(cache)
+        self.progress: ProgressHook = progress or NullProgress()
+        self.check_invariants = check_invariants
+        self.stats = ExperimentStats()
+
+    @staticmethod
+    def _resolve_cache(
+        cache: Union[ResultCache, str, Path, bool, None]
+    ) -> Optional[ResultCache]:
+        if cache is None or cache is False:
+            return None
+        if cache is True:
+            return ResultCache()
+        if isinstance(cache, ResultCache):
+            return cache
+        return ResultCache(cache)
+
+    @classmethod
+    def from_env(
+        cls, measurement: Optional[MeasurementConfig] = None, **overrides
+    ) -> "Experiment":
+        """An Experiment configured by ``$REPRO_WORKERS``/``$REPRO_CACHE``.
+
+        ``REPRO_CACHE=1`` (or any truthy value) enables the default
+        on-disk cache; keyword overrides win over the environment.
+        """
+        if "cache" not in overrides:
+            env = os.environ.get("REPRO_CACHE", "")
+            if env and env not in ("0", "false", "no"):
+                overrides["cache"] = True
+        return cls(measurement, **overrides)
+
+    # ------------------------------------------------------------------
+    # Core execution.
+    # ------------------------------------------------------------------
+
+    def run_many(self, configs: Sequence[SimConfig]) -> List[RunResult]:
+        """Run a batch of points, in input order.
+
+        Every config is validated up front; identical points execute
+        once; cached points never execute.  The result list is
+        bit-identical whether the batch ran serially or across workers.
+        """
+        started = time.perf_counter()
+        configs = list(configs)
+        for config in configs:
+            config.validate()
+        total = len(configs)
+        self.stats.points_requested += total
+        self.progress.on_batch_start(total)
+
+        # Deduplicate by content key (covers cache addressing too).
+        keys = [
+            config_key(config, self.measurement) for config in configs
+        ]
+        results: Dict[str, RunResult] = {}
+        cached_keys = set()
+        if self.cache is not None:
+            for key in dict.fromkeys(keys):
+                hit = self.cache.get(key)
+                if hit is not None:
+                    results[key] = hit
+                    cached_keys.add(key)
+
+        pending = [
+            (index, key) for index, key in enumerate(keys)
+            if key not in results
+        ]
+        # First occurrence of each missing key executes; the rest share.
+        to_run: List[Tuple[int, str]] = []
+        seen = set()
+        for index, key in pending:
+            if key not in seen:
+                seen.add(key)
+                to_run.append((index, key))
+        self.stats.deduplicated += len(pending) - len(to_run)
+        self.stats.points_executed += len(to_run)
+        self.stats.cache_hits += sum(
+            1 for key in keys if key in cached_keys
+        )
+
+        if self.workers > 1 and len(to_run) > 1:
+            self._execute_parallel(configs, keys, to_run, results, total)
+        else:
+            self._execute_serial(configs, keys, to_run, results, total)
+
+        if self.cache is not None:
+            for index, key in to_run:
+                self.cache.put(
+                    key, results[key],
+                    metadata={"label": repr(configs[index])},
+                )
+
+        # Progress for points resolved without executing (cache/dedupe).
+        executed_indices = {index for index, _ in to_run}
+        for index, key in enumerate(keys):
+            if index not in executed_indices:
+                self.progress.on_point_done(
+                    index, total, configs[index], results[key],
+                    cached=key in cached_keys,
+                )
+        self.progress.on_batch_done(total)
+        self.stats.wall_seconds += time.perf_counter() - started
+        return [results[key] for key in keys]
+
+    def _execute_serial(self, configs, keys, to_run, results, total) -> None:
+        for index, key in to_run:
+            self.progress.on_point_start(index, total, configs[index])
+            results[key] = Simulator(
+                configs[index], self.measurement, self.check_invariants
+            ).run()
+            self.progress.on_point_done(
+                index, total, configs[index], results[key], cached=False
+            )
+
+    def _execute_parallel(self, configs, keys, to_run, results, total) -> None:
+        max_workers = min(self.workers, len(to_run))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {}
+            for index, key in to_run:
+                self.progress.on_point_start(index, total, configs[index])
+                future = pool.submit(
+                    _execute_payload,
+                    (configs[index], self.measurement, self.check_invariants),
+                )
+                futures[future] = (index, key)
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(
+                    outstanding, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    index, key = futures[future]
+                    results[key] = future.result()
+                    self.progress.on_point_done(
+                        index, total, configs[index], results[key],
+                        cached=False,
+                    )
+
+    # ------------------------------------------------------------------
+    # The public façade.
+    # ------------------------------------------------------------------
+
+    def run_one(self, config: SimConfig) -> RunResult:
+        """Run (or fetch from cache) a single simulation point."""
+        return self.run_many([config])[0]
+
+    def run_sweep(
+        self,
+        config: SimConfig,
+        label: str,
+        loads: Iterable[float] = DEFAULT_LOADS,
+        stop_after_saturation: bool = True,
+    ) -> SweepResult:
+        """One latency-throughput curve over ``loads``.
+
+        ``stop_after_saturation`` truncates the curve after its first
+        saturated point.  Serially that point ends execution early (the
+        points beyond are strictly more expensive and add no
+        information); in parallel all points run and the tail is
+        dropped, so both paths return identical curves.
+        """
+        return self.run_sweeps([(label, config)], loads,
+                               stop_after_saturation)[0]
+
+    def run_sweeps(
+        self,
+        labeled_configs: Sequence[Tuple[str, SimConfig]],
+        loads: Iterable[float] = DEFAULT_LOADS,
+        stop_after_saturation: bool = True,
+    ) -> List[SweepResult]:
+        """Several curves over a shared load grid, batched together.
+
+        This is the figure-reproduction shape: with workers attached,
+        every point of every curve fans out as one batch.
+        """
+        load_grid = sorted(loads)
+        if self.workers > 1 or not stop_after_saturation:
+            flat = [
+                replace(config, injection_fraction=load)
+                for _, config in labeled_configs
+                for load in load_grid
+            ]
+            flat_results = self.run_many(flat)
+            sweeps = []
+            for curve_index, (label, _) in enumerate(labeled_configs):
+                start = curve_index * len(load_grid)
+                points = flat_results[start:start + len(load_grid)]
+                sweeps.append(SweepResult(
+                    label=label,
+                    points=_truncate_after_saturation(
+                        points, stop_after_saturation
+                    ),
+                ))
+            return sweeps
+
+        sweeps = []
+        for label, config in labeled_configs:
+            result = SweepResult(label=label)
+            for load in load_grid:
+                point = self.run_one(
+                    replace(config, injection_fraction=load)
+                )
+                result.points.append(point)
+                if stop_after_saturation and point.saturated:
+                    break
+            sweeps.append(result)
+        return sweeps
+
+    def run_grid(
+        self,
+        configs: Union[SimConfig, Sequence[SimConfig]],
+        loads: Optional[Iterable[float]] = None,
+        seeds: Optional[Sequence[int]] = None,
+    ) -> GridResult:
+        """The cartesian config x load x seed grid, as one batch.
+
+        ``loads=None`` keeps each config's own ``injection_fraction``;
+        ``seeds=None`` keeps each config's own ``seed``.  Points come
+        back in grid order (configs outermost, seeds innermost).
+        """
+        if isinstance(configs, SimConfig):
+            configs = [configs]
+        grid: List[SimConfig] = []
+        for config in configs:
+            load_axis = (
+                [config.injection_fraction] if loads is None
+                else sorted(loads)
+            )
+            seed_axis = [config.seed] if seeds is None else list(seeds)
+            for load in load_axis:
+                for seed in seed_axis:
+                    grid.append(replace(
+                        config, injection_fraction=load, seed=seed
+                    ))
+        results = self.run_many(grid)
+        return GridResult(points=[
+            GridPoint(config=config, result=result)
+            for config, result in zip(grid, results)
+        ])
+
+    def run_with_seeds(
+        self,
+        config: SimConfig,
+        load: float,
+        seeds: Sequence[int] = (1, 2, 3),
+    ) -> AggregateResult:
+        """One point across several seeds, aggregated with a 95% CI."""
+        if not seeds:
+            raise ValueError("need at least one seed")
+        grid = self.run_grid(
+            replace(config, injection_fraction=load), seeds=seeds
+        )
+        return AggregateResult(injection_fraction=load, runs=grid.results)
+
+
+def _truncate_after_saturation(
+    points: List[RunResult], stop_after_saturation: bool
+) -> List[RunResult]:
+    """Drop everything past the first saturated point (inclusive keep)."""
+    if not stop_after_saturation:
+        return points
+    kept: List[RunResult] = []
+    for point in points:
+        kept.append(point)
+        if point.saturated:
+            break
+    return kept

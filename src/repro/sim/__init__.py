@@ -19,6 +19,12 @@ Quick use::
 from .config import MeasurementConfig, RouterKind, SimConfig, paper_scale
 from .engine import Simulator, simulate
 from .flit import Flit, FlitType, Packet
+from .instrumentation import (
+    NullProgress,
+    PrintProgress,
+    ProgressHook,
+    RunCounters,
+)
 from .metrics import AggregateResult, LatencyStats, RunResult, SweepResult
 from .network import Network, Sink, Source
 from .topology import (
@@ -58,6 +64,10 @@ from .matching import MaximumMatchingAllocator, make_allocator
 __all__ = [
     "CreditCounter",
     "CreditLoopTiming",
+    "NullProgress",
+    "PrintProgress",
+    "ProgressHook",
+    "RunCounters",
     "EAST",
     "EventKind",
     "Flit",

@@ -65,6 +65,12 @@ class RouterKind(enum.Enum):
         return 0
 
 
+#: Largest per-port VC count :meth:`SimConfig.validate` accepts: beyond
+#: this the p*v-input separable allocator leaves Table 1's modelled
+#: range and the simulated arbitration is no longer meaningful.
+MAX_ARBITED_VCS = 64
+
+
 @dataclass
 class SimConfig:
     """Full parameter set for one simulation run."""
@@ -189,6 +195,44 @@ class SimConfig:
                 f"{self.routing_function} is mesh-only (a torus would need "
                 "additional VC classes on top of the datelines)"
             )
+
+    def validate(self) -> "SimConfig":
+        """Strict pre-flight validation for the experiment runtime.
+
+        ``__post_init__`` keeps construction permissive enough for
+        exploratory use (e.g. a zero injection rate for hand-injected
+        traces); ``validate()`` adds the checks a sweep point must pass
+        so misconfigurations fail at :class:`~repro.runtime.Experiment`
+        entry with a clear message instead of deep inside
+        :class:`~repro.sim.network.Network` or a router constructor.
+        Returns ``self`` so call sites can chain.
+        """
+        # Re-run the construction checks: dataclasses are mutable, so a
+        # config edited after creation may have drifted out of bounds.
+        self.__post_init__()
+        if not 0.0 < self.injection_fraction <= 1.0:
+            raise ValueError(
+                "injection_fraction is a fraction of network capacity and "
+                f"must lie in (0, 1]; got {self.injection_fraction}"
+            )
+        if self.num_vcs > MAX_ARBITED_VCS:
+            raise ValueError(
+                f"num_vcs={self.num_vcs} exceeds the {MAX_ARBITED_VCS}-VC "
+                "limit the separable allocator's arbiters are modelled "
+                "for (Table 1's delay equations stop being meaningful)"
+            )
+        if (
+            self.router_kind is RouterKind.VIRTUAL_CUT_THROUGH
+            and self.buffers_per_vc < self.packet_length
+        ):
+            raise ValueError(
+                "virtual cut-through admits whole packets and needs "
+                f"buffers_per_vc >= packet_length "
+                f"({self.buffers_per_vc} < {self.packet_length})"
+            )
+        if self.credit_pipeline is not None and self.credit_pipeline < 0:
+            raise ValueError("credit_pipeline must be >= 0")
+        return self
 
     @property
     def effective_credit_pipeline(self) -> int:

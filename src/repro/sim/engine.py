@@ -9,9 +9,11 @@ into ``saturated=True`` results (the vertical part of the curves).
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional
 
 from .config import MeasurementConfig, SimConfig
+from .instrumentation import collect_counters
 from .metrics import LatencyStats, RunResult
 from .network import Network
 
@@ -33,10 +35,15 @@ class Simulator:
     def run(self) -> RunResult:
         network = self.network
         measurement = self.measurement
+        wall: dict = {}
+        t0 = time.perf_counter()
 
         # Warm-up: packets injected now are excluded from the sample.
         network.measuring_generation = False
         self._run_cycles(measurement.warmup_cycles)
+        warmup_end = network.cycle
+        t1 = time.perf_counter()
+        wall["warmup"] = t1 - t0
 
         # Sampling: tag the next `sample_packets` generated packets.
         network.measuring_generation = True
@@ -56,6 +63,9 @@ class Simulator:
         # window (all packets, sampled or not -- the steady-state rate).
         window = max(1, network.cycle - measure_start)
         ejected_in_window = network.total_flits_ejected() - ejected_before
+        sample_end = network.cycle
+        t2 = time.perf_counter()
+        wall["sample"] = t2 - t1
 
         # Drain: run until every tagged packet is ejected (or give up).
         drain_deadline = min(
@@ -65,6 +75,9 @@ class Simulator:
             sample_size
         ):
             self._step()
+        t3 = time.perf_counter()
+        wall["drain"] = t3 - t2
+        wall["total"] = t3 - t0
 
         delivered = self._delivered_sample()
         saturated = len(delivered) < sample_size
@@ -81,8 +94,13 @@ class Simulator:
             accepted_flits / network.mesh.capacity_flits_per_node_cycle()
         )
 
-        spec_grants = sum(r.stats.spec_grants for r in network.routers)
-        spec_wasted = sum(r.stats.spec_wasted for r in network.routers)
+        counters = collect_counters(
+            network,
+            warmup_cycles=warmup_end,
+            sample_cycles=sample_end - warmup_end,
+            drain_cycles=network.cycle - sample_end,
+            wall_seconds=wall,
+        )
         return RunResult(
             injection_fraction=self.config.injection_fraction,
             latency=None if saturated else latency,
@@ -90,8 +108,9 @@ class Simulator:
             saturated=saturated,
             cycles_simulated=network.cycle,
             sample_packets=sample_size,
-            spec_grants=spec_grants,
-            spec_wasted=spec_wasted,
+            spec_grants=counters.spec_grants,
+            spec_wasted=counters.spec_wasted,
+            counters=counters,
         )
 
     # ------------------------------------------------------------------
@@ -124,5 +143,11 @@ def simulate(
     measurement: Optional[MeasurementConfig] = None,
     check_invariants: bool = False,
 ) -> RunResult:
-    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    """Convenience wrapper: build a :class:`Simulator` and run it.
+
+    .. deprecated:: kept as a thin shim; prefer
+       :meth:`repro.runtime.Experiment.run_one`, which validates the
+       config, can serve the result from cache, and batches with other
+       points across worker processes.
+    """
     return Simulator(config, measurement, check_invariants).run()

@@ -11,9 +11,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from .flit import Packet
+from .instrumentation import RunCounters
 
 
 @dataclass
@@ -43,6 +44,17 @@ class LatencyStats:
             p99=_percentile(latencies, 0.99),
         )
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count, "mean": self.mean,
+            "minimum": self.minimum, "maximum": self.maximum,
+            "p50": self.p50, "p95": self.p95, "p99": self.p99,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LatencyStats":
+        return cls(**data)
+
 
 def _percentile(sorted_values: List[int], q: float) -> float:
     """Linear-interpolation percentile of pre-sorted values."""
@@ -71,6 +83,8 @@ class RunResult:
     sample_packets: int
     spec_grants: int = 0
     spec_wasted: int = 0
+    #: Full engine instrumentation (None for results predating it).
+    counters: Optional[RunCounters] = None
 
     @property
     def average_latency(self) -> float:
@@ -78,6 +92,29 @@ class RunResult:
         if self.latency is None:
             return math.inf
         return self.latency.mean
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe representation (exact round trip via from_dict)."""
+        return {
+            "injection_fraction": self.injection_fraction,
+            "latency": self.latency.to_dict() if self.latency else None,
+            "accepted_fraction": self.accepted_fraction,
+            "saturated": self.saturated,
+            "cycles_simulated": self.cycles_simulated,
+            "sample_packets": self.sample_packets,
+            "spec_grants": self.spec_grants,
+            "spec_wasted": self.spec_wasted,
+            "counters": self.counters.to_dict() if self.counters else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
+        data = dict(data)
+        if data.get("latency") is not None:
+            data["latency"] = LatencyStats.from_dict(data["latency"])
+        if data.get("counters") is not None:
+            data["counters"] = RunCounters.from_dict(data["counters"])
+        return cls(**data)
 
     def describe(self) -> str:
         latency = (

@@ -82,3 +82,39 @@ class TestRunWithSeeds:
 
         with pytest.raises(ValueError):
             run_with_seeds(base_config(), load=0.2, seeds=())
+
+
+class TestFindSaturationDegenerate:
+    """find_saturation must tolerate curves with no usable zero load."""
+
+    def saturated_point(self):
+        from repro.sim.metrics import RunResult
+
+        return RunResult(
+            injection_fraction=0.9, latency=None, accepted_fraction=0.4,
+            saturated=True, cycles_simulated=1_500, sample_packets=10,
+        )
+
+    def test_empty_sweep_reports_zero(self):
+        from repro.sim.metrics import SweepResult
+
+        assert find_saturation(SweepResult(label="empty")) == 0.0
+
+    def test_first_point_already_saturated(self):
+        from repro.sim.metrics import SweepResult
+
+        curve = SweepResult(label="sat", points=[self.saturated_point()])
+        assert find_saturation(curve) == 0.0
+
+    def test_real_sweep_starting_saturated(self):
+        saturating = MeasurementConfig(
+            warmup_cycles=200, sample_packets=2_000, max_cycles=1_500,
+            drain_cycles=100,
+        )
+        curve = sweep(
+            base_config(), "wh", loads=(0.9, 1.0), measurement=saturating
+        )
+        assert curve.points[0].saturated
+        assert find_saturation(curve) == 0.0
+        # compare_curves must render, not raise, on such a curve
+        assert "saturation ~0%" in compare_curves([curve])

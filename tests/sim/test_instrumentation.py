@@ -1,0 +1,84 @@
+"""Counter correctness on tiny meshes, and the RunCounters contract."""
+
+from repro.sim.config import MeasurementConfig, RouterKind, SimConfig
+from repro.sim.engine import simulate
+from repro.sim.instrumentation import RunCounters
+
+FAST = MeasurementConfig(
+    warmup_cycles=50, sample_packets=60, max_cycles=4_000, drain_cycles=1_500
+)
+
+
+def run(kind=RouterKind.WORMHOLE, **overrides):
+    defaults = dict(
+        router_kind=kind, mesh_radix=2, buffers_per_vc=8,
+        injection_fraction=0.2, seed=5,
+    )
+    defaults.update(overrides)
+    return simulate(SimConfig(**defaults), FAST)
+
+
+class TestCounters:
+    def test_phase_cycles_sum_to_total(self):
+        result = run()
+        counters = result.counters
+        assert counters is not None
+        assert counters.total_cycles == result.cycles_simulated
+        assert counters.warmup_cycles == FAST.warmup_cycles
+        assert counters.sample_cycles > 0
+
+    def test_flit_conservation_on_2x2(self):
+        result = run()
+        counters = result.counters
+        # Everything injected was ejected (the run drained) and every
+        # ejected flit crossed at least one router's crossbar.
+        assert not result.saturated
+        assert counters.flits_injected > 0
+        assert counters.flits_ejected <= counters.flits_injected
+        assert counters.flits_forwarded >= counters.flits_ejected
+
+    def test_switch_grants_cover_forwarded_flits(self):
+        counters = run().counters
+        # Every forwarded flit needed a switch grant (grants can exceed
+        # flits when a granted VC had nothing to send by ST time).
+        assert counters.sa_grants >= counters.flits_forwarded
+
+    def test_speculation_counters_on_spec_router(self):
+        result = run(kind=RouterKind.SPECULATIVE_VC, num_vcs=2,
+                     buffers_per_vc=4)
+        counters = result.counters
+        assert counters.spec_grants == result.spec_grants
+        assert counters.spec_wasted == result.spec_wasted
+        assert counters.spec_grants > 0
+        assert 0.0 <= counters.misspeculation_rate <= 1.0
+
+    def test_wormhole_never_speculates(self):
+        counters = run().counters
+        assert counters.spec_grants == 0
+        assert counters.misspeculation_rate == 0.0
+
+    def test_wall_times_recorded_but_not_compared(self):
+        a = run()
+        b = run()
+        assert a.counters.wall_seconds["total"] > 0
+        assert set(a.counters.wall_seconds) == {
+            "warmup", "sample", "drain", "total"
+        }
+        # Timing differs between runs, yet counters compare equal.
+        assert a.counters == b.counters
+        assert a == b
+
+    def test_cycles_per_second_positive(self):
+        counters = run().counters
+        assert counters.cycles_per_second > 0
+
+    def test_dict_round_trip(self):
+        counters = run().counters
+        restored = RunCounters.from_dict(counters.to_dict())
+        assert restored == counters
+        assert restored.wall_seconds == counters.wall_seconds
+
+    def test_describe_mentions_phases(self):
+        text = run().counters.describe()
+        assert "warmup" in text
+        assert "flits forwarded" in text
