@@ -5,6 +5,7 @@ Usage::
     python -m repro.experiments                 # delay-model results only
     python -m repro.experiments --simulate      # + latency-throughput figures
     python -m repro.experiments --simulate --paper-scale   # full-size runs
+    python -m repro.experiments --checked       # validation smoke run
 """
 
 from __future__ import annotations
@@ -15,6 +16,54 @@ from ..runtime.experiment import Experiment
 from ..sim.config import MeasurementConfig, paper_scale
 from ..sim.instrumentation import PrintProgress
 from .report import delay_model_report, simulation_report
+
+
+def _validation_smoke() -> int:
+    """Checked-mode smoke: probes + differential oracles on tiny runs.
+
+    This is what ``--checked`` runs when no simulation report was
+    requested: a speculative-VC run with every invariant probe attached,
+    the differential-oracle suite, and a handful of generated property
+    cases.  Prints one validation summary line per stage; exits nonzero
+    on any violation or mismatch.
+    """
+    from ..sim.config import RouterKind, SimConfig
+    from ..sim.engine import simulate
+    from ..sim.validation.oracle import ORACLE_MEASUREMENT, run_all_oracles
+    from ..sim.validation.proptest import run_property_suite
+
+    ok = True
+    config = SimConfig(
+        router_kind=RouterKind.SPECULATIVE_VC, mesh_radix=4, num_vcs=2,
+        injection_fraction=0.2, seed=1,
+    )
+    result = simulate(config, ORACLE_MEASUREMENT, checked=True)
+    summary = result.validation
+    assert summary is not None
+    checks = sum(summary["probes"].values())
+    print(
+        f"[checked] speculative_vc 4x4 probe run: "
+        f"{'ok' if summary['ok'] else 'FAILED'} "
+        f"({summary['cycles_checked']} cycles, {checks} probe checks, "
+        f"{len(summary['violations'])} violations)"
+    )
+    ok &= summary["ok"]
+
+    for report in run_all_oracles():
+        print("[checked] " + report.describe())
+        ok &= report.ok
+
+    prop = run_property_suite(seed=1, count=4, fail_fast=False)
+    print(
+        f"[checked] property cases: {prop['passed']}/{prop['cases']} passed"
+        + "".join(
+            f"\n  {failure['case']}: {failure['error']}"
+            for failure in prop["failures"]
+        )
+    )
+    ok &= prop["ok"]
+    print(f"[checked] validation {'PASSED' if ok else 'FAILED'}")
+    return 0 if ok else 1
 
 
 def main(argv=None) -> int:
@@ -51,17 +100,28 @@ def main(argv=None) -> int:
         "--progress", action="store_true",
         help="print one line per finished simulation point",
     )
+    parser.add_argument(
+        "--checked", action="store_true",
+        help="checked mode: attach the invariant-probe suite to every "
+             "simulation; alone, run the validation smoke suite "
+             "(probes + differential oracles) and exit 0/1",
+    )
     args = parser.parse_args(argv)
 
     measurement = paper_scale() if args.paper_scale else MeasurementConfig()
     if args.sample_packets is not None:
         measurement.sample_packets = args.sample_packets
 
+    if args.checked and not (args.simulate or args.ablations):
+        return _validation_smoke()
+
     overrides = {"workers": args.workers}
     if args.cache:
         overrides["cache"] = True
     if args.progress:
         overrides["progress"] = PrintProgress()
+    if args.checked:
+        overrides["checked"] = True
     experiment = Experiment.from_env(measurement, **overrides)
 
     print(delay_model_report())

@@ -40,11 +40,13 @@ DEFAULT_LOADS: Sequence[float] = (0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75
 
 
 def _execute_payload(
-    payload: Tuple[SimConfig, Optional[MeasurementConfig], bool]
+    payload: Tuple[SimConfig, Optional[MeasurementConfig], bool, bool]
 ) -> RunResult:
     """Worker entry point: run one point (top level so it pickles)."""
-    config, measurement, check_invariants = payload
-    return Simulator(config, measurement, check_invariants).run()
+    config, measurement, check_invariants, checked = payload
+    return Simulator(
+        config, measurement, check_invariants, checked=checked
+    ).run()
 
 
 @dataclass
@@ -137,6 +139,13 @@ class Experiment:
         point starts/finishes.
     check_invariants:
         Per-cycle conservation/credit checks (slow; tests only).
+    checked:
+        Run every point with the invariant-probe suite of
+        :mod:`repro.sim.validation` attached ("checked mode"); each
+        result carries its validation summary.  ``None`` reads
+        ``$REPRO_CHECKED`` (default off).  Checked runs bypass the
+        result cache: their summaries must describe *this* execution,
+        and cache entries stay comparable across modes.
     """
 
     def __init__(
@@ -147,6 +156,7 @@ class Experiment:
         cache: Union[ResultCache, str, Path, bool, None] = None,
         progress: Optional[ProgressHook] = None,
         check_invariants: bool = False,
+        checked: Optional[bool] = None,
     ) -> None:
         self.measurement = measurement or MeasurementConfig()
         if workers is None:
@@ -157,6 +167,10 @@ class Experiment:
         self.cache = self._resolve_cache(cache)
         self.progress: ProgressHook = progress or NullProgress()
         self.check_invariants = check_invariants
+        if checked is None:
+            env = os.environ.get("REPRO_CHECKED", "")
+            checked = bool(env) and env not in ("0", "false", "no")
+        self.checked = checked
         self.stats = ExperimentStats()
 
     @staticmethod
@@ -175,10 +189,12 @@ class Experiment:
     def from_env(
         cls, measurement: Optional[MeasurementConfig] = None, **overrides
     ) -> "Experiment":
-        """An Experiment configured by ``$REPRO_WORKERS``/``$REPRO_CACHE``.
+        """An Experiment configured by the ``$REPRO_*`` environment.
 
         ``REPRO_CACHE=1`` (or any truthy value) enables the default
-        on-disk cache; keyword overrides win over the environment.
+        on-disk cache; ``REPRO_WORKERS`` and ``REPRO_CHECKED`` are read
+        by the constructor itself.  Keyword overrides win over the
+        environment.
         """
         if "cache" not in overrides:
             env = os.environ.get("REPRO_CACHE", "")
@@ -211,7 +227,8 @@ class Experiment:
         ]
         results: Dict[str, RunResult] = {}
         cached_keys = set()
-        if self.cache is not None:
+        use_cache = self.cache is not None and not self.checked
+        if use_cache:
             for key in dict.fromkeys(keys):
                 hit = self.cache.get(key)
                 if hit is not None:
@@ -240,7 +257,7 @@ class Experiment:
         else:
             self._execute_serial(configs, keys, to_run, results, total)
 
-        if self.cache is not None:
+        if use_cache:
             for index, key in to_run:
                 self.cache.put(
                     key, results[key],
@@ -263,7 +280,8 @@ class Experiment:
         for index, key in to_run:
             self.progress.on_point_start(index, total, configs[index])
             results[key] = Simulator(
-                configs[index], self.measurement, self.check_invariants
+                configs[index], self.measurement, self.check_invariants,
+                checked=self.checked,
             ).run()
             self.progress.on_point_done(
                 index, total, configs[index], results[key], cached=False
@@ -277,7 +295,8 @@ class Experiment:
                 self.progress.on_point_start(index, total, configs[index])
                 future = pool.submit(
                     _execute_payload,
-                    (configs[index], self.measurement, self.check_invariants),
+                    (configs[index], self.measurement,
+                     self.check_invariants, self.checked),
                 )
                 futures[future] = (index, key)
             outstanding = set(futures)

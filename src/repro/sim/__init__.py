@@ -60,6 +60,7 @@ from .credit import (
 from .trace import EventKind, TraceEvent, Tracer
 from .snapshot import busiest_routers, describe_router, occupancy_map
 from .matching import MaximumMatchingAllocator, make_allocator
+from .validation import InvariantViolation, ValidationSuite, Violation
 
 __all__ = [
     "CreditCounter",
@@ -117,4 +118,7 @@ __all__ = [
     "occupancy_map",
     "turnaround_cycles",
     "turnaround_timeline",
+    "InvariantViolation",
+    "ValidationSuite",
+    "Violation",
 ]

@@ -45,6 +45,37 @@ class Grant:
     resource: int
 
 
+def grant_conflicts(*grant_sets: Sequence[Grant]) -> List[str]:
+    """Structural conflicts across one or more grant sets, as messages.
+
+    A legal allocation (even combined across a speculative router's two
+    parallel allocators) grants each input group at most once and each
+    resource at most once.  Returns one message per conflict; an empty
+    list means the combined grants form a valid matching.  Used by the
+    allocator property tests and available to invariant probes.
+    """
+    conflicts: List[str] = []
+    seen_groups: Dict[int, Grant] = {}
+    seen_resources: Dict[int, Grant] = {}
+    for grants in grant_sets:
+        for grant in grants:
+            if grant.group in seen_groups:
+                conflicts.append(
+                    f"input group {grant.group} granted twice: "
+                    f"{seen_groups[grant.group]} and {grant}"
+                )
+            else:
+                seen_groups[grant.group] = grant
+            if grant.resource in seen_resources:
+                conflicts.append(
+                    f"resource {grant.resource} granted twice: "
+                    f"{seen_resources[grant.resource]} and {grant}"
+                )
+            else:
+                seen_resources[grant.resource] = grant
+    return conflicts
+
+
 class SeparableAllocator:
     """Input-first separable allocator with persistent arbiter state.
 

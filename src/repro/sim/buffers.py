@@ -29,6 +29,11 @@ class FlitBuffer:
         return bool(self._queue)
 
     @property
+    def occupancy(self) -> int:
+        """Flits currently queued (``len``, named for invariant checks)."""
+        return len(self._queue)
+
+    @property
     def free_slots(self) -> int:
         return self.capacity - len(self._queue)
 

@@ -34,8 +34,16 @@ class CreditCounter:
     def available(self) -> int:
         return self._credits
 
+    @property
+    def in_use(self) -> int:
+        """Downstream slots currently occupied or spoken for."""
+        return self.capacity - self._credits
+
     def __bool__(self) -> bool:
         return self._credits > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CreditCounter({self._credits}/{self.capacity})"
 
     def consume(self) -> None:
         """Spend one credit (flit departs); raises if none remain."""
@@ -55,6 +63,7 @@ class InfiniteCredits:
 
     capacity = float("inf")
     available = float("inf")
+    in_use = 0
 
     def __bool__(self) -> bool:
         return True

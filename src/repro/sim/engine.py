@@ -10,27 +10,42 @@ into ``saturated=True`` results (the vertical part of the curves).
 from __future__ import annotations
 
 import time
-from typing import List, Optional
+from typing import List, Optional, Union
 
 from .config import MeasurementConfig, SimConfig
 from .instrumentation import collect_counters
 from .metrics import LatencyStats, RunResult
 from .network import Network
+from .validation import ValidationSuite, resolve_checked
 
 
 class Simulator:
-    """One simulation run at a fixed configuration."""
+    """One simulation run at a fixed configuration.
+
+    ``checked`` enables the invariant-probe layer of
+    :mod:`repro.sim.validation`: ``True`` runs the default probe suite
+    for the config every cycle, or pass a configured
+    :class:`~repro.sim.validation.ValidationSuite`.  With validation
+    disabled (the default) the probes cost nothing: the per-step hook is
+    a single attribute test.  ``check_invariants`` is the legacy
+    coarse-grained flag (network-wide conservation + credit ranges);
+    prefer ``checked``.
+    """
 
     def __init__(
         self,
         config: SimConfig,
         measurement: Optional[MeasurementConfig] = None,
         check_invariants: bool = False,
+        checked: Union[ValidationSuite, bool, None] = None,
     ) -> None:
         self.config = config
         self.measurement = measurement or MeasurementConfig()
         self.check_invariants = check_invariants
         self.network = Network(config)
+        self.validation = resolve_checked(checked, config)
+        if self.validation is not None:
+            self.validation.attach(self.network)
 
     def run(self) -> RunResult:
         network = self.network
@@ -101,6 +116,10 @@ class Simulator:
             drain_cycles=network.cycle - sample_end,
             wall_seconds=wall,
         )
+        validation = (
+            self.validation.finalize(network)
+            if self.validation is not None else None
+        )
         return RunResult(
             injection_fraction=self.config.injection_fraction,
             latency=None if saturated else latency,
@@ -111,6 +130,7 @@ class Simulator:
             spec_grants=counters.spec_grants,
             spec_wasted=counters.spec_wasted,
             counters=counters,
+            validation=validation,
         )
 
     # ------------------------------------------------------------------
@@ -120,6 +140,8 @@ class Simulator:
         if self.check_invariants:
             self.network.check_conservation()
             self.network.check_credit_invariants()
+        if self.validation is not None:
+            self.validation.after_cycle(self.network)
 
     def _run_cycles(self, cycles: int) -> None:
         for _ in range(cycles):
@@ -142,6 +164,7 @@ def simulate(
     config: SimConfig,
     measurement: Optional[MeasurementConfig] = None,
     check_invariants: bool = False,
+    checked: Union[ValidationSuite, bool, None] = None,
 ) -> RunResult:
     """Convenience wrapper: build a :class:`Simulator` and run it.
 
@@ -150,4 +173,4 @@ def simulate(
        config, can serve the result from cache, and batches with other
        points across worker processes.
     """
-    return Simulator(config, measurement, check_invariants).run()
+    return Simulator(config, measurement, check_invariants, checked).run()

@@ -85,6 +85,10 @@ class RunResult:
     spec_wasted: int = 0
     #: Full engine instrumentation (None for results predating it).
     counters: Optional[RunCounters] = None
+    #: Checked-mode validation summary (None for unchecked runs).
+    #: Excluded from equality: a checked and an unchecked run of the
+    #: same point produce the same measurements.
+    validation: Optional[Dict[str, Any]] = field(default=None, compare=False)
 
     @property
     def average_latency(self) -> float:
@@ -105,6 +109,7 @@ class RunResult:
             "spec_grants": self.spec_grants,
             "spec_wasted": self.spec_wasted,
             "counters": self.counters.to_dict() if self.counters else None,
+            "validation": self.validation,
         }
 
     @classmethod

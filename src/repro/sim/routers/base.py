@@ -88,11 +88,12 @@ class RouterStats:
     """Per-router event counters."""
 
     __slots__ = (
-        "flits_forwarded", "packets_routed", "spec_grants", "spec_wasted",
-        "credits_stalled", "sa_grants", "reroutes",
+        "flits_received", "flits_forwarded", "packets_routed", "spec_grants",
+        "spec_wasted", "credits_stalled", "sa_grants", "reroutes",
     )
 
     def __init__(self) -> None:
+        self.flits_received = 0
         self.flits_forwarded = 0
         self.packets_routed = 0
         self.spec_grants = 0
@@ -164,6 +165,7 @@ class BaseRouter:
         """A flit arrives on an input port; the vcid field selects the VC."""
         ivc = self.input_vcs[port][flit.vcid]
         ivc.buffer.push(flit)
+        self.stats.flits_received += 1
         if self.tracer is not None:
             from ..trace import EventKind
 

@@ -1,0 +1,271 @@
+"""Differential oracles: compute the same answer two ways and diff.
+
+Each oracle runs two configurations (or two execution paths) that must
+agree -- exactly, or up to a stated structural relation -- and returns
+an :class:`OracleReport` listing every check made and every mismatch
+found:
+
+* :func:`oracle_spec_vs_nonspec` -- the speculative and non-speculative
+  VC routers on identical seeds: both must pass every invariant probe,
+  deliver the full sample, and satisfy the paper's structural relations
+  (the speculative router's shallower pipeline means lower latency; only
+  it issues speculative grants).
+* :func:`oracle_serial_vs_parallel` -- the same sweep through
+  ``Experiment(workers=0)`` and ``Experiment(workers=2)`` must produce
+  bit-identical curves (each point is a pure function of config + seed).
+* :func:`oracle_cached_vs_uncached` -- a point served from the result
+  cache must equal the freshly executed one.
+
+These are coarse end-to-end checks that complement the per-cycle probes
+of :mod:`repro.sim.validation.probes`: a bug that preserves every local
+invariant but changes results between equivalent execution paths still
+gets caught here.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field, fields as dataclass_fields, replace
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..config import MeasurementConfig, RouterKind, SimConfig
+from ..metrics import RunResult
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One disagreement between the two sides of an oracle."""
+
+    what: str
+    lhs: Any
+    rhs: Any
+
+    def __str__(self) -> str:
+        return f"{self.what}: {self.lhs!r} != {self.rhs!r}"
+
+
+@dataclass
+class OracleReport:
+    """Outcome of one differential oracle."""
+
+    name: str
+    lhs_label: str
+    rhs_label: str
+    checks: int = 0
+    mismatches: List[Mismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def compare(self, what: str, lhs: Any, rhs: Any) -> bool:
+        """Record one equality check; returns whether it held."""
+        self.checks += 1
+        if lhs != rhs:
+            self.mismatches.append(Mismatch(what, lhs, rhs))
+            return False
+        return True
+
+    def expect(self, condition: bool, what: str,
+               lhs: Any = None, rhs: Any = None) -> bool:
+        """Record one boolean structural check."""
+        self.checks += 1
+        if not condition:
+            self.mismatches.append(Mismatch(what, lhs, rhs))
+        return condition
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "lhs": self.lhs_label,
+            "rhs": self.rhs_label,
+            "ok": self.ok,
+            "checks": self.checks,
+            "mismatches": [str(m) for m in self.mismatches],
+        }
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "FAILED"
+        lines = [
+            f"oracle {self.name} [{self.lhs_label} vs {self.rhs_label}]: "
+            f"{status} ({self.checks} checks)"
+        ]
+        for mismatch in self.mismatches:
+            lines.append(f"  mismatch {mismatch}")
+        return "\n".join(lines)
+
+
+def diff_run_results(report: OracleReport, lhs: RunResult, rhs: RunResult,
+                     label: str = "point") -> None:
+    """Field-by-field comparison of two run results into ``report``.
+
+    Equality already excludes wall-clock time and validation summaries
+    (``compare=False`` fields), so two runs of the same point -- checked
+    or not, cached or not, serial or parallel -- must diff clean.
+    """
+    if report.compare(label, lhs, rhs):
+        return
+    # Unequal: replace the single coarse mismatch with per-field detail.
+    report.mismatches.pop()
+    for f in dataclass_fields(RunResult):
+        if not f.compare:
+            continue
+        report.compare(
+            f"{label}.{f.name}", getattr(lhs, f.name), getattr(rhs, f.name)
+        )
+
+
+#: Small-but-nontrivial measurement scale the oracles default to.
+ORACLE_MEASUREMENT = MeasurementConfig(
+    warmup_cycles=150, sample_packets=200, max_cycles=20_000,
+    drain_cycles=10_000,
+)
+
+
+def _tiny_config(kind: RouterKind, **overrides) -> SimConfig:
+    defaults: Dict[str, Any] = dict(
+        router_kind=kind,
+        mesh_radix=4,
+        num_vcs=2 if kind.uses_vcs else 1,
+        buffers_per_vc=4,
+        injection_fraction=0.2,
+        seed=11,
+    )
+    defaults.update(overrides)
+    return SimConfig(**defaults)
+
+
+def oracle_spec_vs_nonspec(
+    measurement: Optional[MeasurementConfig] = None,
+    *,
+    load: float = 0.2,
+    seed: int = 11,
+    mesh_radix: int = 4,
+    num_vcs: int = 2,
+) -> OracleReport:
+    """Speculative vs non-speculative VC router on identical seeds."""
+    from ..engine import simulate
+
+    measurement = measurement or ORACLE_MEASUREMENT
+    report = OracleReport(
+        "spec_vs_nonspec", "speculative_vc", "virtual_channel"
+    )
+    spec_cfg = _tiny_config(
+        RouterKind.SPECULATIVE_VC, injection_fraction=load, seed=seed,
+        mesh_radix=mesh_radix, num_vcs=num_vcs,
+    )
+    nonspec_cfg = replace(spec_cfg, router_kind=RouterKind.VIRTUAL_CHANNEL)
+    spec = simulate(spec_cfg, measurement, checked=True)
+    nonspec = simulate(nonspec_cfg, measurement, checked=True)
+
+    report.expect(
+        spec.validation is not None and spec.validation["ok"],
+        "speculative run passes every invariant probe",
+        spec.validation and spec.validation["violations"], [],
+    )
+    report.expect(
+        nonspec.validation is not None and nonspec.validation["ok"],
+        "non-speculative run passes every invariant probe",
+        nonspec.validation and nonspec.validation["violations"], [],
+    )
+    report.expect(
+        not spec.saturated and not nonspec.saturated,
+        "neither run saturates at this load",
+        spec.saturated, nonspec.saturated,
+    )
+    report.compare(
+        "sampled packets", spec.sample_packets, nonspec.sample_packets
+    )
+    report.expect(
+        spec.average_latency < nonspec.average_latency,
+        "speculative pipeline (3 stages) beats non-speculative (4 stages)",
+        spec.average_latency, nonspec.average_latency,
+    )
+    report.expect(
+        spec.spec_grants > 0,
+        "speculative router issued speculative grants",
+        spec.spec_grants, "> 0",
+    )
+    report.expect(
+        nonspec.spec_grants == 0,
+        "non-speculative router issued no speculative grants",
+        nonspec.spec_grants, 0,
+    )
+    return report
+
+
+def oracle_serial_vs_parallel(
+    measurement: Optional[MeasurementConfig] = None,
+    *,
+    config: Optional[SimConfig] = None,
+    loads=(0.1, 0.2, 0.3),
+) -> OracleReport:
+    """``Experiment.run_sweep`` serial vs across worker processes."""
+    from ...runtime.experiment import Experiment
+
+    measurement = measurement or ORACLE_MEASUREMENT
+    config = config or _tiny_config(RouterKind.SPECULATIVE_VC)
+    report = OracleReport("serial_vs_parallel", "workers=0", "workers=2")
+    serial = Experiment(measurement, workers=0).run_sweep(
+        config, "serial", loads=loads
+    )
+    parallel = Experiment(measurement, workers=2).run_sweep(
+        config, "parallel", loads=loads
+    )
+    report.compare("point count", len(serial.points), len(parallel.points))
+    for i, (lhs, rhs) in enumerate(zip(serial.points, parallel.points)):
+        diff_run_results(report, lhs, rhs, label=f"point[{i}]")
+    return report
+
+
+def oracle_cached_vs_uncached(
+    cache_dir: Union[str, Path, None] = None,
+    measurement: Optional[MeasurementConfig] = None,
+    *,
+    config: Optional[SimConfig] = None,
+) -> OracleReport:
+    """A cache-served result must equal the freshly executed one.
+
+    ``cache_dir=None`` uses a throwaway temporary directory.
+    """
+    from ...runtime.experiment import Experiment
+
+    measurement = measurement or ORACLE_MEASUREMENT
+    config = config or _tiny_config(RouterKind.SPECULATIVE_VC)
+    report = OracleReport("cached_vs_uncached", "fresh run", "cache hit")
+
+    def _run(directory: Union[str, Path]) -> None:
+        fresh_exp = Experiment(measurement, cache=directory)
+        fresh = fresh_exp.run_one(config)
+        report.expect(
+            fresh_exp.stats.cache_hits == 0,
+            "first run executes (cold cache)",
+            fresh_exp.stats.cache_hits, 0,
+        )
+        cached_exp = Experiment(measurement, cache=directory)
+        cached = cached_exp.run_one(config)
+        report.expect(
+            cached_exp.stats.cache_hits == 1,
+            "second run is served from the cache",
+            cached_exp.stats.cache_hits, 1,
+        )
+        diff_run_results(report, fresh, cached, label="result")
+
+    if cache_dir is None:
+        with tempfile.TemporaryDirectory(prefix="repro-oracle-") as tmp:
+            _run(tmp)
+    else:
+        _run(cache_dir)
+    return report
+
+
+def run_all_oracles(
+    measurement: Optional[MeasurementConfig] = None,
+) -> List[OracleReport]:
+    """Every differential oracle, at the default tiny scale."""
+    return [
+        oracle_spec_vs_nonspec(measurement),
+        oracle_serial_vs_parallel(measurement),
+        oracle_cached_vs_uncached(measurement=measurement),
+    ]

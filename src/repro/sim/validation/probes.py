@@ -1,0 +1,633 @@
+"""Invariant probes for checked-mode simulation.
+
+Two probe styles share one base class:
+
+* *cycle probes* implement :meth:`Probe.check`, called by the
+  :class:`~repro.sim.validation.suite.ValidationSuite` after every
+  network step (or every ``interval`` steps) on the settled end-of-cycle
+  state;
+* *event probes* install lightweight wrappers at attach time (around the
+  speculative switch allocator, around sink ejection) and report
+  violations at the moment the illegal event happens, before the bad
+  state can propagate.
+
+Probes report through :meth:`Probe.fail`, which routes to the owning
+suite: with ``fail_fast`` (the default) the first violation raises
+:class:`InvariantViolation` out of the engine; otherwise violations
+accumulate in the run's validation summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..routers.base import VCState
+from ..topology import LOCAL, OPPOSITE, PORT_NAMES
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation: where, when, and what went wrong."""
+
+    probe: str
+    cycle: int
+    message: str
+    snapshot: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "probe": self.probe,
+            "cycle": self.cycle,
+            "message": self.message,
+            "snapshot": self.snapshot,
+        }
+
+    def __str__(self) -> str:
+        text = f"[{self.probe} @ cycle {self.cycle}] {self.message}"
+        if self.snapshot:
+            text += "\n" + self.snapshot
+        return text
+
+
+class InvariantViolation(AssertionError):
+    """Raised in fail-fast checked mode on the first violation.
+
+    Subclasses :class:`AssertionError` so existing "the simulator never
+    asserts" call sites treat probe trips and engine self-checks alike.
+    """
+
+    def __init__(self, violation: Violation) -> None:
+        super().__init__(str(violation))
+        self.violation = violation
+
+
+class Probe:
+    """Base class: bind to a suite, attach to a network, check cycles."""
+
+    name = "probe"
+
+    def __init__(self) -> None:
+        self.suite = None          # set by ValidationSuite.attach
+        self.checks = 0            # how many times this probe validated
+
+    def bind(self, suite) -> None:
+        self.suite = suite
+
+    def attach(self, network) -> None:
+        """Precompute structures / install wrappers.  Default: nothing."""
+
+    def detach(self, network) -> None:
+        """Undo :meth:`attach`'s wrappers.  Default: nothing."""
+
+    def check(self, network, cycle: int) -> None:
+        """Validate the settled end-of-cycle state.  Default: nothing."""
+
+    def finalize(self, network) -> None:
+        """End-of-run validation.  Default: nothing."""
+
+    def fail(self, cycle: int, message: str,
+             snapshot: Optional[str] = None) -> None:
+        self.suite.report(Violation(self.name, cycle, message, snapshot))
+
+
+class FlitConservationProbe(Probe):
+    """No flit is ever created or destroyed, network-wide or per router.
+
+    Network-wide: ``injected == ejected + in flight`` (buffers + links +
+    ejection channels).  Per router: flits accepted on input ports equal
+    flits forwarded through the crossbar plus flits still buffered.
+    """
+
+    name = "flit_conservation"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._routers: List[Tuple[int, Any, List[Any]]] = []
+
+    def attach(self, network) -> None:
+        self._routers = [
+            (
+                router.node,
+                router.stats,
+                [ivc.buffer for port_vcs in router.input_vcs
+                 for ivc in port_vcs],
+            )
+            for router in network.routers
+        ]
+
+    def check(self, network, cycle: int) -> None:
+        self.checks += 1
+        total_buffered = 0
+        for node, stats, buffers in self._routers:
+            buffered = sum(map(len, buffers))
+            total_buffered += buffered
+            if stats.flits_received - stats.flits_forwarded != buffered:
+                self.fail(
+                    cycle,
+                    f"router {node}: received {stats.flits_received} "
+                    f"!= forwarded {stats.flits_forwarded} + buffered "
+                    f"{buffered}",
+                )
+        on_links = sum(ch.occupancy for ch, _, _ in network._flit_links)
+        ejecting = sum(ch.occupancy for ch, _ in network._ejection_links)
+        in_flight = total_buffered + on_links + ejecting
+        injected = network.total_flits_injected()
+        ejected = network.total_flits_ejected()
+        if injected != ejected + in_flight:
+            self.fail(
+                cycle,
+                f"network: injected {injected} != ejected {ejected} + "
+                f"in flight {in_flight}",
+            )
+
+
+class CreditConsistencyProbe(Probe):
+    """Upstream credit counters mirror downstream free-buffer counts.
+
+    For every (link, VC), at the settled end of a cycle::
+
+        upstream credits available
+        + flits in flight on the link (for this VC)
+        + credits in flight on the reverse credit channel
+        + flits buffered downstream
+        - switch grants issued this cycle but not yet traversed
+
+    must equal the buffer capacity.  The last term accounts for the
+    "credit on read-out" convention: the credit for a granted flit's
+    slot departs at grant time, one cycle before the flit pops.  The
+    same identity is checked for each node's injection path (source
+    credit views against the router's local input buffers).
+    """
+
+    name = "credit_consistency"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._links: List[Tuple[Any, ...]] = []
+        self._local: List[Tuple[Any, ...]] = []
+
+    def attach(self, network) -> None:
+        self._links = []
+        routers = network.routers
+        for node, port, neighbor in network.mesh.links():
+            upstream = routers[node]
+            downstream = routers[neighbor]
+            dst_port = OPPOSITE[port]
+            self._links.append((
+                [ovc.credits for ovc in upstream.output_vcs[port]],
+                upstream.output_channels[port]._in_flight,
+                downstream.credit_channels[dst_port]._in_flight,
+                [ivc.buffer for ivc in downstream.input_vcs[dst_port]],
+                neighbor,
+                dst_port,
+                f"link {node}->{neighbor} ({PORT_NAMES[port]})",
+            ))
+        self._local = [
+            (
+                source.credits,
+                router.credit_channels[LOCAL]._in_flight,
+                [ivc.buffer for ivc in router.input_vcs[LOCAL]],
+                source.node,
+            )
+            for source, router in zip(network.sources, network.routers)
+        ]
+
+    def check(self, network, cycle: int) -> None:
+        self.checks += 1
+        capacity = network.config.buffers_per_vc
+        num_vcs = network.config.num_vcs
+        vc_range = range(num_vcs)
+        # Grants issued this cycle whose flits have not yet traversed,
+        # keyed (node, input port, vc): their credits are already in
+        # flight while the flit still occupies its buffer slot.
+        pending: Dict[Tuple[int, int, int], int] = {}
+        for router in network.routers:
+            node = router.node
+            for port, vc in router.pending_st:
+                key = (node, port, vc)
+                pending[key] = pending.get(key, 0) + 1
+
+        for (credits, flit_flight, credit_flight, buffers, neighbor,
+             dst_port, label) in self._links:
+            in_flight = [0] * num_vcs
+            for _, flit in flit_flight:
+                in_flight[flit.vcid] += 1
+            credits_in_flight = [0] * num_vcs
+            for _, vc in credit_flight:
+                credits_in_flight[vc] += 1
+            for vc in vc_range:
+                total = (
+                    credits[vc].available
+                    + in_flight[vc]
+                    + credits_in_flight[vc]
+                    + len(buffers[vc])
+                    - pending.get((neighbor, dst_port, vc), 0)
+                )
+                if total != capacity:
+                    self.fail(
+                        cycle,
+                        f"{label} vc {vc}: credits {credits[vc].available} "
+                        f"+ in-flight flits {in_flight[vc]} + in-flight "
+                        f"credits {credits_in_flight[vc]} + buffered "
+                        f"{len(buffers[vc])} - granted "
+                        f"{pending.get((neighbor, dst_port, vc), 0)} = "
+                        f"{total}, expected capacity {capacity}",
+                    )
+
+        for credits, credit_flight, buffers, node in self._local:
+            credits_in_flight = [0] * num_vcs
+            for _, vc in credit_flight:
+                credits_in_flight[vc] += 1
+            for vc in vc_range:
+                total = (
+                    credits[vc].available
+                    + credits_in_flight[vc]
+                    + len(buffers[vc])
+                    - pending.get((node, LOCAL, vc), 0)
+                )
+                if total != capacity:
+                    self.fail(
+                        cycle,
+                        f"injection at node {node} vc {vc}: source credits "
+                        f"{credits[vc].available} + in-flight credits "
+                        f"{credits_in_flight[vc]} + buffered "
+                        f"{len(buffers[vc])} - granted "
+                        f"{pending.get((node, LOCAL, vc), 0)} = {total}, "
+                        f"expected capacity {capacity}",
+                    )
+
+
+class VCExclusivityProbe(Probe):
+    """Each output VC (or held wormhole port) belongs to one packet.
+
+    VC-family routers: every held :class:`OutputVC` points back at an
+    input VC whose allocated route/out_vc agree, and no input VC holds
+    two output VCs.  Wormhole-family routers: the per-output hold state
+    is mutually consistent with the holding input's route, and no input
+    holds two output ports.
+    """
+
+    name = "vc_exclusivity"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._vc_routers: List[Tuple[Any, List[Any], List[Any]]] = []
+        self._wh_routers: List[Any] = []
+
+    def attach(self, network) -> None:
+        self._vc_routers = []
+        self._wh_routers = []
+        for router in network.routers:
+            if hasattr(router, "port_held_by"):
+                self._wh_routers.append(router)
+            else:
+                self._vc_routers.append((
+                    router,
+                    [ovc for port_vcs in router.output_vcs
+                     for ovc in port_vcs],
+                    [ivc for port_vcs in router.input_vcs
+                     for ivc in port_vcs],
+                ))
+
+    def check(self, network, cycle: int) -> None:
+        self.checks += 1
+        for router, ovcs, ivcs in self._vc_routers:
+            self._check_vc(router, ovcs, ivcs, cycle)
+        for router in self._wh_routers:
+            self._check_wormhole(router, cycle)
+
+    def _check_vc(self, router, ovcs, ivcs, cycle: int) -> None:
+        active = VCState.ACTIVE
+        holders: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        for ovc in ovcs:
+            holder = ovc.held_by
+            if holder is None:
+                continue
+            if holder in holders:
+                self.fail(
+                    cycle,
+                    f"router {router.node}: input VC {holder} holds two "
+                    f"output VCs ({holders[holder]} and "
+                    f"({ovc.port}, {ovc.vc}))",
+                )
+            holders[holder] = (ovc.port, ovc.vc)
+            ivc = router.input_vcs[holder[0]][holder[1]]
+            if (ivc.state is not active
+                    or ivc.route != ovc.port or ivc.out_vc != ovc.vc):
+                self.fail(
+                    cycle,
+                    f"router {router.node}: output VC "
+                    f"({ovc.port}, {ovc.vc}) held by input {holder} but "
+                    f"that VC is {ivc.state.value} with route="
+                    f"{ivc.route} out_vc={ivc.out_vc}",
+                )
+        for ivc in ivcs:
+            if ivc.state is active and ivc.out_vc is not None:
+                ovc = router.output_vcs[ivc.route][ivc.out_vc]
+                if ovc.held_by != (ivc.port, ivc.vc):
+                    self.fail(
+                        cycle,
+                        f"router {router.node}: input VC "
+                        f"({ivc.port}, {ivc.vc}) claims output VC "
+                        f"({ivc.route}, {ivc.out_vc}) held by "
+                        f"{ovc.held_by}",
+                    )
+
+    def _check_wormhole(self, router, cycle: int) -> None:
+        seen_inputs: Dict[int, int] = {}
+        for out_port, in_port in enumerate(router.port_held_by):
+            if in_port is None:
+                continue
+            if in_port in seen_inputs:
+                self.fail(
+                    cycle,
+                    f"router {router.node}: input port {in_port} holds two "
+                    f"output ports ({seen_inputs[in_port]} and {out_port})",
+                )
+            seen_inputs[in_port] = out_port
+            ivc = router.input_vcs[in_port][0]
+            if ivc.state is not VCState.ACTIVE or ivc.route != out_port:
+                self.fail(
+                    cycle,
+                    f"router {router.node}: output port {out_port} held by "
+                    f"input {in_port} but that input is {ivc.state.value} "
+                    f"with route={ivc.route}",
+                )
+
+
+class _SpecAllocatorProxy:
+    """Wraps a router's speculative switch allocator to observe grants.
+
+    Wrapping the *instance* (rather than hooking the class) means a
+    buggy or monkeypatched ``allocate`` is still observed -- the probe
+    sees exactly the grants the router acts on.
+    """
+
+    def __init__(self, inner, probe: "SpeculationLegalityProbe",
+                 router) -> None:
+        self._inner = inner
+        self._probe = probe
+        self._router = router
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def allocate(self, nonspec_requests, spec_requests):
+        nonspec_grants, spec_grants = self._inner.allocate(
+            nonspec_requests, spec_requests
+        )
+        self._probe.observe(
+            self._router, nonspec_requests, spec_requests,
+            nonspec_grants, spec_grants,
+        )
+        return nonspec_grants, spec_grants
+
+
+class SpeculationLegalityProbe(Probe):
+    """A speculative grant never displaces a non-speculative one.
+
+    Checks every speculative switch-allocation round, at the moment the
+    grants are produced:
+
+    * every grant answers a request that was actually submitted;
+    * at most one grant per input port and per output port across the
+      combined (non-speculative + speculative) grant set;
+    * under conservative priority, no surviving speculative grant shares
+      an input or an output with a non-speculative grant.
+
+    The last check is skipped for ``speculation_priority="equal"`` --
+    the ablation where displacement is the deliberate point.
+    """
+
+    name = "speculation_legality"
+
+    def __init__(self, enforce_priority: bool = True) -> None:
+        super().__init__()
+        self.enforce_priority = enforce_priority
+        self._wrapped: List[Tuple[Any, Any]] = []
+
+    def attach(self, network) -> None:
+        self._network = network
+        self._wrapped = []
+        for router in network.routers:
+            inner = getattr(router, "_spec_switch_allocator", None)
+            if inner is None:
+                continue
+            router._spec_switch_allocator = _SpecAllocatorProxy(
+                inner, self, router
+            )
+            self._wrapped.append((router, inner))
+
+    def detach(self, network) -> None:
+        for router, inner in self._wrapped:
+            router._spec_switch_allocator = inner
+        self._wrapped = []
+
+    def observe(self, router, nonspec_requests, spec_requests,
+                nonspec_grants, spec_grants) -> None:
+        self.checks += 1
+        if not nonspec_grants and not spec_grants:
+            return
+        cycle = self._network.cycle
+        for grants, requests, kind in (
+            (nonspec_grants, nonspec_requests, "non-speculative"),
+            (spec_grants, spec_requests, "speculative"),
+        ):
+            if not grants:
+                continue
+            keys = {(r.group, r.member, r.resource) for r in requests}
+            for grant in grants:
+                if (grant.group, grant.member, grant.resource) not in keys:
+                    self.fail(
+                        cycle,
+                        f"router {router.node}: {kind} grant {grant} answers "
+                        f"no submitted request",
+                    )
+
+        seen_inputs: set = set()
+        seen_outputs: set = set()
+        for grant in (*nonspec_grants, *spec_grants):
+            if grant.group in seen_inputs:
+                self.fail(
+                    cycle,
+                    f"router {router.node}: input port {grant.group} granted "
+                    f"twice in one cycle",
+                )
+            seen_inputs.add(grant.group)
+            if grant.resource in seen_outputs:
+                self.fail(
+                    cycle,
+                    f"router {router.node}: output port {grant.resource} "
+                    f"granted twice in one cycle",
+                )
+            seen_outputs.add(grant.resource)
+
+        if self.enforce_priority and spec_grants and nonspec_grants:
+            taken_inputs = {g.group for g in nonspec_grants}
+            taken_outputs = {g.resource for g in nonspec_grants}
+            for grant in spec_grants:
+                if grant.group in taken_inputs or (
+                        grant.resource in taken_outputs):
+                    self.fail(
+                        cycle,
+                        f"router {router.node}: speculative grant {grant} "
+                        f"displaced a non-speculative grant (priority "
+                        f"inversion)",
+                    )
+
+
+class InOrderDeliveryProbe(Probe):
+    """Every packet's flits eject in index order, at exactly one sink."""
+
+    name = "in_order_delivery"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._expected: Dict[int, int] = {}
+        self._sink_of: Dict[int, int] = {}
+        self._originals: List[Tuple[Any, Any]] = []
+
+    def attach(self, network) -> None:
+        self._originals = []
+        for sink in network.sinks:
+            original = sink.accept
+
+            def wrapped(flit, cycle, _sink=sink, _original=original):
+                self._observe(_sink, flit, cycle)
+                _original(flit, cycle)
+
+            sink.accept = wrapped
+            self._originals.append((sink, original))
+
+    def detach(self, network) -> None:
+        for sink, original in self._originals:
+            sink.accept = original
+        self._originals = []
+
+    def _observe(self, sink, flit, cycle: int) -> None:
+        self.checks += 1
+        packet = flit.packet
+        pid = packet.packet_id
+        claimed = self._sink_of.setdefault(pid, sink.node)
+        if claimed != sink.node:
+            self.fail(
+                cycle,
+                f"packet {pid} ejected at node {sink.node} after earlier "
+                f"flits ejected at node {claimed}",
+            )
+        expected = self._expected.get(pid, 0)
+        if flit.index != expected:
+            self.fail(
+                cycle,
+                f"packet {pid}: flit index {flit.index} ejected at node "
+                f"{sink.node}, expected index {expected}",
+            )
+        if flit.is_tail:
+            if flit.index != packet.length - 1:
+                self.fail(
+                    cycle,
+                    f"packet {pid}: tail flit has index {flit.index}, "
+                    f"packet length is {packet.length}",
+                )
+            self._expected.pop(pid, None)
+            self._sink_of.pop(pid, None)
+        else:
+            self._expected[pid] = expected + 1
+
+
+class WatchdogProbe(Probe):
+    """Deadlock/livelock watchdog with a configurable stall horizon.
+
+    Trips when flits are in the network but none has moved through any
+    crossbar for ``stall_horizon`` cycles (deadlock), or flits keep
+    moving but none ejects for ``ejection_horizon`` cycles (livelock).
+    On trip the violation carries a network snapshot -- the occupancy
+    heat map plus the most congested routers' VC states -- so the stuck
+    configuration can be reproduced and inspected offline.
+    """
+
+    name = "watchdog"
+
+    def __init__(self, stall_horizon: int = 1_000,
+                 ejection_horizon: Optional[int] = None) -> None:
+        super().__init__()
+        if stall_horizon < 1:
+            raise ValueError("stall_horizon must be >= 1 cycle")
+        self.stall_horizon = stall_horizon
+        self.ejection_horizon = (
+            ejection_horizon if ejection_horizon is not None
+            else 10 * stall_horizon
+        )
+        self._last_forwarded = -1
+        self._last_forward_cycle = 0
+        self._last_ejected = -1
+        self._last_eject_cycle = 0
+
+    def check(self, network, cycle: int) -> None:
+        self.checks += 1
+        ejected = network.total_flits_ejected()
+        # injected - ejected equals flits_in_flight() whenever flit
+        # conservation holds (its probe runs alongside); computing it
+        # from the O(nodes) totals keeps the watchdog cheap.
+        if network.total_flits_injected() == ejected:
+            self._last_forward_cycle = cycle
+            self._last_eject_cycle = cycle
+            return
+        forwarded = sum(r.stats.flits_forwarded for r in network.routers)
+        if forwarded != self._last_forwarded:
+            self._last_forwarded = forwarded
+            self._last_forward_cycle = cycle
+        if ejected != self._last_ejected:
+            self._last_ejected = ejected
+            self._last_eject_cycle = cycle
+
+        if cycle - self._last_forward_cycle >= self.stall_horizon:
+            self.fail(
+                cycle,
+                f"deadlock: flits in flight but none traversed a crossbar "
+                f"for {cycle - self._last_forward_cycle} cycles "
+                f"(stall_horizon={self.stall_horizon})",
+                snapshot=self._snapshot(network),
+            )
+            self._last_forward_cycle = cycle  # avoid re-trip when collecting
+        elif cycle - self._last_eject_cycle >= self.ejection_horizon:
+            self.fail(
+                cycle,
+                f"livelock: flits moving but none ejected for "
+                f"{cycle - self._last_eject_cycle} cycles "
+                f"(ejection_horizon={self.ejection_horizon})",
+                snapshot=self._snapshot(network),
+            )
+            self._last_eject_cycle = cycle
+
+    def _snapshot(self, network) -> str:
+        from ..snapshot import busiest_routers, describe_router, occupancy_map
+
+        sections = [occupancy_map(network)]
+        for router in busiest_routers(network, count=3):
+            if router.buffered_flits():
+                sections.append(describe_router(router))
+        sections.append(
+            f"config: {network.config!r}\n"
+            f"reproduce: Simulator(config, measurement, checked=True).run()"
+        )
+        return "\n".join(sections)
+
+
+def default_probes(config) -> List[Probe]:
+    """The probe set checked mode runs for ``config``."""
+    probes: List[Probe] = [
+        FlitConservationProbe(),
+        CreditConsistencyProbe(),
+        VCExclusivityProbe(),
+        InOrderDeliveryProbe(),
+        WatchdogProbe(),
+    ]
+    from ..config import RouterKind
+
+    if config.router_kind is RouterKind.SPECULATIVE_VC:
+        probes.append(SpeculationLegalityProbe(
+            enforce_priority=config.speculation_priority == "conservative"
+        ))
+    return probes

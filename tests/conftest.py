@@ -1,0 +1,56 @@
+"""Shared fixtures: the golden-file workflow.
+
+Golden tests pin exact outputs (the simulator and the delay model are
+deterministic functions of their inputs) to JSON fixtures committed
+under ``tests/experiments/goldens/``.  When an intentional change moves
+the numbers, regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/experiments/test_goldens.py --update-goldens
+
+and commit the fixture diff alongside the change that caused it.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).parent / "experiments" / "goldens"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="rewrite the committed golden fixtures from current outputs",
+    )
+
+
+class GoldenChecker:
+    """Compares data against a committed JSON fixture (or rewrites it)."""
+
+    def __init__(self, update: bool) -> None:
+        self.update = update
+
+    def check(self, name: str, data) -> None:
+        path = GOLDEN_DIR / f"{name}.json"
+        rendered = json.dumps(data, indent=2, sort_keys=True) + "\n"
+        if self.update:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(rendered)
+            return
+        if not path.exists():
+            pytest.fail(
+                f"golden fixture {path} is missing; generate it with "
+                f"pytest --update-goldens"
+            )
+        expected = json.loads(path.read_text())
+        assert data == expected, (
+            f"output diverged from golden fixture {path.name}; if the "
+            f"change is intentional, rerun with --update-goldens and "
+            f"commit the fixture diff"
+        )
+
+
+@pytest.fixture
+def golden(request):
+    return GoldenChecker(request.config.getoption("--update-goldens"))

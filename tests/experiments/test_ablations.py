@@ -10,6 +10,8 @@ from repro.experiments.ablations import (
 )
 from repro.sim.config import MeasurementConfig
 
+pytestmark = pytest.mark.sim
+
 FAST = MeasurementConfig(
     warmup_cycles=150, sample_packets=200, max_cycles=8_000,
     drain_cycles=2_500,

@@ -35,3 +35,20 @@ class TestCLI:
         assert result.returncode == 0
         assert "Figure 13" in result.stdout
         assert "zero-load" in result.stdout
+
+    @pytest.mark.sim
+    def test_checked_smoke(self):
+        """--checked alone runs the validation suite and exits clean."""
+        result = run_cli("--checked", timeout=590)
+        assert result.returncode == 0
+        assert "probe run: ok" in result.stdout
+        assert "oracle spec_vs_nonspec" in result.stdout
+        assert "oracle serial_vs_parallel" in result.stdout
+        assert "oracle cached_vs_uncached" in result.stdout
+        assert "property cases: 4/4 passed" in result.stdout
+        assert "validation PASSED" in result.stdout
+
+    def test_help_mentions_checked(self):
+        result = run_cli("--help")
+        assert result.returncode == 0
+        assert "--checked" in result.stdout

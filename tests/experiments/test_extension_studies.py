@@ -2,8 +2,12 @@
 
 import math
 
+import pytest
+
 from repro.experiments.ablations import o1turn_study, topology_study
 from repro.sim.config import MeasurementConfig
+
+pytestmark = pytest.mark.sim
 
 FAST = MeasurementConfig(
     warmup_cycles=150, sample_packets=250, max_cycles=9_000,

@@ -1,0 +1,54 @@
+"""Golden regression tests: exact outputs pinned to committed fixtures.
+
+The approximate anchor tests (``tests/delaymodel/test_table1.py``,
+``tests/sim/test_zero_load.py``) assert we stay near the *paper's*
+numbers; these goldens additionally pin our *own* exact outputs, so an
+unintended change that stays inside the paper-tolerance window still
+fails loudly.  Both the delay model and the simulator are deterministic,
+so exact equality is the right bar.  Regeneration workflow: see
+``tests/conftest.py``.
+"""
+
+import pytest
+
+from repro.delaymodel.table1 import generate_table1
+from repro.sim.config import MeasurementConfig, RouterKind, SimConfig
+from repro.sim.engine import simulate
+
+#: Same scale as the zero-load anchor tests.
+MEAS = MeasurementConfig(
+    warmup_cycles=200, sample_packets=300, max_cycles=30_000
+)
+
+ZERO_LOAD_CONFIGS = [
+    ("wormhole_1vc_8buf", RouterKind.WORMHOLE, 1, 8),
+    ("virtual_channel_2vc_4buf", RouterKind.VIRTUAL_CHANNEL, 2, 4),
+    ("speculative_vc_2vc_4buf", RouterKind.SPECULATIVE_VC, 2, 4),
+    ("single_cycle_wormhole_1vc_8buf", RouterKind.SINGLE_CYCLE_WORMHOLE, 1, 8),
+    ("single_cycle_vc_2vc_4buf", RouterKind.SINGLE_CYCLE_VC, 2, 4),
+]
+
+
+def test_table1_delay_model_golden(golden):
+    rows = [
+        {
+            "section": row.section,
+            "module": row.module,
+            "model_tau4": row.model_tau4,
+        }
+        for row in generate_table1()
+    ]
+    assert rows, "Table 1 produced no rows"
+    golden.check("table1", rows)
+
+
+@pytest.mark.sim
+def test_zero_load_latency_golden(golden):
+    latencies = {}
+    for label, kind, vcs, bufs in ZERO_LOAD_CONFIGS:
+        config = SimConfig(
+            router_kind=kind, num_vcs=vcs, buffers_per_vc=bufs,
+            injection_fraction=0.05, seed=42,
+        )
+        latencies[label] = simulate(config, MEAS).average_latency
+    golden.check("zero_load", latencies)

@@ -5,6 +5,8 @@ import pytest
 from repro.experiments.ablations import many_vcs_study, pipeline_depth_study
 from repro.sim.config import MeasurementConfig
 
+pytestmark = pytest.mark.sim
+
 FAST = MeasurementConfig(
     warmup_cycles=200, sample_packets=300, max_cycles=10_000,
     drain_cycles=3_000,

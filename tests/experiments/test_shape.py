@@ -12,7 +12,7 @@ import pytest
 from repro.sim.config import MeasurementConfig, RouterKind, SimConfig
 from repro.sim.engine import simulate
 
-pytestmark = pytest.mark.slow
+pytestmark = [pytest.mark.slow, pytest.mark.sim]
 
 MEAS = MeasurementConfig(
     warmup_cycles=600, sample_packets=1200, max_cycles=25_000,

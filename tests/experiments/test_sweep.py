@@ -5,6 +5,8 @@ import pytest
 from repro.experiments.sweep import compare_curves, find_saturation, sweep
 from repro.sim.config import MeasurementConfig, RouterKind, SimConfig
 
+pytestmark = pytest.mark.sim
+
 FAST = MeasurementConfig(
     warmup_cycles=100, sample_packets=120, max_cycles=4_000, drain_cycles=1_500
 )

@@ -1,0 +1,186 @@
+"""Seeded property tests: arbiters and allocators over random inputs.
+
+Grant legality (a valid matching, every grant answering a real request)
+must hold for *every* request pattern, not just the structured ones the
+routers produce -- so these tests drive the allocators with seeded
+random request sets.  The arbiter tests pin the matrix arbiter's
+least-recently-served discipline: exact fairness under full contention
+and a hard starvation bound under arbitrary contention.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.allocators import (
+    Grant,
+    Request,
+    SeparableAllocator,
+    SpeculativeSwitchAllocator,
+    grant_conflicts,
+)
+from repro.sim.arbiters import MatrixArbiter, RoundRobinArbiter
+from repro.sim.matching import make_allocator
+
+GROUPS, MEMBERS, RESOURCES = 5, 4, 5
+ROUNDS = 200
+
+
+def random_requests(rng, *, density=0.4):
+    """One request per (group, member) with probability ``density``."""
+    return [
+        Request(group, member, rng.randrange(RESOURCES))
+        for group in range(GROUPS)
+        for member in range(MEMBERS)
+        if rng.random() < density
+    ]
+
+
+def assert_legal(requests, grants):
+    request_keys = {(r.group, r.member, r.resource) for r in requests}
+    for grant in grants:
+        assert (grant.group, grant.member, grant.resource) in request_keys
+    assert grant_conflicts(grants) == []
+
+
+class TestSeparableAllocatorProperties:
+    @pytest.mark.parametrize("arbiter_kind", ["matrix", "round_robin"])
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_grants_always_legal(self, seed, arbiter_kind):
+        rng = random.Random(seed)
+        allocator = SeparableAllocator(
+            GROUPS, MEMBERS, RESOURCES, arbiter_kind
+        )
+        for _ in range(ROUNDS):
+            requests = random_requests(rng)
+            assert_legal(requests, allocator.allocate(requests))
+
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_busy_resources_never_granted(self, seed):
+        rng = random.Random(seed)
+        allocator = SeparableAllocator(GROUPS, MEMBERS, RESOURCES)
+        for _ in range(ROUNDS):
+            requests = random_requests(rng)
+            busy = [
+                r for r in range(RESOURCES) if rng.random() < 0.3
+            ]
+            grants = allocator.allocate(requests, busy_resources=busy)
+            assert_legal(requests, grants)
+            assert not {g.resource for g in grants} & set(busy)
+
+    @pytest.mark.parametrize("seed", [6, 7])
+    def test_maximum_matching_allocator_legal_and_no_smaller(self, seed):
+        """The exact-matching ablation obeys the same legality rules and
+        never finds a smaller matching than the separable allocator."""
+        rng = random.Random(seed)
+        separable = SeparableAllocator(GROUPS, MEMBERS, RESOURCES)
+        maximum = make_allocator(
+            "maximum", GROUPS, MEMBERS, RESOURCES, "matrix"
+        )
+        for _ in range(ROUNDS // 2):
+            requests = random_requests(rng)
+            separable_grants = separable.allocate(requests)
+            maximum_grants = maximum.allocate(requests)
+            assert_legal(requests, maximum_grants)
+            assert len(maximum_grants) >= len(separable_grants)
+
+
+class TestSpeculativeAllocatorProperties:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_combined_grants_legal_and_priority_respected(self, seed):
+        rng = random.Random(seed)
+        allocator = SpeculativeSwitchAllocator(GROUPS, MEMBERS)
+        for _ in range(ROUNDS):
+            nonspec = random_requests(rng, density=0.3)
+            spec = random_requests(rng, density=0.3)
+            nonspec_grants, spec_grants = allocator.allocate(nonspec, spec)
+            assert_legal(nonspec, nonspec_grants)
+            # Combined: still one grant per input and per output.
+            assert grant_conflicts(nonspec_grants, spec_grants) == []
+            # Conservative priority: speculation never touches an input
+            # or output a non-speculative grant claimed.
+            taken_inputs = {g.group for g in nonspec_grants}
+            taken_outputs = {g.resource for g in nonspec_grants}
+            for grant in spec_grants:
+                assert grant.group not in taken_inputs
+                assert grant.resource not in taken_outputs
+
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_equal_priority_still_forms_valid_matching(self, seed):
+        rng = random.Random(seed)
+        allocator = SpeculativeSwitchAllocator(
+            GROUPS, MEMBERS, priority="equal"
+        )
+        for _ in range(ROUNDS):
+            nonspec = random_requests(rng, density=0.3)
+            spec = random_requests(rng, density=0.3)
+            nonspec_grants, spec_grants = allocator.allocate(nonspec, spec)
+            assert grant_conflicts(nonspec_grants, spec_grants) == []
+
+
+class TestGrantConflictsHelper:
+    def test_clean_sets_report_nothing(self):
+        assert grant_conflicts([Grant(0, 0, 1), Grant(1, 0, 2)]) == []
+
+    def test_duplicate_group_and_resource_reported(self):
+        conflicts = grant_conflicts(
+            [Grant(0, 0, 1)], [Grant(0, 1, 2), Grant(2, 0, 1)]
+        )
+        assert len(conflicts) == 2
+        assert any("input group 0" in c for c in conflicts)
+        assert any("resource 1" in c for c in conflicts)
+
+
+class TestMatrixArbiterProperties:
+    def test_full_contention_is_exactly_fair(self):
+        """Least-recently-served under full contention degenerates to a
+        strict rotation: counts over any multiple-of-n window are equal."""
+        n = 6
+        arbiter = MatrixArbiter(n)
+        wins = [0] * n
+        everyone = list(range(n))
+        for _ in range(50 * n):
+            wins[arbiter.arbitrate(everyone)] += 1
+        assert max(wins) - min(wins) == 0
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_starvation_bound_under_random_contention(self, seed):
+        """A requestor that keeps requesting loses at most n-1 rounds in
+        a row: each loss strictly raises its priority rank."""
+        n = 5
+        rng = random.Random(seed)
+        arbiter = MatrixArbiter(n)
+        streak = 0
+        for _ in range(400):
+            requests = {0} | {
+                i for i in range(1, n) if rng.random() < 0.7
+            }
+            winner = arbiter.arbitrate(sorted(requests))
+            streak = 0 if winner == 0 else streak + 1
+            assert streak <= n - 1
+            assert arbiter.check_invariant()
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_winner_always_among_requests(self, seed):
+        n = 7
+        rng = random.Random(seed)
+        arbiter = MatrixArbiter(n)
+        for _ in range(300):
+            requests = [i for i in range(n) if rng.random() < 0.5]
+            winner = arbiter.arbitrate(requests)
+            if requests:
+                assert winner in requests
+            else:
+                assert winner is None
+
+    def test_round_robin_starvation_bound(self):
+        n = 5
+        rng = random.Random(9)
+        arbiter = RoundRobinArbiter(n)
+        streak = 0
+        for _ in range(400):
+            requests = sorted(
+                {0} | {i for i in range(1, n) if rng.random() < 0.7}
+            )
+            streak = 0 if arbiter.arbitrate(requests) == 0 else streak + 1
+            assert streak <= n - 1

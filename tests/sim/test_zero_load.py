@@ -14,6 +14,8 @@ import pytest
 from repro.sim.config import MeasurementConfig, RouterKind, SimConfig
 from repro.sim.engine import simulate
 
+pytestmark = pytest.mark.sim
+
 MEAS = MeasurementConfig(warmup_cycles=200, sample_packets=300, max_cycles=30_000)
 
 

@@ -1,0 +1,200 @@
+"""Deliberately injected bugs must trip the matching probe.
+
+These are the teeth of checked mode: each test monkeypatches a real bug
+into the simulator (a credit leak, a speculation-priority inversion, a
+stalled allocator) and asserts the corresponding probe catches it --
+with the right probe name, before the corrupted state can masquerade as
+a mere performance difference.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.sim.allocators import SpeculativeSwitchAllocator
+from repro.sim.config import MeasurementConfig, RouterKind, SimConfig
+from repro.sim.engine import simulate
+from repro.sim.routers.base import BaseRouter
+from repro.sim.routers.wormhole import WormholeRouter
+from repro.sim.validation import (
+    InOrderDeliveryProbe,
+    InvariantViolation,
+    ValidationSuite,
+    WatchdogProbe,
+)
+
+pytestmark = pytest.mark.sim
+
+MEAS = MeasurementConfig(
+    warmup_cycles=300, sample_packets=100, max_cycles=12_000,
+    drain_cycles=6_000,
+)
+
+
+def tiny_config(kind, **overrides):
+    defaults = dict(
+        router_kind=kind, mesh_radix=4,
+        num_vcs=2 if kind.uses_vcs else 1,
+        buffers_per_vc=5, injection_fraction=0.3, seed=5,
+    )
+    defaults.update(overrides)
+    return SimConfig(**defaults)
+
+
+class TestCreditLeak:
+    def test_dropped_credit_trips_consistency_probe(self, monkeypatch):
+        """A single silently dropped credit breaks the per-link credit
+        identity the same cycle it is dropped."""
+        real = BaseRouter.receive_credit
+        dropped = []
+
+        def leaky(self, port, vc):
+            if not dropped:
+                dropped.append((self.node, port, vc))
+                return  # the leak: credit arrives but is never restored
+            real(self, port, vc)
+
+        monkeypatch.setattr(BaseRouter, "receive_credit", leaky)
+        with pytest.raises(InvariantViolation) as excinfo:
+            simulate(tiny_config(RouterKind.WORMHOLE), MEAS, checked=True)
+        assert dropped, "the injected leak never fired"
+        assert excinfo.value.violation.probe == "credit_consistency"
+
+    def test_duplicated_credit_trips_consistency_probe(self, monkeypatch):
+        """The mirror bug -- a credit restored twice -- overshoots the
+        identity (and would eventually overflow the CreditCounter)."""
+        real = BaseRouter.receive_credit
+        duplicated = []
+
+        def doubling(self, port, vc):
+            real(self, port, vc)
+            if not duplicated and self.output_vcs[port][vc].credits.in_use:
+                duplicated.append((self.node, port, vc))
+                real(self, port, vc)
+
+        monkeypatch.setattr(BaseRouter, "receive_credit", doubling)
+        with pytest.raises(InvariantViolation) as excinfo:
+            simulate(tiny_config(RouterKind.WORMHOLE), MEAS, checked=True)
+        assert duplicated, "the injected duplication never fired"
+        assert excinfo.value.violation.probe == "credit_consistency"
+
+
+class TestSpeculationInversion:
+    def test_unfiltered_speculative_grants_trip_legality_probe(
+        self, monkeypatch
+    ):
+        """Remove the combiner's priority filtering: speculative grants
+        no longer yield to non-speculative ones, so the first contended
+        cycle produces an inversion (or a double-granted port) and the
+        legality probe fires at allocation time -- before the router
+        could act on the illegal grants."""
+
+        def unfiltered(self, nonspec_requests, spec_requests):
+            nonspec_grants = self._nonspec.allocate(nonspec_requests)
+            spec_grants = self._spec.allocate(spec_requests)
+            return nonspec_grants, spec_grants
+
+        monkeypatch.setattr(
+            SpeculativeSwitchAllocator, "allocate", unfiltered
+        )
+        with pytest.raises(InvariantViolation) as excinfo:
+            simulate(
+                tiny_config(RouterKind.SPECULATIVE_VC, injection_fraction=0.5),
+                MEAS, checked=True,
+            )
+        assert excinfo.value.violation.probe == "speculation_legality"
+
+    def test_fabricated_grant_trips_legality_probe(self, monkeypatch):
+        """A grant answering no submitted request is flagged even when
+        it collides with nothing."""
+        from repro.sim.allocators import Grant
+
+        real = SpeculativeSwitchAllocator.allocate
+
+        def fabricating(self, nonspec_requests, spec_requests):
+            nonspec_grants, spec_grants = real(
+                self, nonspec_requests, spec_requests
+            )
+            if not nonspec_grants and not spec_grants:
+                return nonspec_grants, spec_grants
+            return nonspec_grants, list(spec_grants) + [Grant(4, 0, 4)]
+
+        monkeypatch.setattr(
+            SpeculativeSwitchAllocator, "allocate", fabricating
+        )
+        with pytest.raises(InvariantViolation) as excinfo:
+            simulate(
+                tiny_config(RouterKind.SPECULATIVE_VC), MEAS, checked=True
+            )
+        assert excinfo.value.violation.probe == "speculation_legality"
+        assert "answers no submitted request" in str(excinfo.value)
+
+
+class TestWatchdog:
+    def test_stalled_allocator_trips_deadlock_watchdog(self, monkeypatch):
+        """Disable switch allocation entirely: injected flits sit in the
+        buffers forever and the watchdog trips with a snapshot."""
+        monkeypatch.setattr(
+            WormholeRouter, "_allocation_phase", lambda self, cycle: None
+        )
+        config = tiny_config(RouterKind.WORMHOLE)
+        suite = ValidationSuite([WatchdogProbe(stall_horizon=50)])
+        with pytest.raises(InvariantViolation) as excinfo:
+            simulate(config, MEAS, checked=suite)
+        violation = excinfo.value.violation
+        assert violation.probe == "watchdog"
+        assert "deadlock" in violation.message
+        assert violation.snapshot is not None
+        assert "reproduce" in violation.snapshot
+
+    def test_quiescent_network_never_trips(self):
+        """Zero traffic: the watchdog's idle test keeps it silent for
+        arbitrarily many cycles."""
+        config = tiny_config(RouterKind.WORMHOLE, injection_fraction=0.0)
+        suite = ValidationSuite([WatchdogProbe(stall_horizon=10)])
+        meas = MeasurementConfig(
+            warmup_cycles=200, sample_packets=1, max_cycles=300,
+            drain_cycles=50,
+        )
+        result = simulate(config, meas, checked=suite)
+        assert result.validation["ok"]
+
+
+class TestInOrderDelivery:
+    @staticmethod
+    def _bound_probe():
+        probe = InOrderDeliveryProbe()
+        suite = ValidationSuite([probe], fail_fast=False)
+        probe.bind(suite)
+        return probe, suite
+
+    @staticmethod
+    def _flit(pid, index, length):
+        packet = SimpleNamespace(packet_id=pid, length=length)
+        return SimpleNamespace(
+            packet=packet, index=index, is_tail=index == length - 1
+        )
+
+    def test_out_of_order_flit_is_flagged(self):
+        probe, suite = self._bound_probe()
+        sink = SimpleNamespace(node=3)
+        probe._observe(sink, self._flit(7, 0, 3), cycle=10)
+        probe._observe(sink, self._flit(7, 2, 3), cycle=11)  # skipped 1
+        assert not suite.ok
+        assert "expected index 1" in suite.violations[0].message
+
+    def test_split_across_sinks_is_flagged(self):
+        probe, suite = self._bound_probe()
+        probe._observe(SimpleNamespace(node=3), self._flit(7, 0, 3), 10)
+        probe._observe(SimpleNamespace(node=9), self._flit(7, 1, 3), 11)
+        assert any(
+            "ejected at node 9" in v.message for v in suite.violations
+        )
+
+    def test_in_order_packet_is_clean(self):
+        probe, suite = self._bound_probe()
+        sink = SimpleNamespace(node=3)
+        for index in range(3):
+            probe._observe(sink, self._flit(7, index, 3), 10 + index)
+        assert suite.ok
+        assert probe._expected == {}  # tail retired the tracking entry

@@ -1,0 +1,83 @@
+"""Differential oracles: two execution paths, diffed."""
+
+import pytest
+
+from repro.sim.metrics import RunResult
+from repro.sim.validation.oracle import (
+    Mismatch,
+    OracleReport,
+    diff_run_results,
+    oracle_cached_vs_uncached,
+    oracle_serial_vs_parallel,
+    oracle_spec_vs_nonspec,
+)
+
+pytestmark = pytest.mark.sim
+
+
+def run_result(**overrides):
+    defaults = dict(
+        injection_fraction=0.1, latency=None, accepted_fraction=0.09,
+        saturated=False, cycles_simulated=500, sample_packets=100,
+    )
+    defaults.update(overrides)
+    return RunResult(**defaults)
+
+
+class TestReportMechanics:
+    def test_compare_records_mismatch(self):
+        report = OracleReport("t", "a", "b")
+        assert report.compare("same", 1, 1)
+        assert not report.compare("diff", 1, 2)
+        assert report.checks == 2
+        assert not report.ok
+        assert "diff" in str(report.mismatches[0])
+
+    def test_expect_records_failed_condition(self):
+        report = OracleReport("t", "a", "b")
+        report.expect(False, "never holds", 3, 4)
+        assert report.mismatches == [Mismatch("never holds", 3, 4)]
+
+    def test_to_dict_and_describe(self):
+        report = OracleReport("t", "a", "b")
+        report.compare("x", 1, 2)
+        data = report.to_dict()
+        assert data["ok"] is False
+        assert data["checks"] == 1
+        assert "FAILED" in report.describe()
+
+    def test_diff_equal_results_is_one_check(self):
+        report = OracleReport("t", "a", "b")
+        diff_run_results(report, run_result(), run_result())
+        assert report.ok
+        assert report.checks == 1
+
+    def test_diff_unequal_results_names_the_field(self):
+        report = OracleReport("t", "a", "b")
+        diff_run_results(
+            report, run_result(), run_result(cycles_simulated=501)
+        )
+        assert not report.ok
+        assert any(
+            m.what == "point.cycles_simulated" for m in report.mismatches
+        )
+        # The fields that do match are not reported as mismatches.
+        assert all(
+            "sample_packets" not in m.what for m in report.mismatches
+        )
+
+
+class TestOracles:
+    def test_spec_vs_nonspec(self):
+        report = oracle_spec_vs_nonspec()
+        assert report.ok, report.describe()
+        assert report.checks >= 7
+
+    def test_serial_vs_parallel(self):
+        report = oracle_serial_vs_parallel(loads=(0.1, 0.2))
+        assert report.ok, report.describe()
+
+    def test_cached_vs_uncached(self, tmp_path):
+        report = oracle_cached_vs_uncached(tmp_path / "cache")
+        assert report.ok, report.describe()
+        assert report.checks == 3

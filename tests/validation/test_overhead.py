@@ -1,0 +1,51 @@
+"""Checked-mode cost: zero when off, bounded when on.
+
+The acceptance bar for checked mode is a full default-scale
+speculative-VC run with zero violations at no more than 2x the
+unchecked wall time (measured ~1.4x); and strictly zero overhead when
+disabled (the engine's per-step hook is a single attribute test).
+"""
+
+import time
+
+import pytest
+
+from repro.sim.config import MeasurementConfig, RouterKind, SimConfig
+from repro.sim.engine import Simulator, simulate
+
+pytestmark = pytest.mark.sim
+
+
+class TestCheckedOverhead:
+    @pytest.mark.slow
+    def test_default_spec_vc_run_within_2x(self):
+        """Default 8x8 speculative-VC config, default measurement scale:
+        checked completes clean, bit-equal to unchecked, within 2x."""
+        config = SimConfig(
+            router_kind=RouterKind.SPECULATIVE_VC, num_vcs=2, seed=1,
+        )
+        measurement = MeasurementConfig()
+
+        t0 = time.perf_counter()
+        unchecked = simulate(config, measurement)
+        t1 = time.perf_counter()
+        checked = simulate(config, measurement, checked=True)
+        t2 = time.perf_counter()
+
+        assert checked.validation is not None
+        assert checked.validation["ok"]
+        assert checked.validation["violations"] == []
+        assert checked == unchecked
+        ratio = (t2 - t1) / (t1 - t0)
+        assert ratio <= 2.0, f"checked/unchecked wall-time ratio {ratio:.2f}"
+
+    def test_disabled_probes_leave_no_machinery_attached(self):
+        sim = Simulator(SimConfig(
+            router_kind=RouterKind.WORMHOLE, mesh_radix=4,
+            injection_fraction=0.1, seed=1,
+        ))
+        assert sim.validation is None
+        # No wrappers: sink.accept and the allocators are untouched
+        # bound methods/instances, not probe proxies.
+        for sink in sim.network.sinks:
+            assert sink.accept.__qualname__.startswith("Sink.")
