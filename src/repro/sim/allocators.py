@@ -17,18 +17,20 @@ matches), since it affects saturation throughput.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Sequence, Tuple
 
 from .arbiters import Arbiter, make_arbiter
 
 
-@dataclass(frozen=True)
-class Request:
+class Request(NamedTuple):
     """One allocation request.
 
     ``group``/``member`` identify the requestor (e.g. input port /
     input VC); ``resource`` is the requested resource index.
+
+    A named tuple rather than a frozen dataclass: routers build
+    thousands of these per simulated cycle, and tuple construction is
+    several times cheaper than ``object.__setattr__``-based init.
     """
 
     group: int
@@ -36,8 +38,7 @@ class Request:
     resource: int
 
 
-@dataclass(frozen=True)
-class Grant:
+class Grant(NamedTuple):
     """A granted request."""
 
     group: int
@@ -124,6 +125,17 @@ class SeparableAllocator:
         ports held by a wormhole packet).
         """
         self._validate(requests)
+        if len(requests) == 1:
+            # Fast path for the common light-load case.  The general
+            # path would run exactly these two arbitrations (each a
+            # single-candidate call that still rotates priority state),
+            # so the state updates are identical.
+            request = requests[0]
+            if request.resource in busy_resources:
+                return []
+            self._stage1[request.group].arbitrate((request.member,))
+            self._stage2[request.resource].arbitrate((request.group,))
+            return [Grant(request.group, request.member, request.resource)]
         busy = set(busy_resources)
 
         # Stage 1: per group, pick one surviving request.
@@ -206,6 +218,11 @@ class SpeculativeSwitchAllocator:
         self._spec = make_allocator(
             allocator_kind, num_ports, vcs_per_port, num_ports, arbiter_kind
         )
+        # Separable sub-allocators are pure on an empty request set, so
+        # the empty side of a cycle can skip its allocate call; the
+        # maximum-matching allocator rotates state every call and must
+        # always be invoked.
+        self._pure_on_empty = allocator_kind != "maximum"
 
     def allocate(
         self,
@@ -215,7 +232,13 @@ class SpeculativeSwitchAllocator:
         """Returns ``(nonspec_grants, surviving_spec_grants)``."""
         if self.priority == "equal":
             return self._allocate_equal(nonspec_requests, spec_requests)
-        nonspec_grants = self._nonspec.allocate(nonspec_requests)
+        skip_empty = self._pure_on_empty
+        if nonspec_requests or not skip_empty:
+            nonspec_grants = self._nonspec.allocate(nonspec_requests)
+        else:
+            nonspec_grants = []
+        if not spec_requests and skip_empty:
+            return nonspec_grants, []
         taken_outputs = {g.resource for g in nonspec_grants}
         taken_inputs = {g.group for g in nonspec_grants}
         spec_grants = self._spec.allocate(

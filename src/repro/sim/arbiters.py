@@ -37,31 +37,46 @@ class Arbiter:
 class MatrixArbiter(Arbiter):
     """Least-recently-served matrix arbiter (Figure 10).
 
-    ``self._priority[i][j]`` is True when ``i`` has priority over ``j``.
-    Only the upper triangle is stored conceptually; we keep the full
-    matrix for clarity (the diagonal is unused).
+    Row ``i`` of the priority matrix is stored as the int bitmask
+    ``self._rows[i]``: bit ``j`` set means ``i`` has priority over
+    ``j``.  The diagonal is unused and kept clear.  Bitmask rows make
+    the winner test a pair of integer operations instead of a nested
+    Python loop -- this arbiter runs on every switch and VC allocation
+    of every simulated cycle.
     """
 
     def __init__(self, n: int) -> None:
         super().__init__(n)
-        # Initially, lower indices have priority (matrix all-True above
-        # the diagonal).
-        self._priority: List[List[bool]] = [
-            [i < j for j in range(n)] for i in range(n)
+        # Initially, lower indices have priority (all bits above the
+        # diagonal set).
+        full = (1 << n) - 1
+        self._rows: List[int] = [
+            full & ~((1 << (i + 1)) - 1) for i in range(n)
         ]
 
     def has_priority(self, i: int, j: int) -> bool:
         """True if requestor ``i`` currently beats requestor ``j``."""
-        return self._priority[i][j]
+        return bool(self._rows[i] >> j & 1)
 
     def arbitrate(self, requests: Sequence[int]) -> Optional[int]:
         self._check(requests)
         if not requests:
             return None
+        if len(requests) == 1:
+            # Sole requestor wins unconditionally; priority still
+            # rotates exactly as the general path would rotate it.
+            winner = requests[0]
+            self._lower_priority(winner)
+            return winner
         active = set(requests)
+        active_mask = 0
+        for i in active:
+            active_mask |= 1 << i
+        rows = self._rows
         winner = None
         for i in active:
-            if all(self._priority[i][j] for j in active if j != i):
+            others = active_mask & ~(1 << i)
+            if rows[i] & others == others:
                 winner = i
                 break
         if winner is None:
@@ -74,15 +89,18 @@ class MatrixArbiter(Arbiter):
 
     def _lower_priority(self, winner: int) -> None:
         """Set the winner's priority lowest among all requestors."""
+        bit = 1 << winner
+        rows = self._rows
         for j in range(self.n):
-            if j != winner:
-                self._priority[winner][j] = False
-                self._priority[j][winner] = True
+            rows[j] |= bit
+        # Clears the winner's whole row, including the diagonal bit the
+        # loop above just set.
+        rows[winner] = 0
 
     def check_invariant(self) -> bool:
         """Antisymmetry: exactly one of (i beats j), (j beats i) holds."""
         return all(
-            self._priority[i][j] != self._priority[j][i]
+            self.has_priority(i, j) != self.has_priority(j, i)
             for i in range(self.n)
             for j in range(self.n)
             if i != j
@@ -100,6 +118,10 @@ class RoundRobinArbiter(Arbiter):
         self._check(requests)
         if not requests:
             return None
+        if len(requests) == 1:
+            winner = requests[0]
+            self._next = (winner + 1) % self.n
+            return winner
         active = set(requests)
         for offset in range(self.n):
             candidate = (self._next + offset) % self.n

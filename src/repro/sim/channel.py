@@ -17,9 +17,15 @@ credit propagation + credit pipeline (processing) cycles.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Generic, List, Tuple, TypeVar
+from typing import Deque, Generic, List, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
+
+#: Shared empty result for idle channels: ``deliver()`` on a channel
+#: with nothing in flight is by far the most common call in a polling
+#: stepper, and allocating a fresh list for each would dominate the
+#: allocation profile.  Callers only iterate (or compare) the result.
+_NOTHING: Tuple = ()
 
 
 class PipelinedChannel(Generic[T]):
@@ -28,13 +34,28 @@ class PipelinedChannel(Generic[T]):
     The ``+1`` models the receiver-side register write: an item sent
     during cycle ``t`` is available for processing at cycle
     ``t + delay + 1``.
+
+    A channel may additionally be bound to a :class:`network event
+    wheel <repro.sim.network._EventWheel>`: ``send()`` then registers
+    the channel's drain entry in the bucket for the arrival cycle, so
+    the fast stepper touches only channels with due arrivals instead of
+    polling ``deliver()`` on every channel every cycle.
     """
+
+    __slots__ = ("delay", "_in_flight", "_wheel", "_wheel_entry")
 
     def __init__(self, delay: int) -> None:
         if delay < 0:
             raise ValueError(f"channel delay must be >= 0, got {delay}")
         self.delay = delay
         self._in_flight: Deque[Tuple[int, T]] = deque()
+        self._wheel = None
+        self._wheel_entry = None
+
+    def bind_wheel(self, wheel, handler) -> None:
+        """Register arrivals with ``wheel``; drains call ``handler(item, cycle)``."""
+        self._wheel = wheel
+        self._wheel_entry = (self._in_flight, handler)
 
     def send(self, item: T, cycle: int) -> None:
         """Inject an item at cycle ``cycle``; it arrives at ``cycle+delay+1``."""
@@ -42,12 +63,22 @@ class PipelinedChannel(Generic[T]):
         if self._in_flight and self._in_flight[-1][0] > arrival:
             raise ValueError("channel sends must be in non-decreasing cycle order")
         self._in_flight.append((arrival, item))
+        wheel = self._wheel
+        if wheel is not None:
+            wheel.schedule(arrival, self._wheel_entry)
 
-    def deliver(self, cycle: int) -> List[T]:
-        """Pop every item whose arrival cycle is <= ``cycle``."""
+    def deliver(self, cycle: int) -> Sequence[T]:
+        """Pop every item whose arrival cycle is <= ``cycle``.
+
+        Returns a shared empty tuple when nothing is due (the common
+        case under polling), a fresh list otherwise.
+        """
+        in_flight = self._in_flight
+        if not in_flight or in_flight[0][0] > cycle:
+            return _NOTHING
         arrived: List[T] = []
-        while self._in_flight and self._in_flight[0][0] <= cycle:
-            arrived.append(self._in_flight.popleft()[1])
+        while in_flight and in_flight[0][0] <= cycle:
+            arrived.append(in_flight.popleft()[1])
         return arrived
 
     @property

@@ -119,6 +119,11 @@ class SimConfig:
     #: VC classes; VC routers only).
     topology: str = "mesh"
     seed: int = 1
+    #: Simulation stepper: "fast" (event wheel + activity tracking) or
+    #: "reference" (the original full-scan stepper).  Both are
+    #: cycle-for-cycle bit-identical for a fixed seed; "reference" is
+    #: kept as the oracle baseline for differential testing.
+    stepper: str = "fast"
 
     def __post_init__(self) -> None:
         if self.mesh_radix < 2:
@@ -174,6 +179,11 @@ class SimConfig:
             )
         if self.topology not in ("mesh", "torus"):
             raise ValueError(f"unknown topology {self.topology!r}")
+        if self.stepper not in ("fast", "reference"):
+            raise ValueError(
+                f"unknown stepper {self.stepper!r}; "
+                "choose 'fast' or 'reference'"
+            )
         if self.topology == "torus" and not self.router_kind.uses_vcs:
             raise ValueError(
                 "wormhole routers deadlock on a torus (cyclic ring "

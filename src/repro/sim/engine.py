@@ -148,16 +148,15 @@ class Simulator:
             self._step()
 
     def _delivered_sample(self) -> List:
-        return [
-            p
-            for sink in self.network.sinks
-            for p in sink.delivered
-            if p.measured
-        ]
+        # Sinks collect the measured subsequence at ejection time, so
+        # this is a concatenation, not a rescan of every delivery.
+        packets: List = []
+        for sink in self.network.sinks:
+            packets.extend(sink.delivered_measured)
+        return packets
 
     def _sample_complete(self, sample_size: int) -> bool:
-        delivered = sum(s.measured_ejected for s in self.network.sinks)
-        return delivered >= sample_size
+        return self.network.total_measured_ejected() >= sample_size
 
 
 def simulate(

@@ -35,7 +35,7 @@ class FlitType(enum.Enum):
 _packet_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A multi-flit message.
 
@@ -99,27 +99,30 @@ class Packet:
         return flits
 
 
-@dataclass
+@dataclass(slots=True)
 class Flit:
     """One flow-control unit of a packet.
 
     ``vcid`` is the virtual-channel id field in the flit header; routers
     rewrite it to the allocated output VC as the flit leaves (it is the
     VC the flit will occupy at the *next* hop).
+
+    ``is_head``/``is_tail`` are decoded once at construction: the hot
+    paths (buffer writes, ejection, allocation eligibility) test them
+    every cycle, so a plain attribute beats re-deriving them from
+    ``flit_type`` each time.
     """
 
     packet: Packet
     flit_type: FlitType
     index: int
     vcid: int = 0
+    is_head: bool = field(init=False)
+    is_tail: bool = field(init=False)
 
-    @property
-    def is_head(self) -> bool:
-        return self.flit_type.is_head
-
-    @property
-    def is_tail(self) -> bool:
-        return self.flit_type.is_tail
+    def __post_init__(self) -> None:
+        self.is_head = self.flit_type.is_head
+        self.is_tail = self.flit_type.is_tail
 
     @property
     def destination(self) -> int:

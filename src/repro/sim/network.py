@@ -11,13 +11,36 @@ and an ejection sink per node.  ``Network.step()`` advances one clock:
 Sources own per-VC views of the local input port's credits, injecting at
 most one flit per cycle (the injection channel has the same bandwidth as
 a network channel).  Sinks model the paper's "immediate ejection".
+
+Two steppers implement the clock, selected by ``SimConfig.stepper``:
+
+``"fast"`` (default)
+    Event-driven hot loop.  Channel arrivals are scheduled on a timing
+    wheel at ``send()`` time, so a step drains exactly the channels with
+    traffic arriving this cycle instead of polling every channel.
+    Routers track their own activity (``BaseRouter.active``) and the
+    step skips the phase pipeline of provably idle routers; constant
+    rate generators fast-forward between firing cycles instead of
+    accumulating cycle by cycle.
+
+``"reference"``
+    The original full-scan stepper, kept as the oracle baseline.
+
+Both steppers are cycle-for-cycle bit-identical for a fixed seed: the
+per-cycle delivery set is the same (the wheel only reorders same-cycle
+deliveries, which commute -- each touches a distinct buffer, credit
+counter or sink), idle routers' phases are provable no-ops (see
+``BaseRouter.is_idle`` and ``_can_sleep``), and the generator
+fast-forward performs the exact floating-point accumulator additions
+per-cycle polling would (``PacketSource.offer_horizon``).  The
+``fast_vs_reference`` oracle and the property suite enforce this.
 """
 
 from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Callable, Deque, List, Optional, Tuple
 
 from .channel import PipelinedChannel
 from .config import SimConfig
@@ -30,6 +53,74 @@ from .traffic import (
     make_destination_pattern,
     rate_from_capacity_fraction,
 )
+
+class _EventWheel:
+    """Power-of-two timing wheel scheduling channel arrivals.
+
+    ``PipelinedChannel.send`` registers its bound ``(in_flight, handler)``
+    entry in the bucket for the arrival cycle; ``drain(cycle)`` visits
+    only that bucket and delivers every payload whose arrival is due.
+
+    The wheel has ``>= max_delay + 2`` slots, so an arrival offset
+    (``delay + 1``, in ``[1, max_delay + 1]``) can never alias the slot
+    currently being drained: every scheduled entry survives until its
+    own cycle.  Entries hold the channel's ``_in_flight`` deque rather
+    than individual payloads, so delivery order *within* a channel is
+    the channel's FIFO order, and a duplicate entry (or one whose
+    payloads were already consumed via ``deliver()``) is a harmless
+    no-op.
+    """
+
+    __slots__ = ("_buckets", "_mask")
+
+    def __init__(self, max_delay: int) -> None:
+        size = 1
+        while size < max_delay + 2:
+            size <<= 1
+        self._mask = size - 1
+        self._buckets: List[list] = [[] for _ in range(size)]
+
+    def schedule(self, arrival: int, entry: tuple) -> None:
+        self._buckets[arrival & self._mask].append(entry)
+
+    def drain(self, cycle: int) -> None:
+        bucket = self._buckets[cycle & self._mask]
+        if not bucket:
+            return
+        for in_flight, handler in bucket:
+            while in_flight and in_flight[0][0] <= cycle:
+                handler(in_flight.popleft()[1], cycle)
+        bucket.clear()
+
+
+# Handler factories for the event wheel.  Each handler resolves the
+# endpoint method *at call time* (attribute lookup inside the closure),
+# so instance-level wrappers (tracers, in-order probes around
+# ``Sink.accept``) and class-level monkeypatches keep intercepting
+# deliveries exactly as they do under the reference stepper.
+
+def _flit_handler(router: BaseRouter, port: int) -> Callable[[Flit, int], None]:
+    def handle(flit: Flit, cycle: int) -> None:
+        router.accept_flit(port, flit, cycle)
+    return handle
+
+
+def _credit_handler(router: BaseRouter, port: int) -> Callable[[int, int], None]:
+    def handle(vc: int, cycle: int) -> None:
+        router.receive_credit(port, vc)
+    return handle
+
+
+def _source_credit_handler(source: "Source") -> Callable[[int, int], None]:
+    def handle(vc: int, cycle: int) -> None:
+        source.restore_credit(vc)
+    return handle
+
+
+def _ejection_handler(sink: "Sink") -> Callable[[Flit, int], None]:
+    def handle(flit: Flit, cycle: int) -> None:
+        sink.accept(flit, cycle)
+    return handle
 
 
 class Source:
@@ -48,9 +139,15 @@ class Source:
         self.credits = [CreditCounter(buffer_capacity) for _ in range(num_vcs)]
         self._round_robin = 0
         self.flits_injected = 0
+        #: Flits waiting here, maintained incrementally so the stepper's
+        #: "anything to inject?" test is O(1).
+        self._backlog = 0
+        #: Owning network (if any) whose aggregate counters we maintain.
+        self._network: Optional["Network"] = None
 
     def enqueue(self, packet: Packet) -> None:
         self.pending.append(packet)
+        self._backlog += packet.length
 
     @property
     def queued_packets(self) -> int:
@@ -59,9 +156,7 @@ class Source:
     @property
     def backlog_flits(self) -> int:
         """Flits waiting at this source (queued packets + partial streams)."""
-        partial = sum(len(s) for s in self._streams)
-        whole = sum(p.length for p in self.pending)
-        return partial + whole
+        return self._backlog
 
     def restore_credit(self, vc: int) -> None:
         self.credits[vc].restore()
@@ -81,6 +176,10 @@ class Source:
                 self.credits[vc].consume()
                 router.accept_flit(LOCAL, flit, cycle)
                 self.flits_injected += 1
+                self._backlog -= 1
+                network = self._network
+                if network is not None:
+                    network._flits_injected_total += 1
                 self._round_robin = (vc + 1) % self.num_vcs
                 if flit.is_head:
                     flit.packet.injection_cycle = cycle
@@ -89,7 +188,15 @@ class Source:
 
 
 class Sink:
-    """Per-node ejection endpoint recording delivered packets."""
+    """Per-node ejection endpoint recording delivered packets.
+
+    ``delivered_measured`` keeps the measured subsequence of
+    ``delivered`` so the simulator's sample collection doesn't rescan
+    (and re-filter) every delivered packet after the run.
+
+    Deliberately *not* ``__slots__``-ed: tracers and in-order probes
+    wrap ``accept`` as an instance attribute.
+    """
 
     def __init__(self, node: int) -> None:
         self.node = node
@@ -97,6 +204,9 @@ class Sink:
         self.packets_ejected = 0
         self.measured_ejected = 0
         self.delivered: List[Packet] = []
+        self.delivered_measured: List[Packet] = []
+        #: Owning network (if any) whose aggregate counters we maintain.
+        self._network: Optional["Network"] = None
 
     def accept(self, flit: Flit, cycle: int) -> None:
         if flit.destination != self.node:
@@ -104,12 +214,19 @@ class Sink:
                 f"flit for node {flit.destination} ejected at node {self.node}"
             )
         self.flits_ejected += 1
+        network = self._network
+        if network is not None:
+            network._flits_ejected_total += 1
         if flit.is_tail:
-            flit.packet.ejection_cycle = cycle
+            packet = flit.packet
+            packet.ejection_cycle = cycle
             self.packets_ejected += 1
-            if flit.packet.measured:
+            if packet.measured:
                 self.measured_ejected += 1
-            self.delivered.append(flit.packet)
+                self.delivered_measured.append(packet)
+                if network is not None:
+                    network._measured_ejected_total += 1
+            self.delivered.append(packet)
 
 
 class Network:
@@ -129,6 +246,16 @@ class Network:
             for node in self.mesh.nodes()
         ]
         self.sinks = [Sink(node) for node in self.mesh.nodes()]
+
+        # Aggregate flit counters, maintained by sources/sinks as flits
+        # move, so draining/sampling tests are O(1) per cycle.
+        self._flits_injected_total = 0
+        self._flits_ejected_total = 0
+        self._measured_ejected_total = 0
+        for source in self.sources:
+            source._network = self
+        for sink in self.sinks:
+            sink._network = self
 
         pattern = make_destination_pattern(config.traffic_pattern)
         rate = rate_from_capacity_fraction(
@@ -153,17 +280,48 @@ class Network:
             for node in self.mesh.nodes()
         ]
 
+        # Constant-rate generators never touch the RNG between firing
+        # cycles, so the fast stepper jumps straight to each generator's
+        # next offer cycle; stochastic processes draw every cycle and
+        # must be polled.  ``offer_horizon()`` performs the exact same
+        # accumulator additions per-cycle polling would, keeping the
+        # fast-forward bit-identical.
+        self._poll_generators = config.injection_process != "constant"
+        self._next_offer: List[int] = []
+        if config.stepper == "fast":
+            # Reference-stepper networks must not touch the generators
+            # here: offer_horizon() advances the accumulators.
+            for generator in self.generators:
+                if (
+                    self._poll_generators
+                    or generator.rate_packets_per_cycle <= 0.0
+                ):
+                    # Zero-rate generators stay polled: maybe_generate
+                    # is a cheap early-return for them, and tests flip
+                    # the rate mid-run in both directions.
+                    self._next_offer.append(0)
+                else:
+                    self._next_offer.append(generator.offer_horizon() - 1)
+
         # (channel, destination router, input port) for link delivery.
         self._flit_links: List[Tuple[PipelinedChannel, BaseRouter, int]] = []
         # (channel, handler) pairs for credits; handler takes the vc index.
         self._credit_links: List[Tuple[PipelinedChannel, object, int]] = []
         # (channel, sink) for ejection.
         self._ejection_links: List[Tuple[PipelinedChannel, Sink]] = []
+        self._wheel: Optional[_EventWheel] = None
         self._wire()
 
         #: Packets whose generation was recorded, for conservation checks.
         self.packets_generated = 0
         self.measuring_generation = True
+
+        #: Per-instance step dispatch, bound once: the hot loop pays no
+        #: per-cycle branch for the stepper choice.
+        self.step = (
+            self._step_fast if config.stepper == "fast"
+            else self._step_reference
+        )
 
     # ------------------------------------------------------------------
 
@@ -198,10 +356,90 @@ class Network:
             router.connect_credit(LOCAL, credit_channel)
             self._credit_links.append((credit_channel, self.sources[node], None))
 
+        if self.config.stepper != "fast":
+            return
+        # Bind every channel to the arrival wheel.  Handlers wake the
+        # receiving router through accept_flit/receive_credit, so a
+        # sleeping router is reactivated by exactly the events that can
+        # give it work.
+        max_delay = max(flit_delay, credit_delay + 1)
+        self._wheel = _EventWheel(max_delay)
+        for flit_channel, dst_router, dst_port in self._flit_links:
+            flit_channel.bind_wheel(
+                self._wheel, _flit_handler(dst_router, dst_port)
+            )
+        for credit_channel, endpoint, port in self._credit_links:
+            if port is None:
+                handler = _source_credit_handler(endpoint)
+            else:
+                handler = _credit_handler(endpoint, port)
+            credit_channel.bind_wheel(self._wheel, handler)
+        for ejection, sink in self._ejection_links:
+            ejection.bind_wheel(self._wheel, _ejection_handler(sink))
+
     # ------------------------------------------------------------------
 
-    def step(self) -> None:
-        """Advance the network by one clock cycle."""
+    def _step_fast(self) -> None:
+        """Advance one clock: event-driven deliveries + active routers."""
+        cycle = self.cycle
+
+        # Phase 1: deliveries.  Only the wheel bucket for this cycle is
+        # visited; same-cycle deliveries commute (disjoint endpoints and
+        # additive stats), so bucket order vs. link-list order is
+        # unobservable.
+        self._wheel.drain(cycle)
+
+        # Phase 2: generation and injection.
+        measuring = self.measuring_generation
+        routers = self.routers
+        if self._poll_generators:
+            for generator, source in zip(self.generators, self.sources):
+                packet = generator.maybe_generate(cycle)
+                if packet is not None:
+                    packet.measured = measuring
+                    self.packets_generated += 1
+                    source.enqueue(packet)
+                if source._backlog:
+                    source.inject(routers[source.node], cycle)
+        else:
+            next_offer = self._next_offer
+            node = 0
+            for generator, source in zip(self.generators, self.sources):
+                if next_offer[node] <= cycle:
+                    packet = generator.maybe_generate(cycle)
+                    if packet is not None:
+                        # The common case: a constant-rate source fires
+                        # at its horizon cycle.
+                        packet.measured = measuring
+                        self.packets_generated += 1
+                        source.enqueue(packet)
+                        next_offer[node] = cycle + generator.offer_horizon()
+                    elif generator.rate_packets_per_cycle <= 0.0:
+                        # Zero rate (possibly zeroed mid-run): poll again
+                        # next cycle; the early-return in maybe_generate
+                        # keeps the accumulator untouched, exactly as
+                        # per-cycle polling would.
+                        next_offer[node] = cycle + 1
+                    else:
+                        next_offer[node] = cycle + generator.offer_horizon()
+                if source._backlog:
+                    source.inject(routers[source.node], cycle)
+                node += 1
+
+        # Phase 3: router pipelines, skipping provably idle routers.
+        # A router sleeps only when idle *and* its allocators are pure on
+        # empty inputs (``_can_sleep``); every wake path funnels through
+        # accept_flit/receive_credit.
+        for router in routers:
+            if router.active:
+                router.cycle(cycle)
+                if router._can_sleep and router.is_idle():
+                    router.active = False
+
+        self.cycle = cycle + 1
+
+    def _step_reference(self) -> None:
+        """Advance one clock with the original full-scan stepper."""
         cycle = self.cycle
 
         for channel, router, port in self._flit_links:
@@ -233,25 +471,36 @@ class Network:
         self.cycle += 1
 
     def run(self, cycles: int) -> None:
+        step = self.step
         for _ in range(cycles):
-            self.step()
+            step()
 
     # ------------------------------------------------------------------
     # Introspection / invariants.
     # ------------------------------------------------------------------
 
     def flits_in_flight(self) -> int:
-        """Flits inside routers or on channels (not in sources/sinks)."""
+        """Flits inside routers or on channels (not in sources/sinks).
+
+        Deliberately a physical scan rather than an ``injected -
+        ejected`` identity: the conservation check relies on this
+        counting what is *actually there*, so a vanished flit is
+        detected instead of defined away.
+        """
         buffered = sum(r.buffered_flits() for r in self.routers)
         on_links = sum(ch.occupancy for ch, _, _ in self._flit_links)
         ejecting = sum(ch.occupancy for ch, _ in self._ejection_links)
         return buffered + on_links + ejecting
 
     def total_flits_injected(self) -> int:
-        return sum(s.flits_injected for s in self.sources)
+        return self._flits_injected_total
 
     def total_flits_ejected(self) -> int:
-        return sum(s.flits_ejected for s in self.sinks)
+        return self._flits_ejected_total
+
+    def total_measured_ejected(self) -> int:
+        """Measured packets fully delivered (tail ejected), O(1)."""
+        return self._measured_ejected_total
 
     def check_conservation(self) -> None:
         """No flit is ever created or destroyed inside the network."""
@@ -270,6 +519,6 @@ class Network:
 
     def drained(self) -> bool:
         """True when no traffic remains anywhere in the system."""
-        if self.flits_in_flight():
+        if self._flits_injected_total != self._flits_ejected_total:
             return False
-        return all(s.backlog_flits == 0 for s in self.sources)
+        return all(not s._backlog for s in self.sources)

@@ -32,13 +32,27 @@ from ..flit import Flit
 from ..topology import LOCAL, Mesh, NUM_PORTS
 
 
-class VCState(enum.Enum):
-    """Input virtual-channel states (Section 3.1's inpc/invc_state)."""
+class VCState(enum.IntEnum):
+    """Input virtual-channel states (Section 3.1's inpc/invc_state).
 
-    IDLE = "idle"
-    ROUTING = "routing"
-    VC_ALLOC = "vc_alloc"     # waiting for an output VC (VC routers only)
-    ACTIVE = "active"         # has resources; flits bid for the switch
+    Int-coded so hot loops compare machine integers; ``IDLE`` is 0 so
+    ``bool(ivc.state)`` doubles as "this VC has work in progress".
+    Display code should use ``state.name.lower()`` (the old string
+    values) rather than ``state.value``.
+    """
+
+    IDLE = 0
+    ROUTING = 1
+    VC_ALLOC = 2              # waiting for an output VC (VC routers only)
+    ACTIVE = 3                # has resources; flits bid for the switch
+
+
+# Cached members for hot loops: enum attribute access resolves through
+# the class dict every time, a local/module binding does not.
+_IDLE = VCState.IDLE
+_ROUTING = VCState.ROUTING
+_VC_ALLOC = VCState.VC_ALLOC
+_ACTIVE = VCState.ACTIVE
 
 
 class InputVC:
@@ -61,7 +75,7 @@ class InputVC:
         self.va_ready: int = 0                  # earliest cycle VA may run
 
     def reset_to_idle(self) -> None:
-        self.state = VCState.IDLE
+        self.state = _IDLE
         self.route = None
         self.out_vc = None
         self.reroute_count = 0
@@ -123,6 +137,22 @@ class BaseRouter:
             [InputVC(port, vc, capacity) for vc in range(self.num_vcs)]
             for port in range(NUM_PORTS)
         ]
+        #: Flattened (port-major) view of every input VC, for hot loops.
+        self._all_ivcs: List[InputVC] = [
+            ivc for port_vcs in self.input_vcs for ivc in port_vcs
+        ]
+        #: Activity flag for the network's fast stepper.  Routers start
+        #: active (covers state poked in before the first cycle) and are
+        #: re-armed by :meth:`accept_flit` / :meth:`receive_credit`; the
+        #: network clears the flag once :meth:`is_idle` proves the next
+        #: :meth:`cycle` would be a no-op.
+        self.active = True
+        #: Whether skipping this router's phases while idle is exact.
+        #: Separable allocators are pure on an empty request set, so
+        #: idle cycles are provably no-ops; subclasses clear this when
+        #: an allocator mutates state even with no requests (the
+        #: maximum-matching allocator advances its rotation every call).
+        self._can_sleep = True
         self.output_vcs: List[List[OutputVC]] = [
             [
                 OutputVC(
@@ -163,6 +193,7 @@ class BaseRouter:
 
     def accept_flit(self, port: int, flit: Flit, cycle: int) -> None:
         """A flit arrives on an input port; the vcid field selects the VC."""
+        self.active = True
         ivc = self.input_vcs[port][flit.vcid]
         ivc.buffer.push(flit)
         self.stats.flits_received += 1
@@ -173,16 +204,22 @@ class BaseRouter:
                 cycle, EventKind.BUFFER_WRITE, self.node, port, flit.vcid,
                 flit.packet.packet_id, flit.index,
             )
-        if flit.is_head and ivc.state is VCState.IDLE:
+        if flit.is_head and ivc.state is _IDLE:
             if ivc.buffer.front() is not flit:
                 raise AssertionError(
                     "head flit arrived at an idle VC with a non-empty buffer"
                 )
-            ivc.state = VCState.ROUTING
+            ivc.state = _ROUTING
             ivc.routing_ready = cycle
 
     def receive_credit(self, port: int, vc: int) -> None:
-        """A credit returned for output ``port``/``vc``."""
+        """A credit returned for output ``port``/``vc``.
+
+        Deliberately does *not* wake a sleeping router: an idle router
+        (no pending grants, every input VC IDLE) has no flit a credit
+        could unblock, so its phases stay provable no-ops whatever the
+        credit counters hold.  Only :meth:`accept_flit` creates work.
+        """
         self.output_vcs[port][vc].credits.restore()
 
     # ------------------------------------------------------------------
@@ -196,6 +233,8 @@ class BaseRouter:
 
     def _st_phase(self, cycle: int) -> None:
         """Execute last cycle's switch grants: crossbar + link traversal."""
+        if not self.pending_st:
+            return
         grants, self.pending_st = self.pending_st, []
         used_outputs = set()
         for port, vc in grants:
@@ -245,7 +284,7 @@ class BaseRouter:
         if front is not None:
             if not front.is_head:
                 raise AssertionError("non-head flit at VC front after tail departed")
-            ivc.state = VCState.ROUTING
+            ivc.state = _ROUTING
             # Channel-state update settles at the cycle's end; the next
             # packet routes from the following cycle.
             ivc.routing_ready = cycle + 1
@@ -285,15 +324,29 @@ class BaseRouter:
 
     def _rc_phase(self, cycle: int) -> None:
         """Routing computation for heads that became routable."""
-        for port_vcs in self.input_vcs:
-            for ivc in port_vcs:
-                if ivc.state is VCState.ROUTING and ivc.routing_ready <= cycle:
-                    flit = ivc.buffer.front()
-                    if flit is None or not flit.is_head:
-                        raise AssertionError("ROUTING state without a head flit")
-                    ivc.route = self._route_vc(ivc, flit)
-                    self.stats.packets_routed += 1
-                    self._after_routing(ivc, cycle)
+        for ivc in self._all_ivcs:
+            if ivc.state is _ROUTING and ivc.routing_ready <= cycle:
+                flit = ivc.buffer.front()
+                if flit is None or not flit.is_head:
+                    raise AssertionError("ROUTING state without a head flit")
+                ivc.route = self._route_vc(ivc, flit)
+                self.stats.packets_routed += 1
+                self._after_routing(ivc, cycle)
+
+    def is_idle(self) -> bool:
+        """True when the next :meth:`cycle` is provably a no-op.
+
+        No granted traversals are pending and every input VC is IDLE
+        (an IDLE VC has an empty buffer -- :meth:`accept_flit` asserts
+        it).  Idle routers hold no output VCs or ports either: a held
+        resource implies a non-IDLE holder VC in this router.
+        """
+        if self.pending_st:
+            return False
+        for ivc in self._all_ivcs:
+            if ivc.state:        # IntEnum: IDLE is 0
+                return False
+        return True
 
     def _route_vc(self, ivc: InputVC, flit: Flit) -> int:
         """Route a head; subclasses may use per-VC state (adaptivity)."""

@@ -24,7 +24,7 @@ from __future__ import annotations
 from ..allocators import Request, SpeculativeSwitchAllocator
 from ..config import SimConfig
 from ..topology import Mesh, NUM_PORTS
-from .base import VCState
+from .base import _ACTIVE, _VC_ALLOC
 from .vc import VirtualChannelRouter
 
 
@@ -40,19 +40,16 @@ class SpeculativeVCRouter(VirtualChannelRouter):
 
     def _allocation_phase(self, cycle: int) -> None:
         nonspec_requests = []
-        for in_port in range(NUM_PORTS):
-            for in_vc, ivc in enumerate(self.input_vcs[in_port]):
+        spec_requests = []
+        for ivc in self._all_ivcs:
+            state = ivc.state
+            if state is _ACTIVE:
                 if self._sa_eligible(ivc):
                     nonspec_requests.append(
-                        Request(group=in_port, member=in_vc, resource=ivc.route)
+                        Request(group=ivc.port, member=ivc.vc, resource=ivc.route)
                     )
-
-        spec_requests = []
-        for in_port in range(NUM_PORTS):
-            for in_vc, ivc in enumerate(self.input_vcs[in_port]):
-                if ivc.state is not VCState.VC_ALLOC or ivc.route is None:
-                    continue
-                if ivc.va_ready > cycle:
+            elif state is _VC_ALLOC:
+                if ivc.route is None or ivc.va_ready > cycle:
                     continue
                 # Bid speculatively only if VC allocation could possibly
                 # succeed this cycle (some permitted candidate VC is free).
@@ -61,12 +58,15 @@ class SpeculativeVCRouter(VirtualChannelRouter):
                     self.output_vcs[ivc.route][c].is_free for c in candidates
                 ):
                     spec_requests.append(
-                        Request(group=in_port, member=in_vc, resource=ivc.route)
+                        Request(group=ivc.port, member=ivc.vc, resource=ivc.route)
                     )
 
-        nonspec_grants, spec_grants = self._spec_switch_allocator.allocate(
-            nonspec_requests, spec_requests
-        )
+        if nonspec_requests or spec_requests or not self._can_sleep:
+            nonspec_grants, spec_grants = self._spec_switch_allocator.allocate(
+                nonspec_requests, spec_requests
+            )
+        else:
+            nonspec_grants, spec_grants = (), ()
 
         for grant in nonspec_grants:
             self._grant_switch(grant.group, grant.member, cycle)
@@ -79,7 +79,7 @@ class SpeculativeVCRouter(VirtualChannelRouter):
         for grant in spec_grants:
             self.stats.spec_grants += 1
             ivc = self.input_vcs[grant.group][grant.member]
-            if ivc.state is not VCState.ACTIVE or ivc.out_vc is None:
+            if ivc.state is not _ACTIVE or ivc.out_vc is None:
                 self.stats.spec_wasted += 1  # lost the VC allocation
                 continue
             if not self.output_vcs[ivc.route][ivc.out_vc].credits:

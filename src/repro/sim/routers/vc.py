@@ -18,7 +18,7 @@ from typing import List, Tuple
 from ..allocators import Request
 from ..config import SimConfig
 from ..topology import Mesh, NUM_PORTS
-from .base import BaseRouter, InputVC, VCState
+from .base import _ACTIVE, _ROUTING, _VC_ALLOC, BaseRouter, InputVC, VCState
 
 
 class VirtualChannelRouter(BaseRouter):
@@ -53,6 +53,10 @@ class VirtualChannelRouter(BaseRouter):
             num_resources=NUM_PORTS,
             arbiter_kind=config.arbiter_kind,
         )
+        # The maximum-matching allocator advances its tie-break rotation
+        # on *every* allocate call, including empty ones: skipping idle
+        # cycles (or empty allocate calls) would change later matchings.
+        self._can_sleep = config.allocator_kind != "maximum"
 
     # ------------------------------------------------------------------
 
@@ -104,25 +108,26 @@ class VirtualChannelRouter(BaseRouter):
         """Footnote 5 (option b): a head whose routed port has no free
         permitted output VC goes back through the routing stage, where it
         may pick the other productive port (or the DOR fallback)."""
-        for port_vcs in self.input_vcs:
-            for ivc in port_vcs:
-                if ivc.state is not VCState.VC_ALLOC or ivc.route is None:
-                    continue
-                candidates = self._candidate_vcs(ivc)
-                if any(
-                    self.output_vcs[ivc.route][c].is_free for c in candidates
-                ):
-                    continue
-                ivc.state = VCState.ROUTING
-                ivc.routing_ready = cycle + 1
-                ivc.route = None
-                ivc.reroute_count += 1
-                self.stats.reroutes += 1
+        for ivc in self._all_ivcs:
+            if ivc.state is not _VC_ALLOC or ivc.route is None:
+                continue
+            candidates = self._candidate_vcs(ivc)
+            if any(
+                self.output_vcs[ivc.route][c].is_free for c in candidates
+            ):
+                continue
+            ivc.state = _ROUTING
+            ivc.routing_ready = cycle + 1
+            ivc.route = None
+            ivc.reroute_count += 1
+            self.stats.reroutes += 1
 
     # ------------------------------------------------------------------
 
     def _vc_allocation(self, cycle: int) -> None:
         requests = self._collect_va_requests(cycle)
+        if not requests and self._can_sleep:
+            return  # separable allocators are pure on empty inputs
         for grant in self._vc_allocator.allocate(requests):
             in_port, in_vc = divmod(grant.group, self.num_vcs)
             out_port, out_vc = divmod(grant.resource, self.num_vcs)
@@ -132,7 +137,7 @@ class VirtualChannelRouter(BaseRouter):
                 raise AssertionError("VC allocator granted a held output VC")
             ovc.held_by = (in_port, in_vc)
             ivc.out_vc = out_vc
-            ivc.state = VCState.ACTIVE
+            ivc.state = _ACTIVE
 
     def _candidate_vcs(self, ivc: InputVC) -> Tuple[int, ...]:
         """Output-VC candidates the routing function's range (and the
@@ -150,43 +155,41 @@ class VirtualChannelRouter(BaseRouter):
         """One request per (input VC, candidate output VC) pair."""
         requests: List[Request] = []
         v = self.num_vcs
-        for in_port in range(NUM_PORTS):
-            for in_vc in range(v):
-                ivc = self.input_vcs[in_port][in_vc]
-                if ivc.state is not VCState.VC_ALLOC or ivc.route is None:
-                    continue
-                if ivc.va_ready > cycle:
-                    continue
-                group = in_port * v + in_vc
-                for candidate in self._candidate_vcs(ivc):
-                    ovc = self.output_vcs[ivc.route][candidate]
-                    if ovc.is_free:
-                        requests.append(
-                            Request(
-                                group=group,
-                                member=candidate,
-                                resource=ivc.route * v + candidate,
-                            )
+        for ivc in self._all_ivcs:
+            if ivc.state is not _VC_ALLOC or ivc.route is None:
+                continue
+            if ivc.va_ready > cycle:
+                continue
+            group = ivc.port * v + ivc.vc
+            for candidate in self._candidate_vcs(ivc):
+                ovc = self.output_vcs[ivc.route][candidate]
+                if ovc.is_free:
+                    requests.append(
+                        Request(
+                            group=group,
+                            member=candidate,
+                            resource=ivc.route * v + candidate,
                         )
+                    )
         return requests
 
     # ------------------------------------------------------------------
 
     def _switch_allocation(self, cycle: int) -> None:
         requests = []
-        for in_port in range(NUM_PORTS):
-            for in_vc, ivc in enumerate(self.input_vcs[in_port]):
-                if not self._sa_eligible(ivc):
-                    continue
+        for ivc in self._all_ivcs:
+            if self._sa_eligible(ivc):
                 requests.append(
-                    Request(group=in_port, member=in_vc, resource=ivc.route)
+                    Request(group=ivc.port, member=ivc.vc, resource=ivc.route)
                 )
+        if not requests and self._can_sleep:
+            return
         for grant in self._switch_allocator.allocate(requests):
             self._grant_switch(grant.group, grant.member, cycle)
 
     def _sa_eligible(self, ivc: InputVC) -> bool:
         """ACTIVE, a buffered flit at the front, and a credit downstream."""
-        if ivc.state is not VCState.ACTIVE or ivc.out_vc is None:
+        if ivc.state is not _ACTIVE or ivc.out_vc is None:
             return False
         if not ivc.buffer:
             return False

@@ -72,6 +72,8 @@ class VirtualCutThroughRouter(WormholeRouter):
                 continue
             requests.append(Request(group=in_port, member=0, resource=ivc.route))
 
+        if not requests:
+            return
         held_outputs = [p for p, holder in enumerate(self.port_held_by)
                         if holder is not None]
         for grant in self._switch_arbiter.allocate(requests, held_outputs):

@@ -70,6 +70,10 @@ class WormholeRouter(BaseRouter):
                 continue
             requests.append(Request(group=in_port, member=0, resource=ivc.route))
 
+        if not requests:
+            # The separable arbiter grants nothing (and mutates nothing)
+            # on an empty request set; skip the call entirely.
+            return
         held_outputs = [p for p, holder in enumerate(self.port_held_by)
                         if holder is not None]
         for grant in self._switch_arbiter.allocate(requests, held_outputs):

@@ -64,7 +64,7 @@ def describe_router(router: BaseRouter) -> str:
             )
             lines.append(
                 f"  in {PORT_NAMES[port]:6s} vc{ivc.vc}: "
-                f"{ivc.state.value:9s} route={route:6s} "
+                f"{ivc.state.name.lower():9s} route={route:6s} "
                 f"outvc={ivc.out_vc if ivc.out_vc is not None else '-':>2} "
                 f"buffered={len(ivc.buffer)}/{ivc.buffer.capacity}"
             )

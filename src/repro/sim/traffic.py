@@ -113,6 +113,32 @@ class PacketSource:
             creation_cycle=cycle,
         )
 
+    def offer_horizon(self) -> int:
+        """Cycles until the constant-rate process offers its next packet.
+
+        Returns ``k >= 1`` such that the next ``k - 1`` calls to
+        :meth:`maybe_generate` would return ``None`` and the ``k``-th
+        offers a packet -- advancing the accumulator through exactly the
+        same repeated additions those ``k - 1`` calls would have
+        performed, so fast-forwarding is bit-identical to per-cycle
+        polling.  The crossing addition itself is left to the real
+        :meth:`maybe_generate` call at the fire cycle.
+
+        Only meaningful for the "constant" process with a positive
+        rate; the stochastic processes draw from the RNG every cycle
+        and must be polled.
+        """
+        if self.process != "constant" or self.rate_packets_per_cycle <= 0.0:
+            raise ValueError("offer_horizon requires a constant-rate source")
+        rate = self.rate_packets_per_cycle
+        accumulator = self._accumulator
+        k = 1
+        while accumulator + rate < 1.0:
+            accumulator += rate
+            k += 1
+        self._accumulator = accumulator
+        return k
+
     def _offers_packet(self) -> bool:
         rate = self.rate_packets_per_cycle
         if self.process == "constant":

@@ -15,6 +15,12 @@ found:
   bit-identical curves (each point is a pure function of config + seed).
 * :func:`oracle_cached_vs_uncached` -- a point served from the result
   cache must equal the freshly executed one.
+* :func:`oracle_fast_vs_reference` -- the event-driven fast stepper and
+  the original full-scan reference stepper must be cycle-for-cycle
+  bit-identical: same :class:`RunResult` and the same per-sink delivery
+  history (packet ids, sources, destinations, creation/injection/
+  ejection cycles) across seeded random configurations covering every
+  router kind, traffic pattern and injection process.
 
 These are coarse end-to-end checks that complement the per-cycle probes
 of :mod:`repro.sim.validation.probes`: a bug that preserves every local
@@ -24,6 +30,7 @@ gets caught here.
 
 from __future__ import annotations
 
+import itertools
 import tempfile
 from dataclasses import dataclass, field, fields as dataclass_fields, replace
 from pathlib import Path
@@ -260,6 +267,71 @@ def oracle_cached_vs_uncached(
     return report
 
 
+def oracle_fast_vs_reference(
+    measurement: Optional[MeasurementConfig] = None,
+    *,
+    seed: int = 0,
+    cases: int = 10,
+) -> OracleReport:
+    """The fast stepper vs the reference stepper, bit for bit.
+
+    Both steppers advance the same synchronous machine; the fast one
+    only skips work that is provably a no-op (idle router phases, empty
+    channels, non-firing constant-rate generators).  This oracle runs
+    ``cases`` seeded random configurations -- drawn from the same
+    generator as the property suite, so every router kind, topology,
+    traffic pattern and injection process appears -- once per stepper,
+    and diffs the full :class:`RunResult` plus the per-sink delivery
+    history down to individual packet ids and ejection cycles.
+    """
+    from .. import flit as flit_module
+    from ..engine import Simulator
+    from .proptest import CASE_MEASUREMENT, generate_cases
+
+    measurement = measurement or CASE_MEASUREMENT
+    report = OracleReport(
+        "fast_vs_reference", "stepper=fast", "stepper=reference"
+    )
+
+    def _run(config: SimConfig, stepper: str):
+        # Packet ids come from a module-global counter and o1turn keys
+        # its route choice off the id, so both sides must observe the
+        # same id sequence: reset the counter before each run.
+        flit_module._packet_ids = itertools.count()
+        simulator = Simulator(replace(config, stepper=stepper), measurement)
+        result = simulator.run()
+        deliveries = [
+            [
+                (
+                    packet.packet_id,
+                    packet.source,
+                    packet.destination,
+                    packet.length,
+                    packet.creation_cycle,
+                    packet.injection_cycle,
+                    packet.ejection_cycle,
+                    packet.measured,
+                )
+                for packet in sink.delivered
+            ]
+            for sink in simulator.network.sinks
+        ]
+        return result, deliveries
+
+    for case in generate_cases(seed, cases):
+        label = (
+            f"case[{case.case_id}] {case.config.router_kind.value} "
+            f"{case.config.traffic_pattern}/{case.config.injection_process}"
+        )
+        fast_result, fast_deliveries = _run(case.config, "fast")
+        ref_result, ref_deliveries = _run(case.config, "reference")
+        diff_run_results(report, fast_result, ref_result, label=label)
+        report.compare(
+            f"{label} per-sink deliveries", fast_deliveries, ref_deliveries
+        )
+    return report
+
+
 def run_all_oracles(
     measurement: Optional[MeasurementConfig] = None,
 ) -> List[OracleReport]:
@@ -268,4 +340,5 @@ def run_all_oracles(
         oracle_spec_vs_nonspec(measurement),
         oracle_serial_vs_parallel(measurement),
         oracle_cached_vs_uncached(measurement=measurement),
+        oracle_fast_vs_reference(),
     ]

@@ -319,7 +319,7 @@ class VCExclusivityProbe(Probe):
                     cycle,
                     f"router {router.node}: output VC "
                     f"({ovc.port}, {ovc.vc}) held by input {holder} but "
-                    f"that VC is {ivc.state.value} with route="
+                    f"that VC is {ivc.state.name.lower()} with route="
                     f"{ivc.route} out_vc={ivc.out_vc}",
                 )
         for ivc in ivcs:
@@ -351,7 +351,7 @@ class VCExclusivityProbe(Probe):
                 self.fail(
                     cycle,
                     f"router {router.node}: output port {out_port} held by "
-                    f"input {in_port} but that input is {ivc.state.value} "
+                    f"input {in_port} but that input is {ivc.state.name.lower()} "
                     f"with route={ivc.route}",
                 )
 

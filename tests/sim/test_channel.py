@@ -10,13 +10,13 @@ class TestPipelinedChannel:
     def test_delivery_after_delay_plus_one(self):
         channel = PipelinedChannel(1)
         channel.send("x", cycle=5)
-        assert channel.deliver(6) == []
+        assert channel.deliver(6) == ()
         assert channel.deliver(7) == ["x"]
 
     def test_zero_delay_delivers_next_cycle(self):
         channel = PipelinedChannel(0)
         channel.send("x", cycle=3)
-        assert channel.deliver(3) == []
+        assert channel.deliver(3) == ()
         assert channel.deliver(4) == ["x"]
 
     def test_items_preserve_order(self):
@@ -30,7 +30,7 @@ class TestPipelinedChannel:
         channel.send("a", 0)
         channel.send("b", 5)
         assert channel.deliver(1) == ["a"]
-        assert channel.deliver(5) == []
+        assert channel.deliver(5) == ()
         assert channel.deliver(6) == ["b"]
 
     def test_multiple_items_same_cycle(self):
@@ -84,5 +84,5 @@ class TestPipelinedChannel:
         channel = PipelinedChannel(delay)
         channel.send("x", 7)
         arrival = 7 + delay + 1
-        assert channel.deliver(arrival - 1) == []
+        assert channel.deliver(arrival - 1) == ()
         assert channel.deliver(arrival) == ["x"]

@@ -1,0 +1,248 @@
+"""The event-driven fast stepper must be bit-identical to the reference.
+
+The fast stepper (``SimConfig.stepper="fast"``) replaces per-cycle
+polling with an arrival event wheel, skips the phases of provably idle
+routers, and fast-forwards non-firing constant-rate generators.  None
+of that may change a single observable bit: these tests drive both
+steppers over seeded random configurations (reusing the property-test
+config generator) and over targeted edge cases, and diff everything
+down to individual packet ids and ejection cycles.
+"""
+
+import itertools
+import random
+from dataclasses import replace
+
+import pytest
+
+import repro.sim.flit as flit_module
+from repro.sim.config import MeasurementConfig, RouterKind, SimConfig
+from repro.sim.engine import Simulator, simulate
+from repro.sim.flit import Packet
+from repro.sim.network import Network
+from repro.sim.topology import Mesh
+from repro.sim.traffic import PacketSource
+from repro.sim.validation.proptest import CASE_MEASUREMENT, generate_cases
+
+pytestmark = pytest.mark.sim
+
+
+MEASUREMENT = MeasurementConfig(
+    warmup_cycles=100, sample_packets=120, max_cycles=15_000,
+    drain_cycles=8_000,
+)
+
+
+def run_both(config, measurement=MEASUREMENT):
+    """Run a config under each stepper; return (fast, reference) pairs of
+    (RunResult, per-sink delivery history)."""
+    out = []
+    for stepper in ("fast", "reference"):
+        # Packet ids come from a module-global counter (and o1turn keys
+        # routing off the id), so both sides must see the same sequence.
+        flit_module._packet_ids = itertools.count()
+        simulator = Simulator(replace(config, stepper=stepper), measurement)
+        result = simulator.run()
+        deliveries = [
+            [
+                (p.packet_id, p.source, p.destination, p.length,
+                 p.creation_cycle, p.injection_cycle, p.ejection_cycle,
+                 p.measured)
+                for p in sink.delivered
+            ]
+            for sink in simulator.network.sinks
+        ]
+        out.append((result, deliveries))
+    return out
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("case", generate_cases(seed=21, count=6),
+                             ids=lambda c: f"case{c.case_id}")
+    def test_random_configs_identical(self, case):
+        """Seeded random configs (every router kind / traffic pattern /
+        injection process in the pool) are bit-identical across steppers."""
+        (fast_result, fast_del), (ref_result, ref_del) = run_both(
+            case.config, CASE_MEASUREMENT
+        )
+        assert fast_result == ref_result, (
+            f"case {case.case_id}: fast {fast_result} "
+            f"!= reference {ref_result}"
+        )
+        assert fast_del == ref_del
+
+    @pytest.mark.parametrize("kind", list(RouterKind))
+    def test_each_router_kind_identical(self, kind):
+        config = SimConfig(
+            router_kind=kind,
+            mesh_radix=4,
+            num_vcs=2 if kind.uses_vcs else 1,
+            # VCT needs a whole packet (5 flits) per buffer.
+            buffers_per_vc=5,
+            injection_fraction=0.25,
+            seed=5,
+        )
+        (fast_result, fast_del), (ref_result, ref_del) = run_both(config)
+        assert fast_result == ref_result
+        assert fast_del == ref_del
+
+    def test_maximum_matching_allocator_identical(self):
+        """The maximum-matching allocator mutates state on *empty*
+        allocations, so its routers must never be put to sleep; verify
+        the stepper honours that."""
+        config = SimConfig(
+            router_kind=RouterKind.SPECULATIVE_VC,
+            mesh_radix=4, num_vcs=2, buffers_per_vc=4,
+            injection_fraction=0.15, seed=9,
+            allocator_kind="maximum",
+        )
+        (fast_result, fast_del), (ref_result, ref_del) = run_both(config)
+        assert fast_result == ref_result
+        assert fast_del == ref_del
+
+    def test_checked_mode_on_fast_stepper(self):
+        """Invariant probes attach to and pass on the fast stepper, and
+        the checked run is bit-equal to the unchecked one."""
+        config = SimConfig(
+            router_kind=RouterKind.SPECULATIVE_VC,
+            mesh_radix=4, num_vcs=2, buffers_per_vc=4,
+            injection_fraction=0.2, seed=3, stepper="fast",
+        )
+        unchecked = simulate(config, MEASUREMENT)
+        checked = simulate(config, MEASUREMENT, checked=True)
+        assert checked.validation is not None
+        assert checked.validation["ok"], checked.validation["violations"]
+        assert checked == unchecked
+
+
+class TestGeneratorFastForward:
+    def test_offer_horizon_matches_polling(self):
+        """offer_horizon() == number of _offers_packet calls up to and
+        including the firing one, and leaves the accumulator exactly
+        where the reference's failing polls leave it."""
+        for seed in range(10):
+            for rate in (0.03, 0.17, 0.5, 0.99):
+                polled = PacketSource(
+                    node=0, mesh=Mesh(4), rate_packets_per_cycle=rate,
+                    packet_length=5, rng=random.Random(seed),
+                )
+                jumped = PacketSource(
+                    node=0, mesh=Mesh(4), rate_packets_per_cycle=rate,
+                    packet_length=5, rng=random.Random(seed),
+                )
+                for _ in range(5):  # several consecutive inter-arrivals
+                    k = jumped.offer_horizon()
+                    calls = 0
+                    while True:
+                        calls += 1
+                        if polled._offers_packet():
+                            break
+                    assert calls == k
+                    # The crossing call itself must agree bit-for-bit.
+                    assert jumped._offers_packet()
+                    assert jumped._accumulator == polled._accumulator
+
+    def test_offer_horizon_rejects_non_constant(self):
+        source = PacketSource(
+            node=0, mesh=Mesh(4), rate_packets_per_cycle=0.2,
+            packet_length=5, rng=random.Random(0), process="bernoulli",
+        )
+        with pytest.raises(ValueError):
+            source.offer_horizon()
+        zero = PacketSource(
+            node=0, mesh=Mesh(4), rate_packets_per_cycle=0.0,
+            packet_length=5, rng=random.Random(0),
+        )
+        with pytest.raises(ValueError):
+            zero.offer_horizon()
+
+    def test_rate_change_mid_run_identical(self):
+        """Tests flip rates mid-run in both directions; the cached
+        offer horizons must recover bit-identically."""
+        results = []
+        for stepper in ("fast", "reference"):
+            flit_module._packet_ids = itertools.count()
+            config = SimConfig(
+                router_kind=RouterKind.WORMHOLE, mesh_radix=4,
+                num_vcs=1, buffers_per_vc=4, injection_fraction=0.0,
+                seed=13, stepper=stepper,
+            )
+            network = Network(config)
+            for _ in range(50):
+                network.step()
+            for generator in network.generators:
+                generator.rate_packets_per_cycle = 0.3
+            for _ in range(300):
+                network.step()
+            for generator in network.generators:
+                generator.rate_packets_per_cycle = 0.0
+            for _ in range(500):
+                network.step()
+            results.append((
+                network.packets_generated,
+                network.total_flits_injected(),
+                network.total_flits_ejected(),
+                network.drained(),
+            ))
+        assert results[0] == results[1]
+        assert results[0][0] > 0
+
+
+class TestActivityTracking:
+    def test_idle_network_sleeps_and_wakes(self):
+        """With nothing in flight every router goes inactive; a packet
+        enqueued directly into a source wakes the path back up and is
+        delivered."""
+        config = SimConfig(
+            router_kind=RouterKind.SPECULATIVE_VC, mesh_radix=4,
+            num_vcs=2, buffers_per_vc=4, injection_fraction=0.0,
+            seed=1, stepper="fast",
+        )
+        network = Network(config)
+        for _ in range(30):
+            network.step()
+        assert all(not router.active for router in network.routers)
+
+        packet = Packet(source=0, destination=15, length=5,
+                        creation_cycle=network.cycle)
+        network.sources[0].enqueue(packet)
+        for _ in range(200):
+            network.step()
+            if network.sinks[15].delivered:
+                break
+        assert [p.packet_id for p in network.sinks[15].delivered] \
+            == [packet.packet_id]
+        assert network.drained()
+        assert all(not router.active for router in network.routers)
+
+    def test_counters_match_physical_scan(self):
+        config = SimConfig(
+            router_kind=RouterKind.SPECULATIVE_VC, mesh_radix=4,
+            num_vcs=2, buffers_per_vc=4, injection_fraction=0.3,
+            seed=7, stepper="fast",
+        )
+        network = Network(config)
+        for _ in range(400):
+            network.step()
+        # The incremental totals must agree with the physical scan:
+        # injected == ejected + what is actually buffered or on wires.
+        assert network.total_flits_injected() > 0
+        network.check_conservation()
+
+
+class TestStepperConfig:
+    def test_unknown_stepper_rejected(self):
+        with pytest.raises(ValueError, match="stepper"):
+            SimConfig(
+                router_kind=RouterKind.WORMHOLE, mesh_radix=4,
+                num_vcs=1, injection_fraction=0.1, seed=1,
+                stepper="asynchronous",
+            )
+
+    def test_reference_stepper_has_no_wheel(self):
+        config = SimConfig(
+            router_kind=RouterKind.WORMHOLE, mesh_radix=4, num_vcs=1,
+            injection_fraction=0.1, seed=1, stepper="reference",
+        )
+        network = Network(config)
+        assert network._wheel is None

@@ -8,6 +8,7 @@ from repro.sim.validation.oracle import (
     OracleReport,
     diff_run_results,
     oracle_cached_vs_uncached,
+    oracle_fast_vs_reference,
     oracle_serial_vs_parallel,
     oracle_spec_vs_nonspec,
 )
@@ -81,3 +82,9 @@ class TestOracles:
         report = oracle_cached_vs_uncached(tmp_path / "cache")
         assert report.ok, report.describe()
         assert report.checks == 3
+
+    def test_fast_vs_reference(self):
+        report = oracle_fast_vs_reference(seed=3, cases=4)
+        assert report.ok, report.describe()
+        # One RunResult diff plus one delivery-history diff per case.
+        assert report.checks == 8
