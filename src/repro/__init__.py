@@ -38,6 +38,7 @@ from .sim import (
     paper_scale,
     simulate,
 )
+from .telemetry import TelemetryConfig, TelemetrySummary
 
 __version__ = "1.1.0"
 
@@ -55,6 +56,8 @@ __all__ = [
     "RunResult",
     "SimConfig",
     "SweepResult",
+    "TelemetryConfig",
+    "TelemetrySummary",
     "__version__",
     "generate_table1",
     "paper_scale",

@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments --simulate      # + latency-throughput figures
     python -m repro.experiments --simulate --paper-scale   # full-size runs
     python -m repro.experiments --checked       # validation smoke run
+    python -m repro.experiments report --telemetry         # observability
 """
 
 from __future__ import annotations
@@ -66,7 +67,92 @@ def _validation_smoke() -> int:
     return 0 if ok else 1
 
 
+def _report_command(argv) -> int:
+    """The ``report`` subcommand: render one report on demand.
+
+    Without flags this reprints the delay-model report (same as the
+    bare invocation); ``--telemetry`` instead runs one instrumented
+    simulation and renders its telemetry summary, optionally exporting
+    JSONL/CSV/Chrome-trace files with ``--export-dir``.
+    """
+    from pathlib import Path
+
+    from ..sim.config import RouterKind, SimConfig
+    from ..telemetry import TelemetryConfig
+    from .report import telemetry_report, telemetry_snapshot_config
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments report",
+        description="Render a single report without the full reproduction.",
+    )
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="run one instrumented simulation and report its telemetry "
+             "(speculation win rate, channel utilization, occupancy)",
+    )
+    parser.add_argument(
+        "--router", default=None, metavar="KIND",
+        choices=[kind.value for kind in RouterKind],
+        help="router kind for the telemetry run (default speculative_vc)",
+    )
+    parser.add_argument(
+        "--load", type=float, default=0.42,
+        help="offered load as a fraction of capacity (default 0.42)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42,
+        help="simulation seed (default 42)",
+    )
+    parser.add_argument(
+        "--sample-packets", type=int, default=None,
+        help="override the measured packet sample size",
+    )
+    parser.add_argument(
+        "--sample-period", type=int, default=None,
+        help="telemetry sampling period in cycles (default 64)",
+    )
+    parser.add_argument(
+        "--export-dir", type=Path, default=None, metavar="DIR",
+        help="write telemetry.jsonl, telemetry.csv, windows.csv and "
+             "trace.json (Chrome trace_event; open in Perfetto) here",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.telemetry:
+        print(delay_model_report())
+        return 0
+
+    config = telemetry_snapshot_config(load=args.load, seed=args.seed)
+    if args.router is not None:
+        kind = RouterKind(args.router)
+        config = SimConfig(
+            router_kind=kind,
+            num_vcs=config.num_vcs if kind.uses_vcs else 1,
+            buffers_per_vc=config.buffers_per_vc,
+            injection_fraction=args.load, seed=args.seed,
+        )
+    measurement = MeasurementConfig()
+    if args.sample_packets is not None:
+        measurement.sample_packets = args.sample_packets
+    telemetry = None
+    if args.sample_period is not None:
+        telemetry = TelemetryConfig(
+            sample_period=args.sample_period,
+            capture_trace=args.export_dir is not None,
+        )
+    print(telemetry_report(
+        config, measurement, telemetry=telemetry, export_dir=args.export_dir,
+    ))
+    return 0
+
+
 def main(argv=None) -> int:
+    import sys
+
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "report":
+        return _report_command(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Reproduce the tables and figures of Peh & Dally (HPCA 2001).",

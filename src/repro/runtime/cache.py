@@ -34,19 +34,22 @@ _code_fingerprint: Optional[str] = None
 
 
 def code_fingerprint() -> str:
-    """Hash of every source file the simulation outcome depends on.
+    """Hash of every source file the cached payload depends on.
 
-    Covers ``repro/sim`` (the engine and routers).  Computed once per
+    Covers ``repro/sim`` (the engine and routers) and
+    ``repro/telemetry`` (cached results embed telemetry summaries, so a
+    collector change must rotate the key too).  Computed once per
     process; survives process restarts unchanged as long as the sources
     do, which is exactly the invariant the cache needs.
     """
     global _code_fingerprint
     if _code_fingerprint is None:
-        sim_root = Path(__file__).resolve().parent.parent / "sim"
+        package_root = Path(__file__).resolve().parent.parent
         digest = hashlib.sha256()
-        for path in sorted(sim_root.rglob("*.py")):
-            digest.update(path.name.encode())
-            digest.update(path.read_bytes())
+        for subpackage in ("sim", "telemetry"):
+            for path in sorted((package_root / subpackage).rglob("*.py")):
+                digest.update(path.name.encode())
+                digest.update(path.read_bytes())
         _code_fingerprint = digest.hexdigest()
     return _code_fingerprint
 

@@ -31,6 +31,7 @@ from ..sim.config import MeasurementConfig, SimConfig
 from ..sim.engine import Simulator
 from ..sim.instrumentation import NullProgress, ProgressHook
 from ..sim.metrics import AggregateResult, RunResult, SweepResult
+from ..telemetry.config import TelemetryConfig
 from .cache import ResultCache, config_key
 
 #: Offered loads used when a sweep doesn't specify its own grid
@@ -146,6 +147,15 @@ class Experiment:
         ``$REPRO_CHECKED`` (default off).  Checked runs bypass the
         result cache: their summaries must describe *this* execution,
         and cache entries stay comparable across modes.
+    telemetry:
+        Attach the streaming observability layer of
+        :mod:`repro.telemetry` to every point: ``True`` enables default
+        sampling, a :class:`~repro.telemetry.TelemetryConfig` chooses
+        the sampling scale.  ``None`` reads ``$REPRO_TELEMETRY``
+        (default off).  Implemented by stamping the config's own
+        ``telemetry`` field (explicit per-config settings win), so the
+        request rides the cache key and worker pickles for free, and
+        telemetry-on results are cached separately from plain ones.
     """
 
     def __init__(
@@ -157,6 +167,7 @@ class Experiment:
         progress: Optional[ProgressHook] = None,
         check_invariants: bool = False,
         checked: Optional[bool] = None,
+        telemetry: Union[TelemetryConfig, bool, None] = None,
     ) -> None:
         self.measurement = measurement or MeasurementConfig()
         if workers is None:
@@ -171,6 +182,21 @@ class Experiment:
             env = os.environ.get("REPRO_CHECKED", "")
             checked = bool(env) and env not in ("0", "false", "no")
         self.checked = checked
+        if telemetry is None:
+            env = os.environ.get("REPRO_TELEMETRY", "")
+            telemetry = bool(env) and env not in ("0", "false", "no")
+        if telemetry is True:
+            telemetry = TelemetryConfig()
+        elif telemetry is False:
+            telemetry = None
+        elif telemetry is not None and not isinstance(
+            telemetry, TelemetryConfig
+        ):
+            raise TypeError(
+                f"telemetry must be a bool or TelemetryConfig, "
+                f"got {telemetry!r}"
+            )
+        self.telemetry: Optional[TelemetryConfig] = telemetry
         self.stats = ExperimentStats()
 
     @staticmethod
@@ -215,6 +241,16 @@ class Experiment:
         """
         started = time.perf_counter()
         configs = list(configs)
+        if self.telemetry is not None:
+            # Stamp the experiment-level telemetry request onto configs
+            # that don't carry their own; the rewritten config then
+            # flows through dedup keys, the cache, and worker pickles
+            # exactly like any other knob.
+            configs = [
+                config if config.telemetry is not None
+                else replace(config, telemetry=self.telemetry)
+                for config in configs
+            ]
         for config in configs:
             config.validate()
         total = len(configs)

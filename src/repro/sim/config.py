@@ -21,6 +21,8 @@ import enum
 from dataclasses import dataclass
 from typing import Optional
 
+from ..telemetry.config import TelemetryConfig
+
 
 class RouterKind(enum.Enum):
     """The router microarchitectures simulated in Section 5 (plus VCT)."""
@@ -124,8 +126,26 @@ class SimConfig:
     #: cycle-for-cycle bit-identical for a fixed seed; "reference" is
     #: kept as the oracle baseline for differential testing.
     stepper: str = "fast"
+    #: Streaming observability (:mod:`repro.telemetry`).  ``None`` (the
+    #: default) records nothing and costs nothing; a
+    #: :class:`~repro.telemetry.TelemetryConfig` attaches a telemetry
+    #: session whose summary rides on the run result.  Part of the
+    #: config so the request travels through the result cache's content
+    #: key and across worker processes; never affects simulated
+    #: behaviour (enforced by the ``telemetry_on_vs_off`` oracle).
+    telemetry: Optional[TelemetryConfig] = None
 
     def __post_init__(self) -> None:
+        if isinstance(self.telemetry, dict):
+            # Convenience for configs rebuilt from JSON/dicts.
+            self.telemetry = TelemetryConfig(**self.telemetry)
+        if self.telemetry is not None and not isinstance(
+            self.telemetry, TelemetryConfig
+        ):
+            raise TypeError(
+                f"telemetry must be a TelemetryConfig or None, "
+                f"got {self.telemetry!r}"
+            )
         if self.mesh_radix < 2:
             raise ValueError(f"mesh radix must be >= 2, got {self.mesh_radix}")
         if self.num_vcs < 1:

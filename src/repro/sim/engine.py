@@ -12,6 +12,8 @@ from __future__ import annotations
 import time
 from typing import List, Optional, Union
 
+from ..telemetry.config import TelemetryConfig
+from ..telemetry.session import TelemetrySession, resolve_telemetry
 from .config import MeasurementConfig, SimConfig
 from .instrumentation import collect_counters
 from .metrics import LatencyStats, RunResult
@@ -30,6 +32,14 @@ class Simulator:
     a single attribute test.  ``check_invariants`` is the legacy
     coarse-grained flag (network-wide conservation + credit ranges);
     prefer ``checked``.
+
+    ``telemetry`` enables the observability layer of
+    :mod:`repro.telemetry` the same way: ``True`` (or a
+    :class:`~repro.telemetry.TelemetryConfig` /
+    :class:`~repro.telemetry.TelemetrySession`) attaches collectors
+    whose summary lands on ``RunResult.telemetry``; ``None`` defers to
+    ``config.telemetry``.  Disabled, it is the same single attribute
+    test per step and installs nothing.
     """
 
     def __init__(
@@ -38,6 +48,7 @@ class Simulator:
         measurement: Optional[MeasurementConfig] = None,
         check_invariants: bool = False,
         checked: Union[ValidationSuite, bool, None] = None,
+        telemetry: Union[TelemetrySession, TelemetryConfig, bool, None] = None,
     ) -> None:
         self.config = config
         self.measurement = measurement or MeasurementConfig()
@@ -46,6 +57,9 @@ class Simulator:
         self.validation = resolve_checked(checked, config)
         if self.validation is not None:
             self.validation.attach(self.network)
+        self.telemetry = resolve_telemetry(telemetry, config)
+        if self.telemetry is not None:
+            self.telemetry.attach(self.network)
 
     def run(self) -> RunResult:
         network = self.network
@@ -120,6 +134,10 @@ class Simulator:
             self.validation.finalize(network)
             if self.validation is not None else None
         )
+        telemetry = (
+            self.telemetry.finalize(network)
+            if self.telemetry is not None else None
+        )
         return RunResult(
             injection_fraction=self.config.injection_fraction,
             latency=None if saturated else latency,
@@ -131,6 +149,7 @@ class Simulator:
             spec_wasted=counters.spec_wasted,
             counters=counters,
             validation=validation,
+            telemetry=telemetry,
         )
 
     # ------------------------------------------------------------------
@@ -142,6 +161,8 @@ class Simulator:
             self.network.check_credit_invariants()
         if self.validation is not None:
             self.validation.after_cycle(self.network)
+        if self.telemetry is not None:
+            self.telemetry.after_cycle(self.network)
 
     def _run_cycles(self, cycles: int) -> None:
         for _ in range(cycles):
@@ -164,6 +185,7 @@ def simulate(
     measurement: Optional[MeasurementConfig] = None,
     check_invariants: bool = False,
     checked: Union[ValidationSuite, bool, None] = None,
+    telemetry: Union[TelemetrySession, TelemetryConfig, bool, None] = None,
 ) -> RunResult:
     """Convenience wrapper: build a :class:`Simulator` and run it.
 
@@ -172,4 +194,6 @@ def simulate(
        config, can serve the result from cache, and batches with other
        points across worker processes.
     """
-    return Simulator(config, measurement, check_invariants, checked).run()
+    return Simulator(
+        config, measurement, check_invariants, checked, telemetry
+    ).run()

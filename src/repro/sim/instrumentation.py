@@ -69,6 +69,18 @@ class RunCounters:
         return self.spec_wasted / self.spec_grants
 
     @property
+    def speculation_win_rate(self) -> float:
+        """Fraction of speculative grants that moved a flit.
+
+        The complement of :attr:`misspeculation_rate`; 0.0 (not a
+        division error) when the router never speculated, so
+        non-speculative configurations report an honest zero.
+        """
+        if not self.spec_grants:
+            return 0.0
+        return 1.0 - self.spec_wasted / self.spec_grants
+
+    @property
     def cycles_per_second(self) -> float:
         """Simulated cycles per wall-clock second (0 if untimed)."""
         total = self.wall_seconds.get("total", 0.0)
@@ -166,9 +178,12 @@ class PrintProgress(NullProgress):
                       cached: bool) -> None:
         self._done += 1
         source = "cache" if cached else "run"
+        spec = ""
+        if result.counters is not None and result.counters.spec_grants:
+            spec = f"  spec win {result.counters.speculation_win_rate:.1%}"
         print(
             f"[{self._done}/{total}] load {config.injection_fraction:.2f} "
-            f"seed {config.seed} ({source}): {result.describe()}",
+            f"seed {config.seed} ({source}): {result.describe()}{spec}",
             file=self._stream,
         )
 

@@ -13,6 +13,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from ..telemetry.summary import TelemetrySummary, merge_summaries
 from .flit import Packet
 from .instrumentation import RunCounters
 
@@ -89,6 +90,10 @@ class RunResult:
     #: Excluded from equality: a checked and an unchecked run of the
     #: same point produce the same measurements.
     validation: Optional[Dict[str, Any]] = field(default=None, compare=False)
+    #: Telemetry summary (None for unobserved runs).  Excluded from
+    #: equality for the same reason: observation never changes what a
+    #: run measured (the ``telemetry_on_vs_off`` oracle enforces it).
+    telemetry: Optional[TelemetrySummary] = field(default=None, compare=False)
 
     @property
     def average_latency(self) -> float:
@@ -110,6 +115,7 @@ class RunResult:
             "spec_wasted": self.spec_wasted,
             "counters": self.counters.to_dict() if self.counters else None,
             "validation": self.validation,
+            "telemetry": self.telemetry.to_dict() if self.telemetry else None,
         }
 
     @classmethod
@@ -119,6 +125,8 @@ class RunResult:
             data["latency"] = LatencyStats.from_dict(data["latency"])
         if data.get("counters") is not None:
             data["counters"] = RunCounters.from_dict(data["counters"])
+        if data.get("telemetry") is not None:
+            data["telemetry"] = TelemetrySummary.from_dict(data["telemetry"])
         return cls(**data)
 
     def describe(self) -> str:
@@ -227,6 +235,16 @@ class SweepResult:
                 break
             saturation = point.injection_fraction
         return saturation
+
+    def merged_telemetry(self) -> Optional[TelemetrySummary]:
+        """Every point's telemetry folded into one summary.
+
+        ``None`` when no point carried telemetry.  The merge sums
+        counters and histograms across points, so derived rates
+        (speculation win rate, channel utilization) become
+        whole-sweep ratios; per-point window timelines are dropped.
+        """
+        return merge_summaries(p.telemetry for p in self.points)
 
     def describe(self) -> str:
         lines = [f"{self.label}:"]

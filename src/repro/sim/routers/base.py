@@ -331,6 +331,13 @@ class BaseRouter:
                     raise AssertionError("ROUTING state without a head flit")
                 ivc.route = self._route_vc(ivc, flit)
                 self.stats.packets_routed += 1
+                if self.tracer is not None:
+                    from ..trace import EventKind
+
+                    self.tracer.record(
+                        cycle, EventKind.RC, self.node, ivc.port, ivc.vc,
+                        flit.packet.packet_id, flit.index,
+                    )
                 self._after_routing(ivc, cycle)
 
     def is_idle(self) -> bool:

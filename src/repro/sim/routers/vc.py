@@ -138,6 +138,15 @@ class VirtualChannelRouter(BaseRouter):
             ovc.held_by = (in_port, in_vc)
             ivc.out_vc = out_vc
             ivc.state = _ACTIVE
+            if self.tracer is not None:
+                from ..trace import EventKind
+
+                head = ivc.buffer.front()
+                if head is not None:
+                    self.tracer.record(
+                        cycle, EventKind.VC_GRANT, self.node, in_port,
+                        in_vc, head.packet.packet_id, head.index,
+                    )
 
     def _candidate_vcs(self, ivc: InputVC) -> Tuple[int, ...]:
         """Output-VC candidates the routing function's range (and the

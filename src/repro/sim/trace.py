@@ -24,6 +24,8 @@ from typing import Iterable, List, Optional
 
 class EventKind(enum.Enum):
     BUFFER_WRITE = "buffer_write"   # flit written into an input VC
+    RC = "route_computed"           # head's output port computed (RC)
+    VC_GRANT = "vc_grant"           # output VC allocated to the head (VA)
     SWITCH_GRANT = "switch_grant"   # switch allocated to the flit's VC
     TRAVERSAL = "traversal"         # flit crossed the crossbar (ST)
     EJECTION = "ejection"           # flit delivered to the sink

@@ -46,12 +46,33 @@ def bit_complement_destination(mesh: Mesh, source: int, rng: random.Random) -> i
     return destination
 
 
+#: Fraction of hotspot-pattern packets aimed at the hotspot node.
+HOTSPOT_FRACTION = 0.1
+
+
+def hotspot_destination(mesh: Mesh, source: int, rng: random.Random) -> int:
+    """Hotspot pattern: a fixed fraction of traffic converges on the
+    mesh's centre node, the rest is uniform.
+
+    The hotspot is the node at ``(k//2, k//2)`` -- the worst place to
+    concentrate load on a mesh under dimension-ordered routing.  The
+    hotspot node itself (a self-pair) and the uniform remainder both
+    fall back to :func:`uniform_destination`, so every source still
+    loads the network.
+    """
+    hotspot = mesh.node_at(mesh.k // 2, mesh.k // 2)
+    if source != hotspot and rng.random() < HOTSPOT_FRACTION:
+        return hotspot
+    return uniform_destination(mesh, source, rng)
+
+
 def make_destination_pattern(name: str) -> DestinationPattern:
     """Factory for the built-in destination patterns."""
     patterns = {
         "uniform": uniform_destination,
         "transpose": transpose_destination,
         "bit_complement": bit_complement_destination,
+        "hotspot": hotspot_destination,
     }
     if name not in patterns:
         raise ValueError(

@@ -332,6 +332,99 @@ def oracle_fast_vs_reference(
     return report
 
 
+def oracle_telemetry_on_vs_off(
+    measurement: Optional[MeasurementConfig] = None,
+    *,
+    configs: Optional[List[SimConfig]] = None,
+) -> OracleReport:
+    """Telemetry must observe without perturbing: bit-identical results.
+
+    Runs each configuration twice -- plain, and with a telemetry session
+    attached (aggressive sampling so every collector path executes) --
+    and diffs the full :class:`RunResult` plus the per-sink delivery
+    history.  ``RunResult.telemetry`` is a ``compare=False`` field, so
+    any mismatch here is a real perturbation of the simulated machine
+    (e.g. a collector waking a sleeping router or consuming RNG draws),
+    not the summary itself.
+    """
+    from ...telemetry.config import TelemetryConfig
+    from .. import flit as flit_module
+    from ..engine import Simulator
+
+    measurement = measurement or ORACLE_MEASUREMENT
+    report = OracleReport(
+        "telemetry_on_vs_off", "telemetry=off", "telemetry=on"
+    )
+    if configs is None:
+        configs = [
+            _tiny_config(RouterKind.SPECULATIVE_VC),
+            _tiny_config(RouterKind.VIRTUAL_CHANNEL, seed=7),
+            _tiny_config(RouterKind.WORMHOLE, injection_fraction=0.15),
+            # The fast stepper's sleeping routers are the risk surface:
+            # a low-load run where sampling must not wake anything.
+            _tiny_config(
+                RouterKind.SPECULATIVE_VC, injection_fraction=0.05,
+                traffic_pattern="hotspot", seed=3,
+            ),
+        ]
+    telemetry = TelemetryConfig(
+        sample_period=1, window_cycles=32, max_windows=8, capture_trace=True
+    )
+
+    def _run(config: SimConfig, with_telemetry: bool):
+        flit_module._packet_ids = itertools.count()
+        simulator = Simulator(
+            config, measurement,
+            telemetry=telemetry if with_telemetry else False,
+        )
+        result = simulator.run()
+        deliveries = [
+            [
+                (
+                    packet.packet_id,
+                    packet.source,
+                    packet.destination,
+                    packet.length,
+                    packet.creation_cycle,
+                    packet.injection_cycle,
+                    packet.ejection_cycle,
+                    packet.measured,
+                )
+                for packet in sink.delivered
+            ]
+            for sink in simulator.network.sinks
+        ]
+        return result, deliveries
+
+    for config in configs:
+        label = (
+            f"{config.router_kind.value} load "
+            f"{config.injection_fraction} seed {config.seed}"
+        )
+        plain_result, plain_deliveries = _run(config, with_telemetry=False)
+        observed_result, observed_deliveries = _run(config, with_telemetry=True)
+        diff_run_results(report, plain_result, observed_result, label=label)
+        report.compare(
+            f"{label} per-sink deliveries",
+            plain_deliveries, observed_deliveries,
+        )
+        report.expect(
+            observed_result.telemetry is not None
+            and observed_result.telemetry.cycles_observed
+            == observed_result.cycles_simulated,
+            f"{label} telemetry observed every cycle",
+            observed_result.telemetry
+            and observed_result.telemetry.cycles_observed,
+            observed_result.cycles_simulated,
+        )
+        report.expect(
+            plain_result.telemetry is None,
+            f"{label} plain run carries no telemetry",
+            plain_result.telemetry, None,
+        )
+    return report
+
+
 def run_all_oracles(
     measurement: Optional[MeasurementConfig] = None,
 ) -> List[OracleReport]:
@@ -341,4 +434,5 @@ def run_all_oracles(
         oracle_serial_vs_parallel(measurement),
         oracle_cached_vs_uncached(measurement=measurement),
         oracle_fast_vs_reference(),
+        oracle_telemetry_on_vs_off(measurement),
     ]

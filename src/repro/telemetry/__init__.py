@@ -1,0 +1,70 @@
+"""Streaming observability for simulation runs.
+
+The telemetry subsystem watches a run from the outside: collectors hook
+the probe points the simulator already exposes (speculation counters,
+crossbar traversals, VC buffers, credit stalls), a windowed timeseries
+keeps a bounded-memory rate history, and the whole session folds into a
+serializable :class:`TelemetrySummary` that rides on
+:class:`~repro.sim.metrics.RunResult` -- through the result cache,
+across process pools, and merged over sweeps.
+
+Off by default and free when off: the engine's per-step hook is a
+single ``is not None`` test, no wrappers are installed, and a telemetry
+run produces bit-identical simulation results (enforced by the
+``telemetry_on_vs_off`` differential oracle).
+
+Enable per run or per experiment::
+
+    from repro.runtime import Experiment
+    from repro.telemetry import TelemetryConfig
+
+    result = Experiment(telemetry=True).run_one(config)
+    print(result.telemetry.speculation_win_rate)
+
+See ``docs/OBSERVABILITY.md`` for the metric catalogue, the sampling
+model, and the Perfetto export walkthrough.
+"""
+
+from .config import TelemetryConfig
+from .registry import Counter, Gauge, Histogram, MetricRegistry
+from .timeseries import Timeseries, Window
+from .summary import TelemetrySummary, merge_summaries
+from .collectors import (
+    Collector,
+    CrossbarActivityCollector,
+    OccupancyCollector,
+    ThroughputCollector,
+    default_collectors,
+)
+from .session import TelemetrySession, resolve_telemetry
+from .exporters import (
+    chrome_trace_events,
+    export_chrome_trace,
+    export_csv,
+    export_jsonl,
+    export_windows_csv,
+)
+
+__all__ = [
+    "TelemetryConfig",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "Timeseries",
+    "Window",
+    "TelemetrySummary",
+    "merge_summaries",
+    "Collector",
+    "CrossbarActivityCollector",
+    "OccupancyCollector",
+    "ThroughputCollector",
+    "default_collectors",
+    "TelemetrySession",
+    "resolve_telemetry",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "export_csv",
+    "export_jsonl",
+    "export_windows_csv",
+]

@@ -1,0 +1,268 @@
+"""Collectors: the probe points one telemetry session observes.
+
+Each :class:`Collector` attaches to a :class:`~repro.sim.network.Network`
+and feeds the session's :class:`~repro.telemetry.registry.MetricRegistry`
+and timeseries windows.  Two observation styles, mirroring the
+validation probes:
+
+* *sampled* -- :meth:`Collector.sample` runs every ``sample_period``
+  cycles on settled end-of-cycle state (buffer occupancy, activity).
+  Sampling never wakes a sleeping router: a router with ``active``
+  False provably holds no flits (see ``BaseRouter.is_idle``), so its
+  occupancy is integrated analytically as zero without touching its
+  input VCs or re-arming it.
+* *event-hooked* -- :class:`CrossbarActivityCollector` wraps each
+  router's ``_traverse`` with a two-increment closure at attach time,
+  giving exact per-direction crossbar counts; the wrapper exists only
+  while telemetry is enabled, so a plain run pays nothing.
+
+Aggregates that routers already count (speculation, credit stalls,
+switch grants) are *not* hooked: they are harvested as deltas of
+``RouterStats`` at window boundaries, which costs one 64-router scan
+per window instead of per event.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..sim.topology import LOCAL, NUM_PORTS, PORT_NAMES
+from . import summary as names
+from .config import TelemetryConfig
+from .registry import MetricRegistry
+
+
+class Collector:
+    """Base collector: attach, sample, window flush, finalize, detach."""
+
+    name = "collector"
+
+    def attach(self, network, registry: MetricRegistry) -> None:
+        """Snapshot baselines / install wrappers."""
+
+    def sample(self, network, registry: MetricRegistry, cycle: int) -> None:
+        """Observe settled state (called every ``sample_period`` cycles)."""
+
+    def window(self, network, values: Dict[str, float]) -> None:
+        """Contribute this window's deltas to ``values`` at flush time."""
+
+    def finalize(self, network, registry: MetricRegistry,
+                 cycles: int) -> None:
+        """Record whole-run totals (called once, after the last cycle)."""
+
+    def detach(self, network) -> None:
+        """Undo :meth:`attach`'s wrappers."""
+
+
+def _stats_totals(network) -> Dict[str, int]:
+    """One scan of every router's counters, as the canonical names."""
+    spec_grants = spec_wasted = sa_grants = stalls = forwarded = routed = 0
+    for router in network.routers:
+        stats = router.stats
+        spec_grants += stats.spec_grants
+        spec_wasted += stats.spec_wasted
+        sa_grants += stats.sa_grants
+        stalls += stats.credits_stalled
+        forwarded += stats.flits_forwarded
+        routed += stats.packets_routed
+    return {
+        names.SPEC_ATTEMPTED: spec_grants,
+        names.SPEC_WON: spec_grants - spec_wasted,
+        names.SPEC_LOST: spec_wasted,
+        names.SA_GRANTS: sa_grants,
+        names.CREDIT_STALLS: stalls,
+        names.FLITS_FORWARDED: forwarded,
+        names.PACKETS_ROUTED: routed,
+    }
+
+
+class ThroughputCollector(Collector):
+    """Network-level flit/packet/grant/speculation/stall deltas.
+
+    Covers the per-window rate view of everything the routers already
+    count, plus the per-router speculation and credit-stall breakdown
+    the paper's rate arguments need (``{node=N}`` labels at finalize).
+    """
+
+    name = "throughput"
+
+    def __init__(self) -> None:
+        self._last: Dict[str, int] = {}
+        self._last_injected = 0
+        self._last_ejected = 0
+
+    def attach(self, network, registry: MetricRegistry) -> None:
+        self._last = _stats_totals(network)
+        self._last_injected = network.total_flits_injected()
+        self._last_ejected = network.total_flits_ejected()
+
+    def window(self, network, values: Dict[str, float]) -> None:
+        totals = _stats_totals(network)
+        for name, total in totals.items():
+            values[name] = total - self._last.get(name, 0)
+        self._last = totals
+        injected = network.total_flits_injected()
+        ejected = network.total_flits_ejected()
+        values[names.FLITS_INJECTED] = injected - self._last_injected
+        values[names.FLITS_EJECTED] = ejected - self._last_ejected
+        self._last_injected = injected
+        self._last_ejected = ejected
+
+    def finalize(self, network, registry: MetricRegistry,
+                 cycles: int) -> None:
+        for name, total in _stats_totals(network).items():
+            registry.counter(name).inc(total)
+        registry.counter(names.FLITS_INJECTED).inc(
+            network.total_flits_injected()
+        )
+        registry.counter(names.FLITS_EJECTED).inc(
+            network.total_flits_ejected()
+        )
+        registry.counter(names.ROUTER_CYCLES).inc(
+            len(network.routers) * cycles
+        )
+        for router in network.routers:
+            stats = router.stats
+            if stats.spec_grants:
+                node = router.node
+                registry.counter(
+                    names.SPEC_ATTEMPTED, node=node
+                ).inc(stats.spec_grants)
+                registry.counter(
+                    names.SPEC_WON, node=node
+                ).inc(stats.spec_grants - stats.spec_wasted)
+                registry.counter(
+                    names.SPEC_LOST, node=node
+                ).inc(stats.spec_wasted)
+            if stats.credits_stalled:
+                registry.counter(
+                    names.CREDIT_STALLS, node=router.node
+                ).inc(stats.credits_stalled)
+
+
+class CrossbarActivityCollector(Collector):
+    """Exact per-direction crossbar traversals and grant fairness.
+
+    Wraps ``router._traverse`` (the single point every forwarded flit
+    passes through) with a closure that bumps two per-router integer
+    rows: traversals by *output* direction (channel utilization) and by
+    *input* direction (arbiter grant distribution -- each traversal is
+    one executed switch grant).
+    """
+
+    name = "crossbar"
+
+    def __init__(self) -> None:
+        self._out_rows: List[List[int]] = []
+        self._in_rows: List[List[int]] = []
+        self._wrapped: List[object] = []
+
+    def attach(self, network, registry: MetricRegistry) -> None:
+        self._out_rows = [[0] * NUM_PORTS for _ in network.routers]
+        self._in_rows = [[0] * NUM_PORTS for _ in network.routers]
+        self._wrapped = list(network.routers)
+        for router, out_row, in_row in zip(
+            network.routers, self._out_rows, self._in_rows
+        ):
+            original = router._traverse
+
+            def traverse(ivc, cycle, used_outputs, _original=original,
+                         _out=out_row, _in=in_row):
+                out_port = ivc.route  # read before a tail resets it
+                _original(ivc, cycle, used_outputs)
+                _out[out_port] += 1
+                _in[ivc.port] += 1
+
+            router._traverse = traverse
+
+    def detach(self, network) -> None:
+        for router in self._wrapped:
+            if "_traverse" in router.__dict__:
+                del router._traverse
+        self._wrapped = []
+
+    def window(self, network, values: Dict[str, float]) -> None:
+        # Per-direction detail stays whole-run; windows get the network
+        # total through ThroughputCollector's flits_forwarded delta.
+        pass
+
+    def finalize(self, network, registry: MetricRegistry,
+                 cycles: int) -> None:
+        # Link capacity per direction: how many physical channels exist
+        # (mesh edges have fewer), times the observed cycles.
+        links_per_port = [0] * NUM_PORTS
+        for _node, port, _neighbor in network.mesh.links():
+            links_per_port[port] += 1
+        links_per_port[LOCAL] = len(network.routers)  # ejection channels
+        for port in range(NUM_PORTS):
+            direction = PORT_NAMES[port]
+            traversals = sum(row[port] for row in self._out_rows)
+            grants = sum(row[port] for row in self._in_rows)
+            registry.counter(
+                names.CROSSBAR_TRAVERSALS, port=direction
+            ).inc(traversals)
+            registry.counter(
+                names.GRANTS_BY_INPUT, port=direction
+            ).inc(grants)
+            registry.counter(names.LINK_CYCLES, port=direction).inc(
+                links_per_port[port] * cycles
+            )
+
+
+class OccupancyCollector(Collector):
+    """Sampled per-VC buffer occupancy and router activity.
+
+    Active routers are scanned VC by VC; sleeping routers contribute
+    their (provably zero) occupancy analytically, without being touched.
+    """
+
+    name = "occupancy"
+
+    def __init__(self) -> None:
+        self._ivcs_per_router = NUM_PORTS
+        self._window_buffered = 0
+        self._window_samples = 0
+
+    def attach(self, network, registry: MetricRegistry) -> None:
+        self._ivcs_per_router = NUM_PORTS * network.config.num_vcs
+
+    def sample(self, network, registry: MetricRegistry, cycle: int) -> None:
+        histogram = registry.histogram(names.VC_OCCUPANCY)
+        active = 0
+        idle = 0
+        buffered = 0
+        for router in network.routers:
+            if not router.active:
+                # Idle span integrated analytically: an inactive router
+                # has every input VC empty, so this sample is exactly
+                # `ivcs_per_router` zero observations.
+                idle += 1
+                continue
+            active += 1
+            for ivc in router._all_ivcs:
+                occupancy = len(ivc.buffer)
+                histogram.observe(occupancy)
+                buffered += occupancy
+        if idle:
+            histogram.observe(0, count=idle * self._ivcs_per_router)
+            registry.counter(names.IDLE_ROUTER_SAMPLES).inc(idle)
+        registry.counter(names.OCCUPANCY_SAMPLES).inc(1)
+        registry.gauge(names.BUFFERED_FLITS).set(buffered)
+        registry.gauge(names.ACTIVE_ROUTERS).set(active)
+        self._window_buffered += buffered
+        self._window_samples += 1
+
+    def window(self, network, values: Dict[str, float]) -> None:
+        values["buffered_flits_sampled"] = self._window_buffered
+        values["occupancy_samples"] = self._window_samples
+        self._window_buffered = 0
+        self._window_samples = 0
+
+
+def default_collectors(config: TelemetryConfig) -> List[Collector]:
+    """The standard collector set for one run."""
+    return [
+        ThroughputCollector(),
+        CrossbarActivityCollector(),
+        OccupancyCollector(),
+    ]

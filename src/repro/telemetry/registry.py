@@ -1,0 +1,269 @@
+"""The metric registry: named counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricRegistry` is the flat namespace one telemetry session
+records into.  Metrics are identified by a name plus an optional label
+set (``counter("crossbar_traversals", port="east")``), mirroring the
+Prometheus data model at a fraction of the machinery: everything is a
+plain python number underneath, serialization is a nested dict, and two
+registries merge by summing counters/histograms and combining gauge
+extrema -- which is exactly what sweep-level aggregation needs.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+#: A metric identity: name plus sorted ``(label, value)`` pairs.
+MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Dict[str, Any]) -> MetricKey:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _key_str(key: MetricKey) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def _parse_key(text: str) -> MetricKey:
+    if "{" not in text:
+        return text, ()
+    name, _, rest = text.partition("{")
+    rest = rest.rstrip("}")
+    labels = tuple(
+        tuple(pair.split("=", 1)) for pair in rest.split(",") if pair
+    )
+    return name, labels  # type: ignore[return-value]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self, value: float = 0) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Counter":
+        return cls(data["value"])
+
+
+class Gauge:
+    """A sampled instantaneous value, with running extrema and mean."""
+
+    __slots__ = ("value", "samples", "total", "minimum", "maximum")
+    kind = "gauge"
+
+    def __init__(self, value: float = 0.0, samples: int = 0,
+                 total: float = 0.0, minimum: Optional[float] = None,
+                 maximum: Optional[float] = None) -> None:
+        self.value = value
+        self.samples = samples
+        self.total = total
+        self.minimum = minimum
+        self.maximum = maximum
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.samples += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.samples if self.samples else 0.0
+
+    def merge(self, other: "Gauge") -> None:
+        self.samples += other.samples
+        self.total += other.total
+        self.value = other.value  # last writer wins
+        for extremum, pick in (("minimum", min), ("maximum", max)):
+            mine, theirs = getattr(self, extremum), getattr(other, extremum)
+            if theirs is not None:
+                setattr(
+                    self, extremum,
+                    theirs if mine is None else pick(mine, theirs),
+                )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "value": self.value, "samples": self.samples,
+            "total": self.total, "minimum": self.minimum,
+            "maximum": self.maximum,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Gauge":
+        return cls(**data)
+
+
+#: Default occupancy-style buckets (flits); the +inf bucket is implicit.
+DEFAULT_BUCKETS: Tuple[float, ...] = (0, 1, 2, 4, 8, 16, 32)
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts of observations <= each bound.
+
+    Buckets are cumulative-style on serialization boundaries but stored
+    as per-bucket counts; the final implicit bucket catches everything
+    above the last bound.
+    """
+
+    __slots__ = ("bounds", "counts", "total", "observations")
+    kind = "histogram"
+
+    def __init__(self, bounds: Iterable[float] = DEFAULT_BUCKETS,
+                 counts: Optional[List[int]] = None, total: float = 0.0,
+                 observations: int = 0) -> None:
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError(f"bucket bounds must be increasing: {bounds}")
+        self.counts: List[int] = (
+            list(counts) if counts is not None
+            else [0] * (len(self.bounds) + 1)
+        )
+        if len(self.counts) != len(self.bounds) + 1:
+            raise ValueError("counts must have len(bounds) + 1 entries")
+        self.total = total
+        self.observations = observations
+
+    def observe(self, value: float, count: int = 1) -> None:
+        # counts[i] tallies observations in (bounds[i-1], bounds[i]];
+        # the final slot catches everything above the last bound.
+        self.counts[bisect_left(self.bounds, value)] += count
+        self.total += value * count
+        self.observations += count
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.observations if self.observations else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.total += other.total
+        self.observations += other.observations
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bounds": list(self.bounds), "counts": list(self.counts),
+            "total": self.total, "observations": self.observations,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Histogram":
+        return cls(**data)
+
+
+_METRIC_TYPES = {cls.kind: cls for cls in (Counter, Gauge, Histogram)}
+
+
+class MetricRegistry:
+    """A flat namespace of metrics, addressed by name + labels."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[MetricKey, Any] = {}
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str,
+                  bounds: Iterable[float] = DEFAULT_BUCKETS,
+                  **labels) -> Histogram:
+        key = _key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = Histogram(bounds)
+        elif not isinstance(metric, Histogram):
+            raise TypeError(
+                f"metric {_key_str(key)} is a {metric.kind}, not a histogram"
+            )
+        return metric
+
+    def _get_or_create(self, cls, name: str, labels: Dict[str, Any]):
+        key = _key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = cls()
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {_key_str(key)} is a {metric.kind}, not a {cls.kind}"
+            )
+        return metric
+
+    # ------------------------------------------------------------------
+
+    def get(self, name: str, **labels):
+        """The metric under this identity, or None."""
+        return self._metrics.get(_key(name, labels))
+
+    def value(self, name: str, default: float = 0.0, **labels) -> float:
+        """A counter/gauge's current value (``default`` when absent)."""
+        metric = self.get(name, **labels)
+        return default if metric is None else metric.value
+
+    def items(self) -> List[Tuple[str, Any]]:
+        """``(rendered name, metric)`` pairs, sorted by name."""
+        return sorted(
+            ((_key_str(key), metric) for key, metric in self._metrics.items()),
+            key=lambda pair: pair[0],
+        )
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def merge(self, other: "MetricRegistry") -> None:
+        """Fold another registry's metrics into this one (summing)."""
+        for key, theirs in other._metrics.items():
+            mine = self._metrics.get(key)
+            if mine is None:
+                # Deep-enough copy via the serialization round trip.
+                self._metrics[key] = type(theirs).from_dict(theirs.to_dict())
+            else:
+                mine.merge(theirs)
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            _key_str(key): {"kind": metric.kind, **metric.to_dict()}
+            for key, metric in self._metrics.items()
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MetricRegistry":
+        registry = cls()
+        for name, payload in data.items():
+            payload = dict(payload)
+            metric_cls = _METRIC_TYPES[payload.pop("kind")]
+            registry._metrics[_parse_key(name)] = metric_cls.from_dict(payload)
+        return registry

@@ -1,0 +1,108 @@
+"""Bounded-memory windowed timeseries.
+
+A :class:`Timeseries` holds a sequence of :class:`Window`\\ s, each a
+``[start, end)`` cycle span with a flat ``{metric: value}`` dict of
+deltas accumulated over that span.  Memory is bounded: when the ring
+reaches ``max_windows``, adjacent windows merge pairwise, so a long run
+keeps a fixed number of windows whose early history is progressively
+coarser while the recent past stays at full resolution.  Window values
+are *deltas* (events in the span), so merging is plain summation and
+rates are always ``value / (end - start)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+
+class Window:
+    """One ``[start, end)`` span of accumulated metric deltas."""
+
+    __slots__ = ("start", "end", "values")
+
+    def __init__(self, start: int, end: int,
+                 values: Optional[Dict[str, float]] = None) -> None:
+        if end <= start:
+            raise ValueError(f"empty window [{start}, {end})")
+        self.start = start
+        self.end = end
+        self.values: Dict[str, float] = dict(values or {})
+
+    @property
+    def cycles(self) -> int:
+        return self.end - self.start
+
+    def rate(self, metric: str) -> float:
+        """Events per cycle over this window."""
+        return self.values.get(metric, 0.0) / self.cycles
+
+    def merge(self, other: "Window") -> "Window":
+        """A new window spanning both, with summed deltas."""
+        merged = Window(min(self.start, other.start),
+                        max(self.end, other.end), self.values)
+        for metric, value in other.values.items():
+            merged.values[metric] = merged.values.get(metric, 0.0) + value
+        return merged
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"start": self.start, "end": self.end,
+                "values": dict(self.values)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Window":
+        return cls(data["start"], data["end"], data["values"])
+
+    def __repr__(self) -> str:
+        return f"Window([{self.start}, {self.end}), {len(self.values)} metrics)"
+
+
+class Timeseries:
+    """An append-only, self-compacting list of windows."""
+
+    def __init__(self, max_windows: int) -> None:
+        if max_windows < 2:
+            raise ValueError(f"max_windows must be >= 2, got {max_windows}")
+        self.max_windows = max_windows
+        self.windows: List[Window] = []
+
+    def append(self, window: Window) -> None:
+        if self.windows and window.start < self.windows[-1].end:
+            raise ValueError(
+                f"windows must be appended in order: {window.start} < "
+                f"{self.windows[-1].end}"
+            )
+        self.windows.append(window)
+        if len(self.windows) >= self.max_windows:
+            self.compact()
+
+    def compact(self) -> None:
+        """Merge adjacent pairs, halving the window count."""
+        merged: List[Window] = []
+        pending: Optional[Window] = None
+        for window in self.windows:
+            if pending is None:
+                pending = window
+            else:
+                merged.append(pending.merge(window))
+                pending = None
+        if pending is not None:
+            merged.append(pending)
+        self.windows = merged
+
+    def merged(self) -> Optional[Window]:
+        """The whole series collapsed into a single window."""
+        if not self.windows:
+            return None
+        total = self.windows[0]
+        for window in self.windows[1:]:
+            total = total.merge(window)
+        return total
+
+    def __len__(self) -> int:
+        return len(self.windows)
+
+    def __iter__(self):
+        return iter(self.windows)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [window.to_dict() for window in self.windows]

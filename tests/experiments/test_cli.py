@@ -52,3 +52,47 @@ class TestCLI:
         result = run_cli("--help")
         assert result.returncode == 0
         assert "--checked" in result.stdout
+
+
+class TestReportSubcommand:
+    def test_report_alone_prints_delay_model(self):
+        result = run_cli("report")
+        assert result.returncode == 0
+        assert "Table 1" in result.stdout
+
+    def test_report_help(self):
+        result = run_cli("report", "--help")
+        assert result.returncode == 0
+        assert "--telemetry" in result.stdout
+        assert "--export-dir" in result.stdout
+
+    @pytest.mark.sim
+    def test_report_telemetry_exports(self, tmp_path):
+        import json
+
+        result = run_cli(
+            "report", "--telemetry", "--sample-packets", "150",
+            "--export-dir", str(tmp_path), timeout=590,
+        )
+        assert result.returncode == 0
+        assert "speculation win rate" in result.stdout
+        assert "channel utilization" in result.stdout
+        for name in ("telemetry.jsonl", "telemetry.csv", "windows.csv",
+                     "trace.json"):
+            assert (tmp_path / name).exists(), name
+        header = json.loads(
+            (tmp_path / "telemetry.jsonl").read_text().splitlines()[0]
+        )
+        assert header["type"] == "summary"
+        assert header["cycles_observed"] > 0
+
+    @pytest.mark.sim
+    def test_report_telemetry_wormhole_router(self):
+        """Non-speculative routers report an honest 0% win rate."""
+        result = run_cli(
+            "report", "--telemetry", "--router", "wormhole",
+            "--load", "0.2", "--sample-packets", "100", timeout=590,
+        )
+        assert result.returncode == 0
+        assert "wormhole 8x8" in result.stdout
+        assert "speculation win rate  0.0% (0 of 0 attempts)" in result.stdout

@@ -9,9 +9,12 @@ so exact equality is the right bar.  Regeneration workflow: see
 ``tests/conftest.py``.
 """
 
+import json
+
 import pytest
 
 from repro.delaymodel.table1 import generate_table1
+from repro.experiments.report import telemetry_report, telemetry_snapshot_config
 from repro.sim.config import MeasurementConfig, RouterKind, SimConfig
 from repro.sim.engine import simulate
 
@@ -40,6 +43,37 @@ def test_table1_delay_model_golden(golden):
     ]
     assert rows, "Table 1 produced no rows"
     golden.check("table1", rows)
+
+
+@pytest.mark.sim
+def test_telemetry_snapshot_golden(golden, tmp_path):
+    """The canonical instrumented run (8x8 spec-VC at 0.42 load): the
+    speculation win rate and channel utilization in the rendered report
+    must match the exported JSONL exactly, and both are pinned."""
+    report = telemetry_report(
+        telemetry_snapshot_config(), MEAS, export_dir=tmp_path
+    )
+
+    header = json.loads((tmp_path / "telemetry.jsonl").read_text()
+                        .splitlines()[0])
+    assert header["type"] == "summary"
+    win_rate = header["speculation_win_rate"]
+    utilization = header["channel_utilization"]
+    # The human-readable report reproduces the exported numbers.
+    assert f"speculation win rate  {win_rate:.1%}" in report
+    assert f"channel utilization   {utilization:.1%}" in report
+
+    trace = json.loads((tmp_path / "trace.json").read_text())
+    kinds = {e["name"] for e in trace["traceEvents"] if e["ph"] == "i"}
+    assert {"route_computed", "vc_grant", "switch_grant",
+            "traversal"} <= kinds
+
+    # Deterministic simulator + fixed seed: pin the exact values.
+    golden.check("telemetry_snapshot", {
+        "cycles_observed": header["cycles_observed"],
+        "speculation_win_rate": win_rate,
+        "channel_utilization": utilization,
+    })
 
 
 @pytest.mark.sim

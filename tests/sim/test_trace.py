@@ -30,9 +30,20 @@ class TestTracerMechanics:
         send(network, 0, 2)
         network.run(60)
         kinds = {e.kind for e in tracer.events}
+        # Wormhole routers have no VC allocation stage, so no VC_GRANT.
         assert kinds == {
-            EventKind.BUFFER_WRITE, EventKind.SWITCH_GRANT,
+            EventKind.BUFFER_WRITE, EventKind.RC, EventKind.SWITCH_GRANT,
             EventKind.TRAVERSAL, EventKind.EJECTION,
+        }
+
+    def test_vc_router_records_vc_grants(self):
+        network, tracer = traced_network(RouterKind.VIRTUAL_CHANNEL, 2)
+        send(network, 0, 2)
+        network.run(60)
+        kinds = {e.kind for e in tracer.events}
+        assert kinds == {
+            EventKind.BUFFER_WRITE, EventKind.RC, EventKind.VC_GRANT,
+            EventKind.SWITCH_GRANT, EventKind.TRAVERSAL, EventKind.EJECTION,
         }
 
     def test_packet_filter(self):
@@ -136,6 +147,38 @@ class TestExactPipelineTiming:
             if e.kind is EventKind.TRAVERSAL and e.node == 0
         )
         assert cycles[-1] - cycles[0] == 21  # 20 gaps + 1 head bubble
+
+    def _head_stage_cycles(self, tracer, packet, node):
+        """Cycle of each pipeline event of the head flit at one router."""
+        stages = {}
+        for event in tracer.packet_events(packet.packet_id):
+            if event.node == node and event.flit_index == 0:
+                stages[event.kind] = event.cycle
+        return stages
+
+    def test_vc_router_stage_progression(self):
+        """Non-speculative VC router: RC | VA | SA | ST on consecutive
+        cycles (Figure 4b's head pipeline)."""
+        network, tracer = traced_network(RouterKind.VIRTUAL_CHANNEL, 2)
+        packet = send(network, 0, 2)
+        network.run(80)
+        stages = self._head_stage_cycles(tracer, packet, node=0)
+        rc = stages[EventKind.RC]
+        assert stages[EventKind.VC_GRANT] == rc + 1
+        assert stages[EventKind.SWITCH_GRANT] == rc + 2
+        assert stages[EventKind.TRAVERSAL] == rc + 3
+
+    def test_spec_router_grants_vc_and_switch_same_cycle(self):
+        """Speculative router: VA and (speculative) SA in the same cycle
+        (Figure 4c), collapsing the head pipeline by one stage."""
+        network, tracer = traced_network(RouterKind.SPECULATIVE_VC, 2)
+        packet = send(network, 0, 2)
+        network.run(80)
+        stages = self._head_stage_cycles(tracer, packet, node=0)
+        rc = stages[EventKind.RC]
+        assert stages[EventKind.VC_GRANT] == rc + 1
+        assert stages[EventKind.SWITCH_GRANT] == stages[EventKind.VC_GRANT]
+        assert stages[EventKind.TRAVERSAL] == rc + 2
 
     def test_enough_buffers_restore_full_rate(self):
         network, tracer = traced_network(RouterKind.SPECULATIVE_VC, 2, bufs=5)

@@ -7,8 +7,10 @@ from hypothesis import given, settings, strategies as st
 
 from repro.sim.topology import Mesh
 from repro.sim.traffic import (
+    HOTSPOT_FRACTION,
     PacketSource,
     bit_complement_destination,
+    hotspot_destination,
     make_destination_pattern,
     rate_from_capacity_fraction,
     transpose_destination,
@@ -16,6 +18,8 @@ from repro.sim.traffic import (
 )
 
 k8 = Mesh(8)
+k3 = Mesh(3)
+k4 = Mesh(4)
 
 
 class TestDestinationPatterns:
@@ -57,8 +61,88 @@ class TestDestinationPatterns:
 
     def test_factory(self):
         assert make_destination_pattern("uniform") is uniform_destination
+        assert make_destination_pattern("hotspot") is hotspot_destination
         with pytest.raises(ValueError):
             make_destination_pattern("tornado")
+
+    def test_transpose_distribution_on_small_mesh(self):
+        """Every off-diagonal source maps deterministically to its
+        transpose; the full 4x4 map is a permutation of those pairs."""
+        rng = random.Random(0)
+        for x in range(4):
+            for y in range(4):
+                if x == y:
+                    continue
+                src = k4.node_at(x, y)
+                assert transpose_destination(k4, src, rng) == k4.node_at(y, x)
+        off_diagonal = [
+            k4.node_at(x, y) for x in range(4) for y in range(4) if x != y
+        ]
+        images = {transpose_destination(k4, s, rng) for s in off_diagonal}
+        assert images == set(off_diagonal)  # a permutation, no collisions
+
+    def test_bit_complement_distribution_on_small_mesh(self):
+        """Bit-complement on an even mesh is a fixed-point-free
+        involution: applying it twice returns to the source."""
+        rng = random.Random(0)
+        for src in range(k4.num_nodes):
+            dst = bit_complement_destination(k4, src, rng)
+            assert dst != src
+            assert bit_complement_destination(k4, dst, rng) == src
+
+    def test_bit_complement_centre_falls_back_on_odd_mesh(self):
+        """On an odd mesh the centre node maps to itself; it must fall
+        back to a uniform (non-self) destination instead."""
+        rng = random.Random(0)
+        centre = k3.node_at(1, 1)
+        destinations = {
+            bit_complement_destination(k3, centre, rng) for _ in range(200)
+        }
+        assert centre not in destinations
+        assert len(destinations) > 1  # fallback is spread, not a fixed pick
+
+    def test_hotspot_concentrates_on_centre(self):
+        rng = random.Random(3)
+        hotspot = k8.node_at(4, 4)
+        src = k8.node_at(0, 0)
+        samples = 20_000
+        hits = sum(
+            hotspot_destination(k8, src, rng) == hotspot
+            for _ in range(samples)
+        )
+        # hotspot fraction plus the uniform remainder's 1/63 share.
+        expected = HOTSPOT_FRACTION + (1 - HOTSPOT_FRACTION) / 63
+        assert samples * expected * 0.8 < hits < samples * expected * 1.2
+
+    def test_hotspot_remainder_is_uniform(self):
+        rng = random.Random(4)
+        hotspot = k4.node_at(2, 2)
+        src = k4.node_at(0, 1)
+        counts = {}
+        for _ in range(15_000):
+            d = hotspot_destination(k4, src, rng)
+            if d not in (hotspot,):
+                counts[d] = counts.get(d, 0) + 1
+        assert set(counts) == set(range(k4.num_nodes)) - {src, hotspot}
+        expected = sum(counts.values()) / len(counts)
+        assert all(0.7 * expected < c < 1.3 * expected for c in counts.values())
+
+    def test_hotspot_node_itself_falls_back_to_uniform(self):
+        """The hotspot node can't send to itself: its traffic is uniform
+        over everyone else (the self-pair fallback)."""
+        rng = random.Random(5)
+        hotspot = k4.node_at(2, 2)
+        destinations = {
+            hotspot_destination(k4, hotspot, rng) for _ in range(2000)
+        }
+        assert hotspot not in destinations
+        assert destinations == set(range(k4.num_nodes)) - {hotspot}
+
+    def test_hotspot_never_self(self):
+        rng = random.Random(6)
+        for src in range(k4.num_nodes):
+            for _ in range(100):
+                assert hotspot_destination(k4, src, rng) != src
 
 
 class TestPacketSource:

@@ -1,0 +1,154 @@
+"""Unit tests for the metric registry: counters, gauges, histograms."""
+
+import pytest
+
+from repro.telemetry.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_merge_sums(self):
+        a, b = Counter(3), Counter(4)
+        a.merge(b)
+        assert a.value == 7
+
+
+class TestGauge:
+    def test_tracks_extrema_and_mean(self):
+        gauge = Gauge()
+        for value in (3, 1, 7):
+            gauge.set(value)
+        assert gauge.value == 7  # last write
+        assert gauge.minimum == 1
+        assert gauge.maximum == 7
+        assert gauge.mean == pytest.approx(11 / 3)
+
+    def test_empty_gauge_mean_is_zero(self):
+        assert Gauge().mean == 0.0
+
+    def test_merge_combines_extrema(self):
+        a, b = Gauge(), Gauge()
+        a.set(5)
+        b.set(1)
+        b.set(9)
+        a.merge(b)
+        assert a.minimum == 1
+        assert a.maximum == 9
+        assert a.samples == 3
+        assert a.value == 9  # other is the later writer
+
+    def test_merge_with_unsampled_gauge_keeps_extrema(self):
+        a = Gauge()
+        a.set(5)
+        a.merge(Gauge())
+        assert a.minimum == 5
+        assert a.maximum == 5
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        # counts[i] tallies (bounds[i-1], bounds[i]]; the final slot is
+        # the +inf overflow.
+        histogram = Histogram(bounds=(0, 2, 4))
+        for value in (0, 1, 2, 3, 5, 100):
+            histogram.observe(value)
+        assert histogram.counts == [1, 2, 1, 2]
+        assert histogram.observations == 6
+        assert histogram.mean == pytest.approx(111 / 6)
+
+    def test_weighted_observation(self):
+        histogram = Histogram()
+        histogram.observe(0, count=64)
+        assert histogram.counts[0] == 64
+        assert histogram.observations == 64
+        assert histogram.total == 0.0
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2, 1))
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1, 1))
+
+    def test_merge_requires_equal_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(0, 1)).merge(Histogram(bounds=(0, 2)))
+
+    def test_merge_sums_buckets(self):
+        a, b = Histogram(), Histogram()
+        a.observe(1)
+        b.observe(1)
+        b.observe(50)
+        a.merge(b)
+        assert a.observations == 3
+        assert a.counts[-1] == 1  # the 50 landed above the last bound
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert len(registry) == 1
+
+    def test_labels_distinguish_metrics(self):
+        registry = MetricRegistry()
+        registry.counter("flits", port="east").inc(2)
+        registry.counter("flits", port="west").inc(3)
+        assert registry.value("flits", port="east") == 2
+        assert registry.value("flits", port="west") == 3
+        assert registry.value("flits") == 0.0  # unlabeled is distinct
+
+    def test_label_order_is_canonical(self):
+        registry = MetricRegistry()
+        registry.counter("m", a=1, b=2).inc()
+        assert registry.counter("m", b=2, a=1).value == 1
+
+    def test_kind_clash_raises(self):
+        registry = MetricRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+
+    def test_items_render_labels(self):
+        registry = MetricRegistry()
+        registry.counter("flits", port="east")
+        (name, _metric), = registry.items()
+        assert name == "flits{port=east}"
+
+    def test_round_trip(self):
+        registry = MetricRegistry()
+        registry.counter("c", node=3).inc(7)
+        registry.gauge("g").set(2.5)
+        registry.histogram("h").observe(3)
+        rebuilt = MetricRegistry.from_dict(registry.to_dict())
+        assert rebuilt.to_dict() == registry.to_dict()
+        assert rebuilt.value("c", node=3) == 7
+        assert rebuilt.get("h").bounds == DEFAULT_BUCKETS
+
+    def test_merge_sums_and_copies(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.counter("shared").inc(1)
+        b.counter("shared").inc(2)
+        b.counter("only_b").inc(5)
+        a.merge(b)
+        assert a.value("shared") == 3
+        assert a.value("only_b") == 5
+        # The copied metric is independent of the source registry.
+        b.counter("only_b").inc(100)
+        assert a.value("only_b") == 5

@@ -1,0 +1,145 @@
+"""Session lifecycle: attach, sample, finalize, and clean detach."""
+
+import pytest
+
+from repro.sim.config import MeasurementConfig, RouterKind, SimConfig
+from repro.sim.engine import Simulator
+from repro.telemetry import (
+    TelemetryConfig,
+    TelemetrySession,
+    TelemetrySummary,
+)
+from repro.telemetry.session import resolve_telemetry
+from repro.telemetry.summary import (
+    SA_GRANTS,
+    SPEC_ATTEMPTED,
+    VC_OCCUPANCY,
+    merge_summaries,
+)
+
+MEAS = MeasurementConfig(
+    warmup_cycles=100, sample_packets=100, max_cycles=10_000
+)
+
+
+def spec_config(**overrides):
+    defaults = dict(
+        router_kind=RouterKind.SPECULATIVE_VC, num_vcs=2, buffers_per_vc=4,
+        injection_fraction=0.2, seed=5,
+    )
+    defaults.update(overrides)
+    return SimConfig(**defaults)
+
+
+class TestTelemetryConfig:
+    def test_defaults_are_valid(self):
+        config = TelemetryConfig()
+        assert config.sample_period >= 1
+        assert not config.capture_trace
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            TelemetryConfig(sample_period=0)
+        with pytest.raises(ValueError):
+            TelemetryConfig(window_cycles=0)
+        with pytest.raises(ValueError):
+            TelemetryConfig(max_windows=1)
+
+
+class TestResolveTelemetry:
+    def test_false_disables(self):
+        assert resolve_telemetry(False, spec_config()) is None
+
+    def test_none_defers_to_config(self):
+        assert resolve_telemetry(None, spec_config()) is None
+        embedded = spec_config(telemetry=TelemetryConfig(sample_period=8))
+        session = resolve_telemetry(None, embedded)
+        assert session is not None
+        assert session.config.sample_period == 8
+
+    def test_true_uses_defaults(self):
+        session = resolve_telemetry(True, spec_config())
+        assert session.config == TelemetryConfig()
+
+    def test_config_and_session_pass_through(self):
+        config = TelemetryConfig(sample_period=4)
+        assert resolve_telemetry(config, spec_config()).config is config
+        session = TelemetrySession()
+        assert resolve_telemetry(session, spec_config()) is session
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            resolve_telemetry(42, spec_config())
+
+
+@pytest.mark.sim
+class TestSessionLifecycle:
+    def test_run_produces_summary(self):
+        telemetry = TelemetryConfig(sample_period=4, window_cycles=64)
+        result = Simulator(spec_config(), MEAS, telemetry=telemetry).run()
+        summary = result.telemetry
+        assert isinstance(summary, TelemetrySummary)
+        assert summary.cycles_observed == result.cycles_simulated
+        assert summary.metrics.value(SPEC_ATTEMPTED) > 0
+        assert summary.metrics.value(SA_GRANTS) > 0
+        assert summary.speculation_win_rate > 0
+        assert 0 < summary.channel_utilization < 1
+        assert summary.windows, "windowed timeseries is empty"
+        occupancy = summary.metrics.get(VC_OCCUPANCY)
+        assert occupancy is not None and occupancy.observations > 0
+
+    def test_finalize_detaches_all_machinery(self):
+        simulator = Simulator(
+            spec_config(),
+            MEAS,
+            telemetry=TelemetryConfig(sample_period=4, capture_trace=True),
+        )
+        network = simulator.network
+        # Attached: the crossbar hook shadows the class method and the
+        # tracer is installed.
+        assert all("_traverse" in r.__dict__ for r in network.routers)
+        assert all(r.tracer is not None for r in network.routers)
+        simulator.run()
+        assert all("_traverse" not in r.__dict__ for r in network.routers)
+        assert all(r.tracer is None for r in network.routers)
+
+    def test_disabled_telemetry_installs_nothing(self):
+        simulator = Simulator(spec_config(), MEAS)
+        assert simulator.telemetry is None
+        network = simulator.network
+        assert all("_traverse" not in r.__dict__ for r in network.routers)
+        assert all(r.tracer is None for r in network.routers)
+        assert simulator.run().telemetry is None
+
+    def test_double_attach_raises(self):
+        simulator = Simulator(spec_config(), MEAS, telemetry=True)
+        with pytest.raises(RuntimeError):
+            simulator.telemetry.attach(simulator.network)
+
+    def test_summary_round_trips_and_merges(self):
+        telemetry = TelemetryConfig(sample_period=4, window_cycles=64)
+        summaries = [
+            Simulator(spec_config(seed=seed), MEAS, telemetry=telemetry)
+            .run().telemetry
+            for seed in (1, 2)
+        ]
+        rebuilt = TelemetrySummary.from_dict(summaries[0].to_dict())
+        assert rebuilt == summaries[0]
+
+        merged = merge_summaries(summaries + [None])
+        assert merged.runs == 2
+        assert merged.cycles_observed == sum(
+            s.cycles_observed for s in summaries
+        )
+        assert merged.metrics.value(SA_GRANTS) == sum(
+            s.metrics.value(SA_GRANTS) for s in summaries
+        )
+        assert merged.windows == []  # per-run timelines are dropped
+
+    def test_merge_rejects_mismatched_sample_period(self):
+        a = TelemetrySummary(sample_period=4, window_cycles=64,
+                             cycles_observed=10)
+        b = TelemetrySummary(sample_period=8, window_cycles=64,
+                             cycles_observed=10)
+        with pytest.raises(ValueError):
+            a.merge(b)

@@ -1,0 +1,68 @@
+"""Unit tests for the bounded windowed timeseries."""
+
+import pytest
+
+from repro.telemetry.timeseries import Timeseries, Window
+
+
+class TestWindow:
+    def test_rejects_empty_span(self):
+        with pytest.raises(ValueError):
+            Window(10, 10)
+
+    def test_rate_is_per_cycle(self):
+        window = Window(0, 100, {"flits": 25})
+        assert window.rate("flits") == 0.25
+        assert window.rate("absent") == 0.0
+
+    def test_merge_spans_and_sums(self):
+        merged = Window(0, 10, {"a": 1}).merge(Window(10, 30, {"a": 2, "b": 5}))
+        assert (merged.start, merged.end) == (0, 30)
+        assert merged.values == {"a": 3, "b": 5}
+
+    def test_merge_does_not_mutate_operands(self):
+        a = Window(0, 10, {"a": 1})
+        a.merge(Window(10, 20, {"a": 2}))
+        assert a.values == {"a": 1}
+
+    def test_round_trip(self):
+        window = Window(5, 9, {"x": 2.0})
+        assert Window.from_dict(window.to_dict()).to_dict() == window.to_dict()
+
+
+class TestTimeseries:
+    def test_rejects_out_of_order_appends(self):
+        series = Timeseries(max_windows=4)
+        series.append(Window(0, 10))
+        with pytest.raises(ValueError):
+            series.append(Window(5, 15))
+
+    def test_rejects_tiny_capacity(self):
+        with pytest.raises(ValueError):
+            Timeseries(max_windows=1)
+
+    def test_compacts_at_capacity(self):
+        series = Timeseries(max_windows=4)
+        for i in range(8):
+            series.append(Window(i * 10, (i + 1) * 10, {"n": 1}))
+        # Every append that reaches max_windows halves the ring, so the
+        # count stays strictly below the bound.
+        assert len(series) < 4
+        assert series.merged().values == {"n": 8}
+
+    def test_compaction_preserves_totals_and_span(self):
+        series = Timeseries(max_windows=2)
+        for i in range(100):
+            series.append(Window(i, i + 1, {"n": 1, "m": i}))
+        total = series.merged()
+        assert (total.start, total.end) == (0, 100)
+        assert total.values["n"] == 100
+        assert total.values["m"] == sum(range(100))
+
+    def test_empty_series_merges_to_none(self):
+        assert Timeseries(max_windows=4).merged() is None
+
+    def test_to_dicts(self):
+        series = Timeseries(max_windows=4)
+        series.append(Window(0, 10, {"a": 1}))
+        assert series.to_dicts() == [{"start": 0, "end": 10, "values": {"a": 1}}]

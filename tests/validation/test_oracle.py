@@ -11,6 +11,7 @@ from repro.sim.validation.oracle import (
     oracle_fast_vs_reference,
     oracle_serial_vs_parallel,
     oracle_spec_vs_nonspec,
+    oracle_telemetry_on_vs_off,
 )
 
 pytestmark = pytest.mark.sim
@@ -88,3 +89,9 @@ class TestOracles:
         assert report.ok, report.describe()
         # One RunResult diff plus one delivery-history diff per case.
         assert report.checks == 8
+
+    def test_telemetry_on_vs_off(self):
+        report = oracle_telemetry_on_vs_off()
+        assert report.ok, report.describe()
+        # Result diff + delivery diff + 2 structural checks per config.
+        assert report.checks == 16

@@ -1,4 +1,4 @@
-"""Checked-mode cost: zero when off, bounded when on.
+"""Checked-mode and telemetry cost: zero when off, bounded when on.
 
 The acceptance bar for checked mode is a full default-scale
 speculative-VC run with zero violations at bounded overhead over the
@@ -9,6 +9,11 @@ The bound is 3x (measured ~2.3x).  It was 2x (measured ~1.4x) before
 the hot-loop rework: the probes' absolute cost is unchanged, but the
 unchecked baseline they are measured against got faster, so the
 *relative* overhead grew.
+
+Telemetry at the default sampling rate is held to 1.3x (measured
+~1.05x): its per-step hook is the same single attribute test, the
+crossbar wrapper is two list increments per forwarded flit, and the
+occupancy scan runs only every ``sample_period`` cycles.
 """
 
 import time
@@ -17,6 +22,7 @@ import pytest
 
 from repro.sim.config import MeasurementConfig, RouterKind, SimConfig
 from repro.sim.engine import Simulator, simulate
+from repro.telemetry import TelemetryConfig
 
 pytestmark = pytest.mark.sim
 
@@ -60,5 +66,48 @@ class TestCheckedOverhead:
         assert sim.validation is None
         # No wrappers: sink.accept and the allocators are untouched
         # bound methods/instances, not probe proxies.
+        for sink in sim.network.sinks:
+            assert sink.accept.__qualname__.startswith("Sink.")
+
+
+class TestTelemetryOverhead:
+    @pytest.mark.slow
+    @pytest.mark.perf
+    def test_default_spec_vc_run_within_1_3x(self):
+        """Default 8x8 speculative-VC config at default sampling:
+        telemetry-on is bit-equal to telemetry-off and within 1.3x.
+
+        Pinned to the reference stepper for the same reason as the
+        checked bound above: it characterises the collectors' cost
+        against a stable full-scan baseline.
+        """
+        config = SimConfig(
+            router_kind=RouterKind.SPECULATIVE_VC, num_vcs=2, seed=1,
+            stepper="reference",
+        )
+        measurement = MeasurementConfig()
+
+        t0 = time.perf_counter()
+        plain = simulate(config, measurement)
+        t1 = time.perf_counter()
+        observed = simulate(config, measurement, telemetry=TelemetryConfig())
+        t2 = time.perf_counter()
+
+        assert observed.telemetry is not None
+        assert observed.telemetry.cycles_observed == observed.cycles_simulated
+        assert observed == plain  # observing never changes the run
+        ratio = (t2 - t1) / (t1 - t0)
+        assert ratio <= 1.3, f"telemetry/plain wall-time ratio {ratio:.2f}"
+
+    def test_disabled_telemetry_leaves_no_machinery_attached(self):
+        sim = Simulator(SimConfig(
+            router_kind=RouterKind.SPECULATIVE_VC, num_vcs=2, mesh_radix=4,
+            injection_fraction=0.1, seed=1,
+        ))
+        assert sim.telemetry is None
+        for router in sim.network.routers:
+            # The crossbar hook would shadow the class's _traverse.
+            assert "_traverse" not in router.__dict__
+            assert router.tracer is None
         for sink in sim.network.sinks:
             assert sink.accept.__qualname__.startswith("Sink.")
