@@ -1,0 +1,51 @@
+"""AST-based invariant linter for the reproduction's conventions.
+
+The headline claims of this repository -- bit-identical fast-vs-reference
+steppers, telemetry-on-vs-off oracles, a content-addressed result cache
+-- rest on conventions the test suite only *samples* dynamically:
+
+* randomness flows exclusively through seeded :class:`random.Random`
+  instances (never the module-level RNG, never the wall clock);
+* hot-path iteration order is stable (no iteration over ``set`` values
+  where order can leak into simulated results);
+* every ``SimConfig`` / ``MeasurementConfig`` / ``TelemetryConfig``
+  field participates in the result cache's content key;
+* the string-named attributes that validation probes and telemetry
+  collectors wrap keep matching real methods on the sim classes;
+* ``__slots__`` declarations cover every assigned attribute, and
+  slotted or pool-pickled classes are never patched per instance;
+* :mod:`repro.delaymodel` stays pure (no global writes, no module-state
+  mutation, no I/O).
+
+This package turns those conventions into machine-checked invariants: a
+dependency-free static-analysis framework (:mod:`repro.analysis.core`),
+a cross-file symbol index (:mod:`repro.analysis.index`), five
+project-specific checkers (:mod:`repro.analysis.checkers`), and a CLI::
+
+    python -m repro.analysis --check src tests benchmarks
+
+Findings can be suppressed inline with ``# repro: allow[RULE-ID] reason``
+or grandfathered in a committed JSON baseline (``analysis-baseline.json``).
+See ``docs/ANALYSIS.md`` for the rule catalogue.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline
+from .checkers import default_checkers
+from .core import Checker, Finding, Rule, SourceFile
+from .driver import AnalysisResult, analyze
+from .index import ClassInfo, ProjectIndex
+
+__all__ = [
+    "AnalysisResult",
+    "Baseline",
+    "Checker",
+    "ClassInfo",
+    "Finding",
+    "ProjectIndex",
+    "Rule",
+    "SourceFile",
+    "analyze",
+    "default_checkers",
+]

@@ -1,0 +1,117 @@
+"""Command-line entry point for the invariant linter.
+
+Usage::
+
+    python -m repro.analysis                          # lint src tests benchmarks
+    python -m repro.analysis --check src tests        # CI gate (quiet)
+    python -m repro.analysis --json src               # machine-readable
+    python -m repro.analysis --baseline b.json src    # explicit baseline
+    python -m repro.analysis --write-baseline src     # grandfather findings
+    python -m repro.analysis --list-rules             # rule catalogue
+
+Exit status is 0 when no *new* (non-baselined, non-suppressed) findings
+remain, 1 otherwise, 2 on usage errors.  The default baseline is
+``analysis-baseline.json`` in the current directory when it exists.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .baseline import Baseline
+from .driver import analyze, iter_rules
+from .reporters import render_json, render_text
+
+DEFAULT_BASELINE = "analysis-baseline.json"
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant linter: determinism, cache-key "
+                    "completeness, probe-point drift, __slots__ hygiene, "
+                    "delay-model purity.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: src tests benchmarks, "
+             "whichever exist)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="CI mode: print only failures and the summary line",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the full report as JSON",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None, metavar="PATH",
+        help=f"baseline of grandfathered findings "
+             f"(default: ./{DEFAULT_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="also list baselined findings in the text report",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in iter_rules():
+            print(f"{rule.id:10s} {rule.severity:8s} {rule.summary}")
+        return 0
+
+    paths = args.paths or [p for p in DEFAULT_PATHS if Path(p).exists()]
+    if not paths:
+        print("repro.analysis: no paths given and none of "
+              f"{', '.join(DEFAULT_PATHS)} exist", file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline
+    if baseline_path is None and Path(DEFAULT_BASELINE).exists():
+        baseline_path = Path(DEFAULT_BASELINE)
+
+    baseline = None
+    if baseline_path is not None and baseline_path.exists():
+        baseline = Baseline.load(baseline_path)
+
+    try:
+        result = analyze(paths, baseline=baseline)
+    except FileNotFoundError as exc:
+        print(f"repro.analysis: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = baseline_path or Path(DEFAULT_BASELINE)
+        merged = Baseline.from_findings(result.all_findings)
+        merged.save(target)
+        print(
+            f"repro.analysis: wrote {len(merged)} finding(s) to {target}"
+        )
+        return 0
+
+    if args.as_json:
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=args.verbose))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,84 @@
+"""Committed JSON baseline of grandfathered findings.
+
+A baseline maps finding keys (``path::rule::message`` -- deliberately
+line-number-free, see :attr:`repro.analysis.core.Finding.key`) to an
+allowed occurrence count.  ``--check`` fails only on findings *beyond*
+the baseline, so a legacy violation can be grandfathered without
+blinding the linter to a second copy of the same mistake.
+
+The file round-trips exactly (sorted keys, stable JSON) so regenerating
+an unchanged baseline produces a byte-identical file and a clean diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+from .core import Finding
+
+BASELINE_FORMAT = 1
+
+
+class Baseline:
+    """Allowed-finding counts keyed by line-free finding identity."""
+
+    def __init__(self, counts: Union[Dict[str, int], None] = None) -> None:
+        self.counts: Dict[str, int] = dict(counts or {})
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if data.get("format") != BASELINE_FORMAT:
+            raise ValueError(
+                f"unsupported baseline format {data.get('format')!r} "
+                f"in {path} (expected {BASELINE_FORMAT})"
+            )
+        counts = data.get("findings", {})
+        if not isinstance(counts, dict):
+            raise ValueError(f"malformed baseline {path}: 'findings' "
+                             "must be an object")
+        return cls({str(k): int(v) for k, v in counts.items()})
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        counts: Dict[str, int] = {}
+        for finding in findings:
+            counts[finding.key] = counts.get(finding.key, 0) + 1
+        return cls(counts)
+
+    def save(self, path: Union[str, Path]) -> None:
+        payload = {
+            "format": BASELINE_FORMAT,
+            "findings": {k: self.counts[k] for k in sorted(self.counts)},
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def split(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition ``findings`` into (new, baselined).
+
+        Each baseline entry absorbs up to its recorded count of matching
+        findings; any excess (or any unknown key) is new.
+        """
+        remaining = dict(self.counts)
+        new: List[Finding] = []
+        old: List[Finding] = []
+        for finding in findings:
+            if remaining.get(finding.key, 0) > 0:
+                remaining[finding.key] -= 1
+                old.append(finding)
+            else:
+                new.append(finding)
+        return new, old
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Baseline) and self.counts == other.counts

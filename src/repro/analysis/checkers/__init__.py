@@ -1,0 +1,38 @@
+"""The project-specific checker set.
+
+Each module holds one checker family; :func:`default_checkers` is the
+set the CLI, CI, and the self-lint test all run.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core import Checker
+from .cache import CacheKeyChecker
+from .det import DeterminismChecker
+from .pure import PurityChecker
+from .slots import SlotsChecker
+from .wrap import WrapTargetChecker
+
+
+def default_checkers() -> List[Checker]:
+    """Fresh instances of every project checker (DET, CACHE, WRAP,
+    SLOTS, PURE)."""
+    return [
+        DeterminismChecker(),
+        CacheKeyChecker(),
+        WrapTargetChecker(),
+        SlotsChecker(),
+        PurityChecker(),
+    ]
+
+
+__all__ = [
+    "CacheKeyChecker",
+    "DeterminismChecker",
+    "PurityChecker",
+    "SlotsChecker",
+    "WrapTargetChecker",
+    "default_checkers",
+]

@@ -1,0 +1,337 @@
+"""Framework primitives: rules, findings, parsed sources, checker base.
+
+Everything here is pure stdlib (``ast`` + ``re``): the analyzer must be
+importable and fast in any environment the simulator runs in, including
+the dependency-free CI container.
+
+Suppressions
+------------
+A finding is suppressed by an inline comment on the finding's line or on
+a comment-only line directly above it::
+
+    t0 = time.perf_counter()  # repro: allow[DET002] wall-clock stats only
+
+The bracketed id may be a full rule id (``DET002``) or a rule-family
+prefix (``DET``).  A reason is required -- a bare ``allow[...]`` is
+itself reported as a malformed suppression (rule ``SUP001``) so silent
+blanket waivers cannot accumulate.
+
+Scopes
+------
+Checkers decide where a rule applies by *domain* (``sim``, ``delaymodel``,
+``hot``, ``wrap-site``), normally derived from the file's repository
+path.  A fixture outside the real tree can opt into a domain explicitly
+with a ``# repro: scope[sim, hot]`` comment, which is how the checker
+test fixtures exercise path-scoped rules from ``tests/analysis/``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+#: Basenames whose modules are order-sensitive hot paths: routers,
+#: allocators, arbiters, and the stepper -- anywhere unordered iteration
+#: can change which request wins a cycle and leak into results.
+HOT_BASENAMES = (
+    "allocators.py",
+    "arbiters.py",
+    "matching.py",
+    "network.py",
+    "engine.py",
+    "channel.py",
+    "credit.py",
+    "buffers.py",
+)
+
+#: Basenames of the modules that wrap string-named attributes on sim
+#: objects (probe/collector monkeypatch sites).
+WRAP_SITE_BASENAMES = ("probes.py", "collectors.py")
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_-]+)\]\s*(\S?)")
+_SCOPE_RE = re.compile(r"#\s*repro:\s*scope\[([A-Za-z0-9_,\s-]+)\]")
+_COMMENT_ONLY_RE = re.compile(r"^\s*#")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: stable id, one-line summary, default severity."""
+
+    id: str
+    summary: str
+    severity: str = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a location.
+
+    ``path`` is repository-relative (posix separators) so findings --
+    and the baseline keys derived from them -- are stable across
+    machines and working directories.
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    message: str
+    checker: str = ""
+
+    @property
+    def key(self) -> str:
+        """Line-number-free identity used for baseline matching.
+
+        Unrelated edits shift line numbers constantly; keying on
+        (path, rule, message) keeps a grandfathered finding matched to
+        its baseline entry until the finding itself changes.
+        """
+        return f"{self.path}::{self.rule}::{self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "checker": self.checker,
+        }
+
+    def sort_key(self) -> Tuple[str, int, str]:
+        return (self.path, self.line, self.rule)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.path}:{self.line}: {self.rule} "
+            f"{self.severity}: {self.message}"
+        )
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro: allow[ID] reason`` comment."""
+
+    rule_id: str
+    line: int
+    has_reason: bool
+
+    def matches(self, rule: str) -> bool:
+        return rule == self.rule_id or rule.startswith(self.rule_id)
+
+
+class SourceFile:
+    """One parsed Python source: text, AST, suppressions, domains."""
+
+    def __init__(self, path: Path, root: Optional[Path] = None) -> None:
+        self.path = Path(path)
+        base = root if root is not None else Path.cwd()
+        try:
+            rel = self.path.resolve().relative_to(Path(base).resolve())
+        except ValueError:
+            rel = self.path
+        self.relpath = rel.as_posix()
+        self.text = self.path.read_text(encoding="utf-8")
+        self.lines = self.text.splitlines()
+        self.syntax_error: Optional[SyntaxError] = None
+        try:
+            self.tree: ast.Module = ast.parse(self.text, filename=str(path))
+        except SyntaxError as exc:
+            self.syntax_error = exc
+            self.tree = ast.Module(body=[], type_ignores=[])
+        comments = _comments(self.text, self.lines)
+        self.suppressions: List[Suppression] = _parse_suppressions(comments)
+        self._by_line: Dict[int, List[Suppression]] = {}
+        for sup in self.suppressions:
+            self._by_line.setdefault(sup.line, []).append(sup)
+        self.domains: FrozenSet[str] = frozenset(
+            _derive_domains(self.relpath) | _explicit_scopes(comments)
+        )
+
+    def in_domain(self, *domains: str) -> bool:
+        return any(d in self.domains for d in domains)
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        """True if ``rule`` is allowed on ``line`` (or the comment line
+        directly above it)."""
+        for candidate in (line, line - 1):
+            for sup in self._by_line.get(candidate, ()):
+                if not sup.has_reason:
+                    continue
+                if candidate == line - 1 and not _comment_only(
+                    self.lines, candidate
+                ):
+                    continue
+                if sup.matches(rule):
+                    return True
+        return False
+
+    def segment(self, node: ast.AST) -> str:
+        """Best-effort source text for ``node`` (for messages)."""
+        try:
+            return ast.unparse(node)
+        except Exception:  # pragma: no cover - unparse is total on 3.9+
+            return "<expr>"
+
+
+def _comments(text: str, lines: List[str]) -> List[Tuple[int, str]]:
+    """``(lineno, comment_text)`` for every real comment token.
+
+    Tokenizing (rather than regexing raw lines) sees through string
+    literals, so a marker-*shaped* string -- e.g. a bad-code snippet
+    embedded in a checker test -- is not treated as a marker.  Files
+    that do not tokenize fall back to whole-line scanning; they are
+    reported as PARSE001 regardless.
+    """
+    try:
+        return [
+            (token.start[0], token.string)
+            for token in tokenize.generate_tokens(io.StringIO(text).readline)
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return [
+            (lineno, line)
+            for lineno, line in enumerate(lines, start=1)
+            if "#" in line
+        ]
+
+
+def _parse_suppressions(comments: List[Tuple[int, str]]) -> List[Suppression]:
+    found: List[Suppression] = []
+    for lineno, comment in comments:
+        if "repro:" not in comment:
+            continue
+        for match in _ALLOW_RE.finditer(comment):
+            found.append(
+                Suppression(
+                    rule_id=match.group(1),
+                    line=lineno,
+                    has_reason=bool(match.group(2)),
+                )
+            )
+    return found
+
+
+def _comment_only(lines: List[str], lineno: int) -> bool:
+    if not 1 <= lineno <= len(lines):
+        return False
+    return bool(_COMMENT_ONLY_RE.match(lines[lineno - 1]))
+
+
+def _explicit_scopes(comments: List[Tuple[int, str]]) -> Set[str]:
+    scopes: Set[str] = set()
+    for _lineno, comment in comments:
+        if "repro:" not in comment:
+            continue
+        match = _SCOPE_RE.search(comment)
+        if match:
+            scopes.update(
+                part.strip() for part in match.group(1).split(",")
+                if part.strip()
+            )
+    return scopes
+
+
+def _derive_domains(relpath: str) -> Set[str]:
+    """Domains implied by a file's repository path."""
+    parts = relpath.split("/")
+    name = parts[-1]
+    domains: Set[str] = set()
+    if "sim" in parts:
+        domains.add("sim")
+    if "delaymodel" in parts:
+        domains.add("delaymodel")
+    if "routers" in parts or any(name.endswith(h) for h in HOT_BASENAMES):
+        if "sim" in parts:
+            domains.add("hot")
+    if any(name.endswith(w) for w in WRAP_SITE_BASENAMES):
+        domains.add("wrap-site")
+    if name == "cache.py" and "runtime" in parts:
+        domains.add("cache-module")
+    return domains
+
+
+class Checker:
+    """Base checker: per-file visit plus a cross-file finalize pass.
+
+    Subclasses declare their :class:`Rule` catalogue in ``rules`` and
+    yield :class:`Finding` objects from :meth:`check_file` (one call per
+    parsed source) and :meth:`finalize` (one call after every file has
+    been seen, with the completed :class:`~repro.analysis.index.ProjectIndex`
+    for cross-file resolution).  Checkers must not keep state between
+    :meth:`reset` calls -- the driver reuses instances across runs.
+    """
+
+    name = "checker"
+    rules: Tuple[Rule, ...] = ()
+
+    def reset(self) -> None:
+        """Clear accumulated state before a fresh analysis run."""
+
+    def check_file(self, source: SourceFile, index) -> Iterable[Finding]:
+        return ()
+
+    def finalize(self, index) -> Iterable[Finding]:
+        return ()
+
+    def rule(self, rule_id: str) -> Rule:
+        for rule in self.rules:
+            if rule.id == rule_id:
+                return rule
+        raise KeyError(rule_id)
+
+    def finding(self, rule_id: str, source: SourceFile, node: ast.AST,
+                message: str) -> Finding:
+        rule = self.rule(rule_id)
+        return Finding(
+            rule=rule.id,
+            severity=rule.severity,
+            path=source.relpath,
+            line=getattr(node, "lineno", 1),
+            message=message,
+            checker=self.name,
+        )
+
+    def finding_at(self, rule_id: str, path: str, line: int,
+                   message: str) -> Finding:
+        rule = self.rule(rule_id)
+        return Finding(
+            rule=rule.id,
+            severity=rule.severity,
+            path=path,
+            line=line,
+            message=message,
+            checker=self.name,
+        )
+
+
+def call_name(node: ast.AST) -> Optional[str]:
+    """Dotted name of a call target: ``a.b.c(...)`` -> ``"a.b.c"``."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def decorator_names(node: ast.AST) -> Set[str]:
+    """Flat + dotted names of a def/class's decorators."""
+    names: Set[str] = set()
+    for deco in getattr(node, "decorator_list", ()):
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        dotted = call_name(target)
+        if dotted:
+            names.add(dotted)
+            names.add(dotted.rsplit(".", 1)[-1])
+    return names

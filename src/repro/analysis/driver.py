@@ -1,0 +1,161 @@
+"""Analysis driver: collect files, build the index, run the checkers.
+
+The driver owns the two framework-level rules:
+
+* ``PARSE001`` -- a file in the analyzed set does not parse;
+* ``SUP001`` -- a ``# repro: allow[...]`` suppression without a reason
+  (silent blanket waivers are themselves findings).
+
+Directories named ``fixtures`` (and caches/VCS internals) are excluded
+by default: the checker test fixtures under ``tests/analysis/fixtures``
+contain deliberately-bad code that must not fail the repository's own
+``--check`` run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from .baseline import Baseline
+from .core import Checker, Finding, SourceFile
+from .index import ProjectIndex
+
+#: Directory names never descended into.
+EXCLUDED_DIR_NAMES = frozenset(
+    {"__pycache__", ".git", ".venv", "fixtures", "build", "dist"}
+)
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analysis run produced."""
+
+    files: List[SourceFile] = field(default_factory=list)
+    new_findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed_count: int = 0
+    checker_count: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.new_findings
+
+    @property
+    def all_findings(self) -> List[Finding]:
+        return self.new_findings + self.baselined
+
+
+def collect_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    seen: Dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path.suffix == ".py":
+                seen.setdefault(path.resolve(), None)
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for candidate in sorted(path.rglob("*.py")):
+            relative_parts = candidate.relative_to(path).parts[:-1]
+            if any(part in EXCLUDED_DIR_NAMES for part in relative_parts):
+                continue
+            seen.setdefault(candidate.resolve(), None)
+    return list(seen)
+
+
+def analyze(
+    paths: Sequence[Union[str, Path]],
+    checkers: Optional[Sequence[Checker]] = None,
+    root: Union[str, Path, None] = None,
+    baseline: Optional[Baseline] = None,
+) -> AnalysisResult:
+    """Run ``checkers`` (default: the full project set) over ``paths``."""
+    from .checkers import default_checkers
+
+    started = time.perf_counter()
+    active = list(checkers) if checkers is not None else default_checkers()
+    base = Path(root) if root is not None else Path.cwd()
+
+    sources: List[SourceFile] = []
+    raw_findings: List[Finding] = []
+    for path in collect_files(paths):
+        source = SourceFile(path, root=base)
+        sources.append(source)
+        if source.syntax_error is not None:
+            raw_findings.append(Finding(
+                rule="PARSE001",
+                severity="error",
+                path=source.relpath,
+                line=source.syntax_error.lineno or 1,
+                message=f"file does not parse: {source.syntax_error.msg}",
+                checker="driver",
+            ))
+        for suppression in source.suppressions:
+            if not suppression.has_reason:
+                raw_findings.append(Finding(
+                    rule="SUP001",
+                    severity="error",
+                    path=source.relpath,
+                    line=suppression.line,
+                    message=(
+                        f"suppression allow[{suppression.rule_id}] has no "
+                        f"reason; write '# repro: allow[{suppression.rule_id}]"
+                        f" <why>'"
+                    ),
+                    checker="driver",
+                ))
+
+    index = ProjectIndex()
+    for source in sources:
+        index.add_file(source)
+
+    for checker in active:
+        checker.reset()
+    for checker in active:
+        for source in sources:
+            raw_findings.extend(checker.check_file(source, index))
+    for checker in active:
+        raw_findings.extend(checker.finalize(index))
+
+    by_path: Dict[str, SourceFile] = {s.relpath: s for s in sources}
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in raw_findings:
+        source = by_path.get(finding.path)
+        if (
+            source is not None
+            and finding.rule not in ("SUP001", "PARSE001")
+            and source.suppressed(finding.rule, finding.line)
+        ):
+            suppressed += 1
+            continue
+        kept.append(finding)
+    kept.sort(key=Finding.sort_key)
+
+    new, old = (baseline or Baseline()).split(kept)
+    return AnalysisResult(
+        files=sources,
+        new_findings=new,
+        baselined=old,
+        suppressed_count=suppressed,
+        checker_count=len(active),
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+def iter_rules(checkers: Optional[Iterable[Checker]] = None):
+    """Every rule the analyzer can emit (for ``--list-rules`` and docs)."""
+    from .checkers import default_checkers
+
+    from .core import Rule
+
+    yield Rule("PARSE001", "file in the analyzed set does not parse")
+    yield Rule("SUP001", "allow[...] suppression without a reason")
+    for checker in (checkers if checkers is not None else default_checkers()):
+        for rule in checker.rules:
+            yield rule

@@ -1,0 +1,228 @@
+"""Cross-file symbol index the checkers resolve names against.
+
+One pass over every parsed source collects, per class: methods,
+``self.x`` attribute assignments (including inside nested closures,
+which is where probe wrappers assign), properties, literal ``__slots__``
+tuples, dataclass fields with their annotation text, and base-class
+names.  Top-level functions are indexed by name so cross-file checkers
+(e.g. the cache-key checker looking for ``config_key``) can find their
+definition wherever it lives in the analyzed set.
+
+The index is purely syntactic -- no imports are executed -- so it works
+identically on the real tree and on throwaway fixture trees.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .core import SourceFile, call_name, decorator_names
+
+
+@dataclass
+class ClassInfo:
+    """Everything the checkers need to know about one class definition."""
+
+    name: str
+    relpath: str
+    line: int
+    bases: Tuple[str, ...] = ()
+    #: Literal ``__slots__`` entries, or None when the class declares no
+    #: ``__slots__`` (or declares one the analyzer cannot read
+    #: statically, which is treated as "no slots" -- conservative).
+    slots: Optional[Tuple[str, ...]] = None
+    methods: Set[str] = field(default_factory=set)
+    self_attrs: Set[str] = field(default_factory=set)
+    properties: Set[str] = field(default_factory=set)
+    class_attrs: Set[str] = field(default_factory=set)
+    is_dataclass: bool = False
+    #: Dataclass fields in declaration order: name -> annotation source.
+    fields: Dict[str, str] = field(default_factory=dict)
+
+    def provides(self, attr: str) -> bool:
+        """Does an instance of this class expose ``attr``?"""
+        return (
+            attr in self.methods
+            or attr in self.self_attrs
+            or attr in self.properties
+            or attr in self.class_attrs
+            or attr in self.fields
+            or (self.slots is not None and attr in self.slots)
+        )
+
+
+@dataclass
+class FunctionInfo:
+    """One top-level (module-scope) function definition."""
+
+    name: str
+    source: SourceFile
+    node: ast.FunctionDef
+
+
+class ProjectIndex:
+    """Name -> definitions map over every analyzed source file."""
+
+    def __init__(self) -> None:
+        self.files: List[SourceFile] = []
+        self.classes: Dict[str, List[ClassInfo]] = {}
+        self.functions: Dict[str, List[FunctionInfo]] = {}
+
+    def add_file(self, source: SourceFile) -> None:
+        self.files.append(source)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                info = _class_info(node, source)
+                self.classes.setdefault(info.name, []).append(info)
+        for node in source.tree.body:
+            if isinstance(node, ast.FunctionDef):
+                self.functions.setdefault(node.name, []).append(
+                    FunctionInfo(node.name, source, node)
+                )
+
+    def all_classes(self) -> List[ClassInfo]:
+        return [info for infos in self.classes.values() for info in infos]
+
+    def providers(self, attr: str) -> List[ClassInfo]:
+        """Every indexed class whose instances expose ``attr``."""
+        return [c for c in self.all_classes() if c.provides(attr)]
+
+    def resolve_base(self, name: str) -> Optional[ClassInfo]:
+        """The unique class definition for ``name``, if unambiguous."""
+        infos = self.classes.get(name, [])
+        return infos[0] if len(infos) == 1 else None
+
+    def slots_chain(self, info: ClassInfo) -> Optional[Tuple[str, ...]]:
+        """Union of ``__slots__`` over ``info`` and its resolvable bases.
+
+        Returns None when instances may carry a ``__dict__``: the class
+        itself (or any base, followed transitively) lacks a literal
+        ``__slots__``, lists ``__dict__`` in it, or has a base the index
+        cannot resolve (external classes are assumed dict-backed).
+        ``object`` and ``Exception``-free leaves terminate the chain.
+        """
+        seen: Set[str] = set()
+        collected: List[str] = []
+
+        def walk(cls: ClassInfo) -> bool:
+            if cls.name in seen:
+                return True
+            seen.add(cls.name)
+            if cls.slots is None or "__dict__" in cls.slots:
+                return False
+            collected.extend(cls.slots)
+            for base in cls.bases:
+                if base == "object":
+                    continue
+                resolved = self.resolve_base(base)
+                if resolved is None:
+                    return False
+                if not walk(resolved):
+                    return False
+            return True
+
+        if not walk(info):
+            return None
+        return tuple(collected)
+
+    def properties_chain(self, info: ClassInfo) -> Set[str]:
+        props: Set[str] = set(info.properties)
+        for base in info.bases:
+            resolved = self.resolve_base(base)
+            if resolved is not None:
+                props |= self.properties_chain(resolved)
+        return props
+
+
+def _class_info(node: ast.ClassDef, source: SourceFile) -> ClassInfo:
+    decorators = decorator_names(node)
+    info = ClassInfo(
+        name=node.name,
+        relpath=source.relpath,
+        line=node.lineno,
+        bases=tuple(
+            n for n in (call_name(b) for b in node.bases) if n is not None
+        ),
+        is_dataclass="dataclass" in decorators
+        or any(d.endswith(".dataclass") for d in decorators),
+    )
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            item_decos = decorator_names(item)
+            if "property" in item_decos or any(
+                d.endswith(".setter") or d.endswith(".getter")
+                or d.endswith(".deleter") for d in item_decos
+            ):
+                info.properties.add(item.name)
+            else:
+                info.methods.add(item.name)
+            for attr in _self_stores(item):
+                info.self_attrs.add(attr)
+        elif isinstance(item, ast.Assign):
+            for target in item.targets:
+                if isinstance(target, ast.Name):
+                    if target.id == "__slots__":
+                        info.slots = _literal_slots(item.value)
+                    else:
+                        info.class_attrs.add(target.id)
+        elif isinstance(item, ast.AnnAssign) and isinstance(
+            item.target, ast.Name
+        ):
+            name = item.target.id
+            if name == "__slots__":
+                info.slots = _literal_slots(item.value)
+            elif info.is_dataclass and not _is_classvar(item.annotation):
+                info.fields[name] = _annotation_text(item.annotation)
+            else:
+                info.class_attrs.add(name)
+    return info
+
+
+def _self_stores(func: ast.AST) -> Set[str]:
+    """Attribute names assigned on ``self`` anywhere inside ``func``.
+
+    Includes nested closures: a probe's ``attach`` assigning
+    ``self._wrapped`` from inside a wrapper function still counts.
+    """
+    stores: Set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.ctx, (ast.Store, ast.Del))
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            stores.add(node.attr)
+    return stores
+
+
+def _literal_slots(value: Optional[ast.AST]) -> Optional[Tuple[str, ...]]:
+    if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+        names: List[str] = []
+        for element in value.elts:
+            if isinstance(element, ast.Constant) and isinstance(
+                element.value, str
+            ):
+                names.append(element.value)
+            else:
+                return None
+        return tuple(names)
+    if isinstance(value, ast.Constant) and isinstance(value.value, str):
+        return (value.value,)
+    return None
+
+
+def _is_classvar(annotation: Optional[ast.AST]) -> bool:
+    text = _annotation_text(annotation)
+    return text.startswith("ClassVar") or text.startswith("typing.ClassVar")
+
+
+def _annotation_text(annotation: Optional[ast.AST]) -> str:
+    if annotation is None:
+        return ""
+    try:
+        return ast.unparse(annotation)
+    except Exception:  # pragma: no cover
+        return ""

@@ -1,0 +1,67 @@
+"""Text and JSON rendering of an analysis run."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .core import Finding
+
+
+def render_text(result, verbose: bool = False) -> str:
+    """Human-readable report: one line per new finding, then a summary.
+
+    ``verbose`` also lists baselined (grandfathered) findings, marked
+    so they are visually distinct from failures.
+    """
+    lines: List[str] = []
+    for finding in sorted(result.new_findings, key=Finding.sort_key):
+        lines.append(str(finding))
+    if verbose:
+        for finding in sorted(result.baselined, key=Finding.sort_key):
+            lines.append(f"{finding}  [baselined]")
+    lines.append(render_summary(result))
+    return "\n".join(lines)
+
+
+def render_summary(result) -> str:
+    per_rule: Dict[str, int] = {}
+    for finding in result.new_findings:
+        per_rule[finding.rule] = per_rule.get(finding.rule, 0) + 1
+    breakdown = (
+        " (" + ", ".join(
+            f"{rule}:{count}" for rule, count in sorted(per_rule.items())
+        ) + ")"
+        if per_rule else ""
+    )
+    return (
+        f"repro.analysis: {len(result.new_findings)} new finding(s)"
+        f"{breakdown}, {len(result.baselined)} baselined, "
+        f"{result.suppressed_count} suppressed, "
+        f"{len(result.files)} file(s), "
+        f"{result.checker_count} checker(s), "
+        f"{result.elapsed_seconds:.2f}s"
+    )
+
+
+def render_json(result) -> str:
+    """Machine-readable report (stable key order) for CI artifacts."""
+    payload = {
+        "findings": [
+            f.to_dict()
+            for f in sorted(result.new_findings, key=Finding.sort_key)
+        ],
+        "baselined": [
+            f.to_dict()
+            for f in sorted(result.baselined, key=Finding.sort_key)
+        ],
+        "summary": {
+            "new": len(result.new_findings),
+            "baselined": len(result.baselined),
+            "suppressed": result.suppressed_count,
+            "files": len(result.files),
+            "checkers": result.checker_count,
+            "elapsed_seconds": round(result.elapsed_seconds, 3),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -7,6 +7,7 @@ Usage::
     python -m repro.experiments --simulate --paper-scale   # full-size runs
     python -m repro.experiments --checked       # validation smoke run
     python -m repro.experiments report --telemetry         # observability
+    python -m repro.experiments analyze --check            # invariant lint
 """
 
 from __future__ import annotations
@@ -153,6 +154,12 @@ def main(argv=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "report":
         return _report_command(argv[1:])
+    if argv and argv[0] == "analyze":
+        # The static invariant linter (same driver as
+        # ``python -m repro.analysis``): DET/CACHE/WRAP/SLOTS/PURE.
+        from ..analysis.__main__ import main as analysis_main
+
+        return analysis_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Reproduce the tables and figures of Peh & Dally (HPCA 2001).",

@@ -68,13 +68,16 @@ class MatrixArbiter(Arbiter):
             winner = requests[0]
             self._lower_priority(winner)
             return winner
-        active = set(requests)
+        # Iterate the request sequence directly: duplicates are harmless
+        # to both loops (OR is idempotent; the matrix invariant makes
+        # the winner unique), and sequence order -- unlike set order --
+        # is part of the deterministic contract.
         active_mask = 0
-        for i in active:
+        for i in requests:
             active_mask |= 1 << i
         rows = self._rows
         winner = None
-        for i in active:
+        for i in requests:
             others = active_mask & ~(1 << i)
             if rows[i] & others == others:
                 winner = i

@@ -1,0 +1,36 @@
+"""Seeded CACHE bad example: fields that never reach the cache key."""
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class TelemetryConfig:
+    sample_period: int = 64  # CACHE001: TelemetryConfig never keyed
+
+
+@dataclass
+class SimConfig:
+    SCHEMA_HINT = "v1"  # CACHE002: class attr, invisible to asdict()
+
+    mesh_radix: int = 8
+    seed: int = 1
+    debug_label: str = ""  # CACHE001: not keyed, not exempt
+    telemetry: Optional[TelemetryConfig] = None  # CACHE001
+
+
+@dataclass
+class MeasurementConfig:
+    warmup_cycles: int = 1000
+    sample_packets: int = 2000  # CACHE001: measurement not keyed at all
+
+
+def config_key(config: SimConfig) -> str:
+    payload = {
+        "radix": config.mesh_radix,
+        "seed": config.seed,
+    }
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()

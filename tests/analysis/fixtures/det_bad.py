@@ -1,0 +1,23 @@
+# repro: scope[sim]
+"""Seeded DET bad example: global RNG + wall clock in sim-scoped code."""
+
+import os
+import random
+import time
+from random import randint  # DET001: binds the global RNG
+
+
+def jitter() -> float:
+    return random.random()  # DET001: module-level RNG call
+
+
+def stamp() -> float:
+    return time.time()  # DET002: wall clock
+
+
+def entropy() -> bytes:
+    return os.urandom(8)  # DET002: OS entropy
+
+
+def roll() -> int:
+    return randint(1, 6)

@@ -1,0 +1,19 @@
+# repro: scope[sim, hot]
+"""Seeded DET003 bad example: set iteration in a hot path."""
+
+
+def arbitrate(requests):
+    active = set(requests)
+    for index in active:  # DET003: set iteration decides the winner
+        if index % 2 == 0:
+            return index
+    return None
+
+
+def collect(grants):
+    return [g for g in {grant.port for grant in grants}]  # DET003
+
+
+def sweep_ports(ports):
+    for port in frozenset(ports):  # DET003
+        yield port

@@ -1,0 +1,12 @@
+# repro: scope[sim]
+"""Seeded DET good example: seeded instances only, no wall clock."""
+
+import random
+
+
+def make_rng(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def draw(rng: random.Random) -> float:
+    return rng.random()

@@ -1,0 +1,15 @@
+# repro: scope[sim, hot]
+"""Seeded DET003 good example: ordered iteration, sets for membership."""
+
+
+def arbitrate(requests):
+    active = set(requests)
+    for index in requests:  # sequence order: deterministic
+        if index in active and index % 2 == 0:
+            return index
+    return None
+
+
+def sweep_ports(ports):
+    for port in sorted(set(ports)):  # sorted(): order restored
+        yield port

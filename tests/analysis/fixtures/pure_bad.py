@@ -1,0 +1,29 @@
+# repro: scope[delaymodel]
+"""Seeded PURE bad examples: global writes, module mutation, I/O."""
+
+_RESULTS = []
+_MEMO = {}
+_CALLS = 0
+
+
+def record(delay):
+    _RESULTS.append(delay)  # PURE003: module state mutation
+    return delay
+
+
+def memoized_delay(width):
+    if width not in _MEMO:
+        _MEMO[width] = width * 3.5  # PURE003: module dict write
+    return _MEMO[width]
+
+
+def count_call():
+    global _CALLS  # PURE001: global rebinding
+    _CALLS = _CALLS + 1
+    return _CALLS
+
+
+def dump_table(rows):
+    print(rows)  # PURE002: I/O in model code
+    with open("table.txt", "w") as handle:  # PURE002
+        handle.write(str(rows))

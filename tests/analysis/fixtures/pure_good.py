@@ -1,0 +1,21 @@
+# repro: scope[delaymodel]
+"""Seeded PURE good examples: pure computation, lru_cache memoization."""
+
+import functools
+
+TAU_FO4 = 5.0
+
+
+@functools.lru_cache(maxsize=None)
+def memoized_delay(width):
+    return width * 3.5
+
+
+def gate_delay(logical_effort, fanout):
+    local = []
+    local.append(logical_effort * fanout)  # local mutation is fine
+    return sum(local) + TAU_FO4
+
+
+def describe(rows):
+    return "\n".join(str(row) for row in rows)  # returns text, no I/O

@@ -1,0 +1,35 @@
+"""Seeded SLOTS bad examples: slot gaps and non-field dataclass state."""
+
+from dataclasses import dataclass
+
+
+class Packed:
+    __slots__ = ("length", "head")
+
+    def __init__(self, length):
+        self.length = length
+        self.head = None
+
+    def mark(self):
+        self.tagged = True  # SLOTS001: 'tagged' not in __slots__
+
+
+class PackedChild(Packed):
+    __slots__ = ("tail",)
+
+    def seal(self):
+        self.tail = None
+        self.checksum = 0  # SLOTS001: not in the chain's slots
+
+
+@dataclass
+class SimConfig:
+    mesh_radix: int = 8
+    seed: int = 1
+
+
+def tag_config():
+    config = SimConfig(mesh_radix=4)
+    config.seed = 7  # fine: a real field
+    config.run_label = "sweep-3"  # SLOTS003: not a SimConfig field
+    return config

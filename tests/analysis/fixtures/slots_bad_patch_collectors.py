@@ -1,0 +1,10 @@
+# repro: scope[wrap-site]
+"""Seeded SLOTS002 bad example: patching a fully-__slots__ class
+(SlottedRouter lives in slots_patch_routers.py)."""
+
+
+class PatchingCollector:
+    def attach(self, network):
+        for router in network.routers:
+            original = router.forward  # resolves to SlottedRouter.forward
+            router.forward = lambda flit: original(flit)  # SLOTS002

@@ -1,0 +1,34 @@
+"""Seeded SLOTS good examples: covered slots, field-only config state."""
+
+from dataclasses import dataclass
+
+
+class Packed:
+    __slots__ = ("length", "head", "tagged")
+
+    def __init__(self, length):
+        self.length = length
+        self.head = None
+        self.tagged = False
+
+    def mark(self):
+        self.tagged = True
+
+
+class Flexible:
+    # No __slots__: instances carry a __dict__, assign freely.
+
+    def mark(self):
+        self.tagged = True
+
+
+@dataclass
+class SimConfig:
+    mesh_radix: int = 8
+    seed: int = 1
+
+
+def tag_config():
+    config = SimConfig(mesh_radix=4)
+    config.seed = 7
+    return config

@@ -1,0 +1,11 @@
+"""Fully-slotted provider class for the SLOTS002 fixture."""
+
+
+class SlottedRouter:
+    __slots__ = ("node",)
+
+    def __init__(self, node):
+        self.node = node
+
+    def forward(self, flit):
+        return flit

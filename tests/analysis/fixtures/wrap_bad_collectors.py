@@ -1,0 +1,18 @@
+# repro: scope[wrap-site]
+"""Seeded WRAP bad example: wrap targets Router (wrap_routers.py) does
+not define -- the renamed-method drift WRAP001 exists to catch."""
+
+
+class BadCollector:
+    def attach(self, network):
+        for router in network.routers:
+            original = router._cross_traverse  # WRAP001: no such method
+            router._cross_traverse = lambda flit: original(flit)
+            spec = getattr(router, "_speculative_alloc", None)  # WRAP001
+            if spec is not None:
+                pass
+
+    def detach(self, network):
+        for router in network.routers:
+            if "_cross_traverse" in router.__dict__:  # WRAP001
+                del router._cross_traverse

@@ -1,0 +1,18 @@
+# repro: scope[wrap-site]
+"""Seeded WRAP good example: every wrap target resolves to Router
+(defined in wrap_routers.py, analyzed alongside this file)."""
+
+
+class GoodCollector:
+    def attach(self, network):
+        for router in network.routers:
+            original = router._traverse
+            router._traverse = lambda flit: original(flit)
+            spec = getattr(router, "_spec_allocator", None)
+            if spec is not None:
+                pass
+
+    def detach(self, network):
+        for router in network.routers:
+            if "_traverse" in router.__dict__:
+                del router._traverse

@@ -1,0 +1,105 @@
+"""CACHE checker: cache-key completeness, including the live drift test
+that adds an unfingerprinted field to a throwaway config tree."""
+
+import shutil
+from pathlib import Path
+
+from repro.analysis.checkers.cache import CacheKeyChecker
+
+from .conftest import FIXTURES, run_analysis, rules_of
+
+
+def _cache_only(*paths, root=None):
+    return run_analysis(*paths, checkers=[CacheKeyChecker()], root=root)
+
+
+def test_bad_fixture_flags_every_unkeyed_field():
+    result = _cache_only("cache_bad.py")
+    rules = rules_of(result)
+    assert rules.count("CACHE001") == 5
+    assert rules.count("CACHE002") == 1
+    flagged = {f.message.split(" ")[0] for f in result.new_findings}
+    assert flagged == {
+        "SimConfig.debug_label",
+        "SimConfig.telemetry",
+        "SimConfig.SCHEMA_HINT",
+        "TelemetryConfig.sample_period",
+        "MeasurementConfig.warmup_cycles",
+        "MeasurementConfig.sample_packets",
+    }
+
+
+def test_good_fixture_is_silent():
+    result = _cache_only("cache_good.py")
+    assert result.ok, [str(f) for f in result.new_findings]
+
+
+def test_findings_point_at_field_definition_lines():
+    result = _cache_only("cache_bad.py")
+    text = (FIXTURES / "cache_bad.py").read_text().splitlines()
+    for finding in result.new_findings:
+        field_name = finding.message.split(" ")[0].split(".")[1]
+        assert field_name in text[finding.line - 1]
+
+
+def test_adding_unfingerprinted_field_to_real_tree_fails(tmp_path):
+    """The drift test: copy the real config + cache modules and add one
+    unfingerprinted knob to SimConfig; the lint must fail on exactly it.
+
+    The real ``config_key`` hashes ``asdict(config)``, so any *dataclass
+    field* added to SimConfig is fingerprinted automatically -- the
+    genuinely unfingerprinted vector is class-level state, which
+    ``asdict`` skips.  That is what CACHE002 guards."""
+    repo_src = Path(__file__).resolve().parent.parent.parent / "src"
+    tree = tmp_path / "mini"
+    tree.mkdir()
+    shutil.copy(repo_src / "repro/sim/config.py", tree / "config.py")
+    shutil.copy(repo_src / "repro/runtime/cache.py", tree / "cache.py")
+    shutil.copy(
+        repo_src / "repro/telemetry/config.py", tree / "telemetry_config.py"
+    )
+
+    clean = _cache_only(tree, root=tmp_path)
+    assert clean.ok, [str(f) for f in clean.new_findings]
+
+    config = tree / "config.py"
+    text = config.read_text()
+    anchor = "    seed: int = 1\n"
+    assert anchor in text
+    config.write_text(text.replace(
+        anchor, anchor + "    sneaky_knob = 0\n", 1
+    ))
+    dirty = _cache_only(tree, root=tmp_path)
+    assert rules_of(dirty) == ["CACHE002"]
+    assert "SimConfig.sneaky_knob" in dirty.new_findings[0].message
+
+
+def test_exempt_field_via_module_set(tmp_path):
+    snippet = tmp_path / "mod.py"
+    snippet.write_text(
+        "import hashlib, json\n"
+        "from dataclasses import asdict, dataclass\n"
+        "CACHE_KEY_EXEMPT = {'SimConfig.note'}\n"
+        "@dataclass\n"
+        "class SimConfig:\n"
+        "    seed: int = 1\n"
+        "    note: str = ''\n"
+        "def config_key(config: SimConfig) -> str:\n"
+        "    return hashlib.sha256(\n"
+        "        json.dumps({'seed': config.seed}).encode()).hexdigest()\n"
+    )
+    result = _cache_only(snippet, root=tmp_path)
+    assert result.ok, [str(f) for f in result.new_findings]
+
+
+def test_silent_without_key_function(tmp_path):
+    # Completeness is undecidable without the key construction in view.
+    snippet = tmp_path / "configs.py"
+    snippet.write_text(
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class SimConfig:\n"
+        "    seed: int = 1\n"
+    )
+    result = _cache_only(snippet, root=tmp_path)
+    assert result.ok

@@ -1,0 +1,63 @@
+"""DET checker: seeded bad fixtures fire, good fixtures stay silent."""
+
+from repro.analysis.checkers.det import DeterminismChecker
+
+from .conftest import run_analysis, rules_of
+
+
+def _det_only(*paths):
+    return run_analysis(*paths, checkers=[DeterminismChecker()])
+
+
+def test_bad_fixture_fires_det001_and_det002():
+    result = _det_only("det_bad.py")
+    rules = rules_of(result)
+    assert rules.count("DET001") == 2  # from-import + random.random()
+    assert rules.count("DET002") == 2  # time.time + os.urandom
+    assert not result.ok
+
+
+def test_good_fixture_is_silent():
+    result = _det_only("det_good.py")
+    assert result.ok, [str(f) for f in result.new_findings]
+
+
+def test_hot_path_set_iteration_fires_det003():
+    result = _det_only("det_bad_hot.py")
+    rules = rules_of(result)
+    assert rules == ["DET003"] * 3
+    messages = " ".join(f.message for f in result.new_findings)
+    assert "hash order" in messages
+
+
+def test_hot_path_ordered_iteration_is_silent():
+    result = _det_only("det_good_hot.py")
+    assert result.ok, [str(f) for f in result.new_findings]
+
+
+def test_det_rules_scoped_to_sim_and_delaymodel(tmp_path):
+    # The same bad code outside sim/delaymodel/hot scope is not DET's
+    # business (benchmarks legitimately read wall clocks).
+    snippet = tmp_path / "bench_something.py"
+    snippet.write_text(
+        "import time\n\ndef now():\n    return time.time()\n"
+    )
+    result = run_analysis(
+        snippet, checkers=[DeterminismChecker()], root=tmp_path
+    )
+    assert result.ok
+
+
+def test_sole_requestor_set_membership_allowed(tmp_path):
+    # Membership tests on sets must not be flagged -- only iteration.
+    snippet = tmp_path / "allocators.py"
+    snippet.write_text(
+        "# repro: scope[sim, hot]\n"
+        "def pick(requests):\n"
+        "    active = set(requests)\n"
+        "    return [r for r in requests if r in active]\n"
+    )
+    result = run_analysis(
+        snippet, checkers=[DeterminismChecker()], root=tmp_path
+    )
+    assert result.ok, [str(f) for f in result.new_findings]

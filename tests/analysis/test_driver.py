@@ -1,0 +1,160 @@
+"""Framework behaviour: suppressions, baseline round-trip, driver rules."""
+
+from pathlib import Path
+
+from repro.analysis import Baseline, analyze
+from repro.analysis.checkers.det import DeterminismChecker
+from repro.analysis.reporters import render_json, render_text
+
+BAD_SNIPPET = (
+    "# repro: scope[sim]\n"
+    "import time\n"
+    "def now():\n"
+    "    return time.time()\n"
+)
+
+
+def _write(tmp_path: Path, name: str, text: str) -> Path:
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+def test_inline_suppression_with_reason_silences_finding(tmp_path):
+    _write(tmp_path, "mod.py", BAD_SNIPPET.replace(
+        "    return time.time()",
+        "    return time.time()  # repro: allow[DET002] wall-clock only",
+    ))
+    result = analyze(
+        [tmp_path], checkers=[DeterminismChecker()], root=tmp_path
+    )
+    assert result.ok
+    assert result.suppressed_count == 1
+
+
+def test_suppression_on_preceding_comment_line(tmp_path):
+    _write(tmp_path, "mod.py", BAD_SNIPPET.replace(
+        "    return time.time()",
+        "    # repro: allow[DET002] wall-clock only\n    return time.time()",
+    ))
+    result = analyze(
+        [tmp_path], checkers=[DeterminismChecker()], root=tmp_path
+    )
+    assert result.ok
+    assert result.suppressed_count == 1
+
+
+def test_rule_family_prefix_matches(tmp_path):
+    _write(tmp_path, "mod.py", BAD_SNIPPET.replace(
+        "    return time.time()",
+        "    return time.time()  # repro: allow[DET] whole family",
+    ))
+    result = analyze(
+        [tmp_path], checkers=[DeterminismChecker()], root=tmp_path
+    )
+    assert result.ok
+
+
+def test_reasonless_suppression_is_its_own_finding(tmp_path):
+    _write(tmp_path, "mod.py", BAD_SNIPPET.replace(
+        "    return time.time()",
+        "    return time.time()  # repro: allow[DET002]",
+    ))
+    result = analyze(
+        [tmp_path], checkers=[DeterminismChecker()], root=tmp_path
+    )
+    rules = sorted(f.rule for f in result.new_findings)
+    # The reasonless allow does not suppress, and is itself flagged.
+    assert rules == ["DET002", "SUP001"]
+
+
+def test_wrong_rule_suppression_does_not_silence(tmp_path):
+    _write(tmp_path, "mod.py", BAD_SNIPPET.replace(
+        "    return time.time()",
+        "    return time.time()  # repro: allow[PURE002] wrong family",
+    ))
+    result = analyze(
+        [tmp_path], checkers=[DeterminismChecker()], root=tmp_path
+    )
+    assert [f.rule for f in result.new_findings] == ["DET002"]
+
+
+def test_syntax_error_reported_as_parse_finding(tmp_path):
+    _write(tmp_path, "broken.py", "def half(:\n")
+    result = analyze([tmp_path], checkers=[], root=tmp_path)
+    assert [f.rule for f in result.new_findings] == ["PARSE001"]
+
+
+def test_baseline_round_trip(tmp_path):
+    _write(tmp_path, "mod.py", BAD_SNIPPET)
+    first = analyze(
+        [tmp_path], checkers=[DeterminismChecker()], root=tmp_path
+    )
+    assert len(first.new_findings) == 1
+
+    baseline_path = tmp_path / "baseline.json"
+    Baseline.from_findings(first.new_findings).save(baseline_path)
+    loaded = Baseline.load(baseline_path)
+    assert loaded == Baseline.from_findings(first.new_findings)
+
+    second = analyze(
+        [tmp_path], checkers=[DeterminismChecker()],
+        root=tmp_path, baseline=loaded,
+    )
+    assert second.ok
+    assert len(second.baselined) == 1
+
+    # Saving the unchanged baseline again is byte-identical.
+    again = tmp_path / "baseline2.json"
+    Baseline.from_findings(
+        [*second.new_findings, *second.baselined]
+    ).save(again)
+    assert again.read_text() == baseline_path.read_text()
+
+
+def test_baseline_absorbs_counts_not_rules(tmp_path):
+    # Two identical findings, baseline allows one: one is still new.
+    _write(
+        tmp_path, "mod.py",
+        "# repro: scope[sim]\n"
+        "import time\n"
+        "def a():\n"
+        "    return time.time()\n"
+        "def b():\n"
+        "    return time.time()\n",
+    )
+    result = analyze(
+        [tmp_path], checkers=[DeterminismChecker()], root=tmp_path
+    )
+    assert len(result.new_findings) == 2
+    one = Baseline.from_findings(result.new_findings[:1])
+    partial = analyze(
+        [tmp_path], checkers=[DeterminismChecker()],
+        root=tmp_path, baseline=one,
+    )
+    assert len(partial.new_findings) == 1
+    assert len(partial.baselined) == 1
+
+
+def test_fixture_directories_are_excluded(tmp_path):
+    nested = tmp_path / "pkg" / "fixtures"
+    nested.mkdir(parents=True)
+    _write(nested, "bad.py", BAD_SNIPPET)
+    result = analyze(
+        [tmp_path], checkers=[DeterminismChecker()], root=tmp_path
+    )
+    assert result.ok
+    assert len(result.files) == 0
+
+
+def test_reporters_render(tmp_path):
+    _write(tmp_path, "mod.py", BAD_SNIPPET)
+    result = analyze(
+        [tmp_path], checkers=[DeterminismChecker()], root=tmp_path
+    )
+    text = render_text(result)
+    assert "DET002" in text
+    assert "1 new finding(s)" in text
+    payload = render_json(result)
+    assert '"rule": "DET002"' in payload
+    assert '"new": 1' in payload

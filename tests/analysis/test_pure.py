@@ -1,0 +1,45 @@
+"""PURE checker: delay-model purity rules."""
+
+from repro.analysis.checkers.pure import PurityChecker
+
+from .conftest import run_analysis, rules_of
+
+
+def _pure_only(*paths, root=None):
+    return run_analysis(*paths, checkers=[PurityChecker()], root=root)
+
+
+def test_bad_fixture_fires_all_three_rules():
+    result = _pure_only("pure_bad.py")
+    rules = rules_of(result)
+    assert rules.count("PURE001") == 1  # global _CALLS
+    assert rules.count("PURE002") == 2  # print + open
+    assert rules.count("PURE003") == 2  # _RESULTS.append + _MEMO[...] =
+
+
+def test_good_fixture_is_silent():
+    result = _pure_only("pure_good.py")
+    assert result.ok, [str(f) for f in result.new_findings]
+
+
+def test_rules_scoped_to_delaymodel(tmp_path):
+    # Identical code outside the delaymodel domain is not PURE's
+    # business (the experiments layer prints reports all day).
+    snippet = tmp_path / "report.py"
+    snippet.write_text(
+        "ROWS = []\n"
+        "def render(row):\n"
+        "    ROWS.append(row)\n"
+        "    print(row)\n"
+    )
+    result = _pure_only(snippet, root=tmp_path)
+    assert result.ok
+
+
+def test_real_delaymodel_is_pure():
+    from .conftest import REPO_ROOT
+
+    result = _pure_only(
+        REPO_ROOT / "src/repro/delaymodel", root=REPO_ROOT
+    )
+    assert result.ok, [str(f) for f in result.new_findings]

@@ -1,0 +1,93 @@
+"""Self-lint: the repository passes its own analyzer, fast, via the CLI.
+
+This is the gate CI runs (`python -m repro.analysis --check src tests
+benchmarks`); keeping a test-suite copy means a violation fails the
+ordinary pytest run too, with the findings in the assertion message.
+"""
+
+import time
+
+from repro.analysis import Baseline, analyze
+from repro.analysis.__main__ import main
+from repro.analysis.driver import iter_rules
+
+from .conftest import REPO_ROOT
+
+
+def _repo_paths():
+    return [REPO_ROOT / p for p in ("src", "tests", "benchmarks")]
+
+
+def test_repository_is_clean_and_fast():
+    baseline_path = REPO_ROOT / "analysis-baseline.json"
+    baseline = Baseline.load(baseline_path)
+    started = time.perf_counter()
+    result = analyze(_repo_paths(), root=REPO_ROOT, baseline=baseline)
+    elapsed = time.perf_counter() - started
+    assert result.ok, "\n".join(str(f) for f in result.new_findings)
+    # All five checker families ran.
+    assert result.checker_count == 5
+    # The CI budget is <5s over the full repo; leave headroom for slow
+    # shared runners but fail on an order-of-magnitude regression.
+    assert elapsed < 5.0, f"analysis took {elapsed:.2f}s (budget 5s)"
+
+
+def test_all_five_checker_families_have_rules():
+    families = {rule.id[:-3] for rule in iter_rules()
+                if rule.id not in ("PARSE001", "SUP001")}
+    assert families == {"DET", "CACHE", "WRAP", "SLOTS", "PURE"}
+
+
+def test_cli_check_mode_exits_zero(monkeypatch, capsys):
+    monkeypatch.chdir(REPO_ROOT)
+    code = main(["--check", "src", "tests", "benchmarks"])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "0 new finding(s)" in out
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("DET001", "CACHE001", "WRAP001", "SLOTS001", "PURE001"):
+        assert rule_id in out
+
+
+def test_cli_json_mode(monkeypatch, capsys):
+    monkeypatch.chdir(REPO_ROOT)
+    code = main(["--json", "src"])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert '"summary"' in out
+
+
+def test_cli_nonzero_on_findings(tmp_path, monkeypatch, capsys):
+    bad = tmp_path / "mod.py"
+    bad.write_text(
+        "# repro: scope[sim]\n"
+        "import time\n"
+        "def now():\n"
+        "    return time.time()\n"
+    )
+    monkeypatch.chdir(tmp_path)
+    code = main([str(bad)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "DET002" in out
+
+
+def test_cli_write_baseline_round_trip(tmp_path, monkeypatch, capsys):
+    bad = tmp_path / "mod.py"
+    bad.write_text(
+        "# repro: scope[sim]\n"
+        "import time\n"
+        "def now():\n"
+        "    return time.time()\n"
+    )
+    monkeypatch.chdir(tmp_path)
+    assert main(["--write-baseline", str(bad)]) == 0
+    assert (tmp_path / "analysis-baseline.json").exists()
+    capsys.readouterr()
+    # Baselined now: the same lint run exits clean.
+    assert main([str(bad)]) == 0
+    assert "1 baselined" in capsys.readouterr().out
