@@ -1,29 +1,37 @@
-"""Microbenchmark: the parallel sweep runtime vs the serial path.
+"""Microbenchmark: the chunked parallel sweep runtime vs the serial path.
 
 Runs a figure-sized grid (3 router configs x 8 loads = 24 points, the
-shape of Figures 13/14) four ways --
+shape of Figures 13/14) three ways --
 
-* serial, no cache (the pre-runtime baseline),
-* 4 workers, no cache (parallel fan-out),
-* serial with a cold cache (execution + store overhead),
-* serial with a warm cache (every point served from disk),
+* serial backend, **cold cache** (the baseline: execution plus the
+  streaming cache writes),
+* chunked work-stealing process backend, **cold cache** (a fresh
+  directory, so the pass measures executor overhead and nothing else --
+  the original benchmark let cache state leak into the comparison),
+* serial with a **warm cache** (every point served from disk),
 
--- verifies the parallel results are bit-identical to serial and that
-the warm pass serves >= 95% from cache, then writes the wall times to
-``benchmarks/BENCH_runtime.json`` so the perf trajectory is tracked
-from this PR onward.
+-- verifies the parallel results are bit-identical to serial, that the
+warm pass serves >= 95% from cache, then writes wall times plus the
+scheduler's chunk/steal accounting to ``benchmarks/BENCH_runtime.json``
+so the perf trajectory is tracked across PRs.
+
+``--check`` gates the recorded numbers for CI: bit-identity and the
+warm-cache hit rate always, and ``parallel_speedup >= --floor``
+(default 1.5) whenever the machine has at least two cores -- on a
+single core the parallel pass cannot win and the floor is skipped
+(the JSON records ``cpu_count`` so readers can judge the number).
 
 Run standalone (full scale)::
 
     PYTHONPATH=src python benchmarks/bench_runtime.py [--workers 4]
 
+as the CI gate (quick scale)::
+
+    PYTHONPATH=src python benchmarks/bench_runtime.py --check --scale quick
+
 or via pytest (reduced scale)::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_runtime.py -q
-
-On a single-core machine the parallel pass cannot beat serial; the
-JSON records ``cpu_count`` so readers can judge the speedup number.
-The >= 2x target applies on >= 4 cores.
 """
 
 from __future__ import annotations
@@ -37,7 +45,7 @@ import time
 from pathlib import Path
 from typing import Optional
 
-from repro.runtime import Experiment, ResultCache
+from repro.runtime import Experiment, ProcessBackend, ResultCache
 from repro.sim.config import MeasurementConfig, RouterKind, SimConfig
 
 RESULT_PATH = Path(__file__).parent / "BENCH_runtime.json"
@@ -54,9 +62,12 @@ GRID_CONFIGS = [
 #: 8 loads x 3 configs = 24 points, a full figure's worth.
 GRID_LOADS = (0.05, 0.15, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50)
 
+#: Minimum parallel speedup the CI gate requires on >= 2 cores.
+SPEEDUP_FLOOR = 1.5
+
 
 def bench_measurement(scale: str) -> MeasurementConfig:
-    if scale == "quick":  # pytest wrapper: seconds, not minutes
+    if scale == "quick":  # pytest wrapper / CI gate: seconds, not minutes
         return MeasurementConfig(
             warmup_cycles=100, sample_packets=120, max_cycles=6_000,
             drain_cycles=2_000,
@@ -82,22 +93,29 @@ def run_benchmark(
 
     def grid_with(experiment):
         start = time.perf_counter()
-        grid = experiment.run_grid(configs, loads=GRID_LOADS)
+        grid = experiment.grid(configs, loads=GRID_LOADS)
         return grid, time.perf_counter() - start
 
-    serial_grid, serial_s = grid_with(Experiment(measurement, workers=0))
-    parallel_grid, parallel_s = grid_with(
-        Experiment(measurement, workers=workers)
-    )
-    if parallel_grid.results != serial_grid.results:
-        raise AssertionError(
-            "parallel grid is not bit-identical to the serial grid"
+    # Both timed passes pay identical cache-write costs (cold, fresh
+    # directories), so the ratio isolates executor overhead.
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serial-") as tmp:
+        serial_grid, serial_s = grid_with(
+            Experiment(measurement, backend="serial", cache=ResultCache(tmp))
         )
 
-    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
-        cold = Experiment(measurement, workers=0, cache=ResultCache(tmp))
-        cold_grid, cold_s = grid_with(cold)
-        warm = Experiment(measurement, workers=0, cache=ResultCache(tmp))
+    with tempfile.TemporaryDirectory(prefix="repro-bench-parallel-") as tmp:
+        parallel_exp = Experiment(
+            measurement, backend=ProcessBackend(workers),
+            cache=ResultCache(tmp),
+        )
+        parallel_grid, parallel_s = grid_with(parallel_exp)
+        if parallel_grid.results != serial_grid.results:
+            raise AssertionError(
+                "parallel grid is not bit-identical to the serial grid"
+            )
+        # Warm pass over the directory the parallel pass streamed into:
+        # proves the chunked backend's writes are served back exactly.
+        warm = Experiment(measurement, backend="serial", cache=ResultCache(tmp))
         warm_grid, warm_s = grid_with(warm)
         hit_rate = warm.stats.cache_hit_rate
     if warm_grid.results != serial_grid.results:
@@ -110,6 +128,7 @@ def run_benchmark(
     total_cycles = sum(
         r.counters.total_cycles for r in serial_grid.results if r.counters
     )
+    scheduler = parallel_exp.stats.scheduler
     record = {
         "benchmark": "runtime",
         "scale": scale,
@@ -121,7 +140,14 @@ def run_benchmark(
         "serial_seconds": round(serial_s, 3),
         "parallel_seconds": round(parallel_s, 3),
         "parallel_speedup": round(serial_s / parallel_s, 3),
-        "cold_cache_seconds": round(cold_s, 3),
+        "parallel_chunks": scheduler.chunks_completed,
+        "parallel_steals": scheduler.steals,
+        "parallel_splits": scheduler.splits,
+        "mean_chunk_seconds": round(scheduler.mean_chunk_seconds, 3),
+        "mean_worker_utilization": round(
+            parallel_exp.stats.mean_worker_utilization, 3
+        ),
+        "cache_stream_lag_seconds": round(scheduler.mean_stream_lag, 6),
         "warm_cache_seconds": round(warm_s, 3),
         "warm_cache_speedup": round(serial_s / warm_s, 1),
         "warm_cache_hit_rate": round(hit_rate, 4),
@@ -132,25 +158,80 @@ def run_benchmark(
     return record
 
 
+def check_record(record: dict, floor: float = SPEEDUP_FLOOR) -> int:
+    """The CI gate over one benchmark record; returns a process exit code.
+
+    Bit-identity and the warm-cache hit rate are unconditional.  The
+    parallel-speedup floor applies only on >= 2 cores: a single-core
+    machine cannot express parallelism, and the gate says so instead of
+    failing (or silently passing a meaningless ratio).
+    """
+    ok = True
+    if not record["parallel_bit_identical"]:
+        print("FAIL: parallel grid not bit-identical to serial")
+        ok = False
+    if record["warm_cache_hit_rate"] < 0.95:
+        print(
+            f"FAIL: warm cache hit rate {record['warm_cache_hit_rate']:.0%} "
+            f"< 95%"
+        )
+        ok = False
+    cores = record.get("cpu_count") or 1
+    if cores >= 2:
+        if record["parallel_speedup"] < floor:
+            print(
+                f"FAIL: parallel_speedup {record['parallel_speedup']} < "
+                f"floor {floor} on {cores} cores "
+                f"({record['workers']} workers, cold cache)"
+            )
+            ok = False
+        else:
+            print(
+                f"ok: parallel_speedup {record['parallel_speedup']} >= "
+                f"{floor} ({cores} cores, {record['workers']} workers)"
+            )
+    else:
+        print(
+            f"skip: parallel-speedup floor needs >= 2 cores, machine has "
+            f"{cores} (measured {record['parallel_speedup']})"
+        )
+    return 0 if ok else 1
+
+
 def test_runtime_microbenchmark():
     """Pytest entry: quick scale, correctness assertions included."""
     record = run_benchmark(scale="quick", workers=2, write_json=True)
     assert record["parallel_bit_identical"]
     assert record["warm_cache_hit_rate"] >= 0.95
     assert record["grid_points"] >= 24
+    assert record["parallel_chunks"] >= 2
     # The warm cache must beat re-simulating by a wide margin.
     assert record["warm_cache_seconds"] < record["serial_seconds"]
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--workers", type=int,
+                        default=min(4, os.cpu_count() or 1))
     parser.add_argument("--scale", choices=("quick", "bench"),
                         default="bench")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="gate the results (bit-identity, warm hit rate, and the "
+             "parallel-speedup floor on >= 2 cores); exit nonzero on "
+             "regression",
+    )
+    parser.add_argument(
+        "--floor", type=float, default=SPEEDUP_FLOOR,
+        help=f"minimum parallel speedup for --check "
+             f"(default {SPEEDUP_FLOOR})",
+    )
     args = parser.parse_args()
-    record = run_benchmark(scale=args.scale, workers=args.workers)
+    record = run_benchmark(scale=args.scale, workers=max(1, args.workers))
     print(json.dumps(record, indent=2))
     print(f"\nwritten to {RESULT_PATH}")
+    if args.check:
+        return check_record(record, floor=args.floor)
     return 0
 
 

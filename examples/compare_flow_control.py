@@ -73,8 +73,8 @@ def main() -> None:
     experiment = Experiment(
         measurement, workers=args.workers, cache=args.cache or None,
     )
-    curves = experiment.run_sweeps(
-        [(label, config) for label, config in configs], loads
+    curves = experiment.sweeps(
+        [(label, config) for label, config in configs], loads=loads
     )
     print(compare_curves(curves))
     print(

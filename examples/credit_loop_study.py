@@ -61,7 +61,7 @@ def main() -> None:
         )
         for propagation in propagations
     ]
-    for curve in experiment.run_sweeps(labeled, loads):
+    for curve in experiment.sweeps(labeled, loads=loads):
         print(curve.describe())
         print(
             f"  -> zero-load {curve.zero_load_latency():.1f} cycles, "

@@ -185,6 +185,18 @@ def main(argv=None) -> int:
         help="simulation worker processes (default $REPRO_WORKERS or serial)",
     )
     parser.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="execution backend: serial, process[:N] (chunked "
+             "work-stealing pool) or ssh[:N] (rank-style fabric sharing "
+             "the cache directory); default $REPRO_BACKEND or inferred "
+             "from --workers",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=None, metavar="POINTS",
+        help="grid points per scheduler chunk (default: automatic, "
+             "~4 chunks per worker)",
+    )
+    parser.add_argument(
         "--cache", action="store_true",
         help="serve repeated points from the on-disk result cache "
              "($REPRO_CACHE_DIR or ~/.cache/repro-sim)",
@@ -209,6 +221,12 @@ def main(argv=None) -> int:
         return _validation_smoke()
 
     overrides = {"workers": args.workers}
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    if args.chunk_size is not None:
+        from ..runtime.scheduler import Plan
+
+        overrides["plan"] = Plan(chunk_size=args.chunk_size)
     if args.cache:
         overrides["cache"] = True
     if args.progress:
@@ -229,11 +247,16 @@ def main(argv=None) -> int:
     if args.simulate or args.ablations:
         stats = experiment.stats
         if stats.points_requested:
+            scheduler = stats.scheduler
             print(
                 f"\n[runtime] {stats.points_requested} points, "
                 f"{stats.points_executed} executed, "
                 f"{stats.cache_hits} from cache, "
-                f"{stats.wall_seconds:.1f}s"
+                f"{stats.wall_seconds:.1f}s "
+                f"[{experiment.backend.name}: "
+                f"{scheduler.chunks_completed} chunks, "
+                f"{scheduler.steals} steals, "
+                f"{stats.mean_worker_utilization:.0%} worker utilization]"
             )
     return 0
 

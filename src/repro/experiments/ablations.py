@@ -61,7 +61,7 @@ def _run_variants(
         for config in variants.values()
         for load in loads
     ]
-    results = experiment.run_many(flat)
+    results = experiment.map(flat)
     runs = {}
     for index, label in enumerate(variants):
         start = index * len(loads)

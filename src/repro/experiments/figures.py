@@ -241,8 +241,8 @@ def _run_figure(
             progress=experiment.progress,
             check_invariants=experiment.check_invariants,
         )
-    sweeps = experiment.run_sweeps(
-        [(spec.label, spec.config) for spec in specs], loads
+    sweeps = experiment.sweeps(
+        [(spec.label, spec.config) for spec in specs], loads=loads
     )
     return SimFigureResult(figure, list(zip(specs, sweeps)))
 

@@ -4,9 +4,9 @@ Each of the paper's Figures 13-15, 17 and 18 is a set of
 latency-vs-offered-load curves over the 8x8 mesh.  These module-level
 functions are **thin deprecated shims** over the unified
 :class:`repro.runtime.Experiment` façade -- :func:`sweep` is
-``Experiment.run_sweep`` and :func:`run_with_seeds` is
-``Experiment.run_with_seeds``; new code should construct an
-``Experiment`` directly (it adds parallel workers and result caching).
+``Experiment.sweep`` and :func:`run_with_seeds` is
+``Experiment.aggregate``; new code should construct an ``Experiment``
+directly (it adds parallel workers and result caching).
 :func:`find_saturation` reads the saturation point off a curve the way
 the paper quotes them (the load where average latency diverges).
 """
@@ -43,15 +43,16 @@ def sweep(
 ) -> SweepResult:
     """Run one latency-throughput curve.
 
-    .. deprecated:: use ``Experiment(measurement).run_sweep(...)``,
-       which adds parallel execution and result caching.
+    .. deprecated:: use ``Experiment(measurement).sweep(config,
+       label=...)``, which adds parallel execution and result caching.
 
     ``stop_after_saturation`` skips the remaining (higher) loads once a
     point saturates -- they are strictly more expensive to simulate and
     add no information beyond "the curve is vertical here".
     """
-    return Experiment(measurement).run_sweep(
-        base_config, label, loads, stop_after_saturation
+    return Experiment(measurement).sweep(
+        base_config, label=label, loads=loads,
+        stop_after_saturation=stop_after_saturation,
     )
 
 
@@ -63,13 +64,16 @@ def run_with_seeds(
 ) -> AggregateResult:
     """Run one configuration/load across several seeds and aggregate.
 
-    .. deprecated:: use ``Experiment(measurement).run_with_seeds(...)``.
+    .. deprecated:: use ``Experiment(measurement).aggregate(config,
+       load=..., seeds=...)``.
 
     Gives mean latency with a 95% confidence interval -- use it when a
     comparison's margin is within a few cycles and a single-seed result
     would be ambiguous.
     """
-    return Experiment(measurement).run_with_seeds(base_config, load, seeds)
+    return Experiment(measurement).aggregate(
+        base_config, load=load, seeds=seeds
+    )
 
 
 def find_saturation(

@@ -1,17 +1,21 @@
-"""Parallel sweep runtime: the one way to run experiments.
+"""Sharded sweep runtime: the one way to run experiments.
 
 ::
 
     from repro.runtime import Experiment
 
     exp = Experiment(workers=4, cache=True)
-    grid = exp.run_grid(configs, loads=(0.05, 0.25, 0.45), seeds=(1, 2, 3))
+    grid = exp.grid(configs, loads=(0.05, 0.25, 0.45), seeds=(1, 2, 3))
 
-:class:`Experiment` owns the measurement scale, the process pool, the
-content-addressed on-disk :class:`ResultCache`, and progress reporting;
-``run_one`` / ``run_sweep`` / ``run_grid`` cover everything the older
-``Simulator(cfg).run()`` / ``simulate(...)`` / ``sweep(...)`` entry
-points did (those remain as thin deprecated shims).
+:class:`Experiment` owns the measurement scale, the execution backend
+(serial, chunked work-stealing process pool, or the rank-style ssh
+fabric), the content-addressed on-disk :class:`ResultCache`, and
+progress reporting.  Its core is :meth:`Experiment.map`; ``point`` /
+``sweep`` / ``sweeps`` / ``grid`` / ``aggregate`` are thin wrappers
+over it, completed points stream into the cache as they land, and an
+interrupted sweep resumes from its manifest (see ``docs/RUNTIME.md``).
+The pre-redesign ``run_one`` / ``run_sweep`` / ``run_grid`` surface
+remains as deprecated shims.
 """
 
 from ..sim.instrumentation import (
@@ -20,7 +24,22 @@ from ..sim.instrumentation import (
     ProgressHook,
     RunCounters,
 )
-from .cache import ResultCache, code_fingerprint, config_key, default_cache_dir
+from .backends import (
+    BackendUnavailable,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    SSHBackend,
+    resolve_backend,
+)
+from .cache import (
+    ResultCache,
+    SweepManifest,
+    code_fingerprint,
+    config_key,
+    default_cache_dir,
+    sweep_key,
+)
 from .experiment import (
     DEFAULT_LOADS,
     Experiment,
@@ -28,19 +47,33 @@ from .experiment import (
     GridPoint,
     GridResult,
 )
+from .scheduler import Chunk, Job, JobQueue, Plan, SchedulerStats
 
 __all__ = [
+    "BackendUnavailable",
+    "Chunk",
     "DEFAULT_LOADS",
+    "ExecutionBackend",
     "Experiment",
     "ExperimentStats",
     "GridPoint",
     "GridResult",
+    "Job",
+    "JobQueue",
     "NullProgress",
+    "Plan",
     "PrintProgress",
+    "ProcessBackend",
     "ProgressHook",
     "ResultCache",
     "RunCounters",
+    "SchedulerStats",
+    "SerialBackend",
+    "SSHBackend",
+    "SweepManifest",
     "code_fingerprint",
     "config_key",
     "default_cache_dir",
+    "resolve_backend",
+    "sweep_key",
 ]

@@ -1,0 +1,334 @@
+"""Execution backends: where and how a :class:`JobQueue` actually runs.
+
+Every backend implements the same tiny protocol -- drain a
+:class:`~repro.runtime.scheduler.JobQueue`, calling ``on_result(job,
+result)`` for each finished point *as it lands* -- so the
+:class:`~repro.runtime.experiment.Experiment` façade can stream results
+into the cache and fire progress hooks identically whatever the
+execution substrate:
+
+* :class:`SerialBackend` -- in-process, one point at a time.  The
+  determinism baseline and the zero-overhead path for small batches.
+* :class:`ProcessBackend` -- a :class:`~concurrent.futures.\
+  ProcessPoolExecutor` fed by the work-stealing pull loop: each idle
+  worker takes the next *chunk* of points (one pickle/spawn round-trip
+  per chunk, not per point), and the tail of the queue is split so the
+  last chunks are shared instead of straggling.
+* :class:`SSHBackend` -- the rank-style multi-host fabric, modelled on
+  MPI grid fan-outs: the chunk space is sharded ``chunk_id % world``
+  across ranks which share one result-cache directory.  Without
+  configured hosts it runs every rank's shard in-process ("loopback"),
+  which exercises the sharding/merge semantics end to end; with hosts it
+  is a stub that renders the per-host command lines a deployment would
+  run (actual remote spawning is not wired up yet).
+
+Backends are selected by :class:`~repro.runtime.experiment.Experiment`
+via ``backend=`` or ``$REPRO_BACKEND`` (see :func:`resolve_backend`).
+Results are bit-identical across backends -- each point is a pure
+function of config + measurement -- and that is enforced by
+``oracle_serial_vs_parallel`` running the same sweep through every one
+of them.
+"""
+
+from __future__ import annotations
+
+import os
+import shlex
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+from ..sim.config import MeasurementConfig, SimConfig
+from ..sim.engine import Simulator
+from ..sim.metrics import RunResult
+from .scheduler import Chunk, JobQueue, OnResult
+
+#: Environment variable naming the default backend.
+BACKEND_ENV = "REPRO_BACKEND"
+#: Environment variable listing ssh hosts (comma-separated).
+SSH_HOSTS_ENV = "REPRO_SSH_HOSTS"
+
+
+class BackendUnavailable(RuntimeError):
+    """The selected backend cannot execute in this environment."""
+
+
+def run_payload(
+    payload: Tuple[SimConfig, Optional[MeasurementConfig], bool, bool]
+) -> RunResult:
+    """Worker entry point: run one point (top level so it pickles)."""
+    config, measurement, check_invariants, checked = payload
+    return Simulator(
+        config, measurement, check_invariants, checked=checked
+    ).run()
+
+
+def run_chunk(
+    payloads: Sequence[Tuple[SimConfig, Optional[MeasurementConfig], bool, bool]]
+) -> List[RunResult]:
+    """Worker entry point: run one chunk of points in submission order.
+
+    One of these per pickle/spawn round-trip is the whole point of
+    chunked scheduling: the per-task overhead that made unchunked
+    process fan-out lose to serial is paid once per chunk.
+    """
+    return [run_payload(payload) for payload in payloads]
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Drains a :class:`JobQueue`, streaming completions to ``on_result``."""
+
+    #: Short name used in configuration and stats (``serial``/``process``/...).
+    name: str
+
+    @property
+    def slots(self) -> int:
+        """Concurrent execution slots (sizes automatic chunking)."""
+
+    def execute(self, queue: JobQueue, on_result: OnResult) -> None:
+        """Run every chunk, calling ``on_result(job, result)`` per point
+        in completion order.  Raises the first worker exception after
+        accounting for everything that already finished."""
+
+
+class SerialBackend:
+    """In-process execution, one point at a time, in queue order."""
+
+    name = "serial"
+
+    @property
+    def slots(self) -> int:
+        return 1
+
+    def execute(self, queue: JobQueue, on_result: OnResult) -> None:
+        started = time.perf_counter()
+        try:
+            while True:
+                chunk = queue.pull(0)
+                if chunk is None:
+                    break
+                chunk_started = time.perf_counter()
+                try:
+                    for job in chunk.jobs:
+                        on_result(job, run_payload(job.payload))
+                finally:
+                    queue.chunk_done(
+                        chunk, 0, time.perf_counter() - chunk_started
+                    )
+        finally:
+            queue.stats.dispatch_seconds += time.perf_counter() - started
+
+
+class ProcessBackend:
+    """Chunked fan-out over a process pool with work-stealing dispatch.
+
+    Workers are fed by pulling: each finished worker takes the next
+    chunk off the shared queue, so a slow chunk delays only its own
+    worker while the others drain the rest.  When fewer chunks remain
+    than idle workers the queue's tail is split (see
+    :meth:`JobQueue.rebalance`) so the final points finish in parallel.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"process backend needs >= 1 worker, got {workers}")
+        self.workers = workers
+
+    @property
+    def slots(self) -> int:
+        return self.workers
+
+    def execute(self, queue: JobQueue, on_result: OnResult) -> None:
+        started = time.perf_counter()
+        try:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                in_flight: Dict[Any, Tuple[int, Chunk, float]] = {}
+
+                def feed(worker: int) -> bool:
+                    queue.rebalance(self.workers - len(in_flight))
+                    chunk = queue.pull(worker)
+                    if chunk is None:
+                        return False
+                    future = pool.submit(
+                        run_chunk, [job.payload for job in chunk.jobs]
+                    )
+                    in_flight[future] = (worker, chunk, time.perf_counter())
+                    return True
+
+                for worker in range(self.workers):
+                    if not feed(worker):
+                        break
+                while in_flight:
+                    done, _ = wait(
+                        set(in_flight), return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        worker, chunk, chunk_started = in_flight.pop(future)
+                        results = future.result()
+                        queue.chunk_done(
+                            chunk, worker,
+                            time.perf_counter() - chunk_started,
+                        )
+                        for job, result in zip(chunk.jobs, results):
+                            on_result(job, result)
+                        feed(worker)
+        finally:
+            queue.stats.dispatch_seconds += time.perf_counter() - started
+
+
+class SSHBackend:
+    """Rank-style multi-host execution sharing one cache directory.
+
+    The scheduling model follows MPI-style grid fan-outs: rank ``r`` of
+    ``world`` executes exactly the chunks with ``chunk_id % world == r``
+    and streams its results into the *shared* content-addressed cache;
+    the coordinating process assembles the full batch from the cache.
+    Static sharding (no stealing) is deliberate -- ranks on different
+    hosts share no queue, only the filesystem.
+
+    Two modes:
+
+    * **loopback** (``hosts=None``/empty): every rank's shard runs
+      in-process, sequentially, in rank order.  Functionally complete --
+      sharding, streaming and merge semantics are all exercised -- and
+      what tests and oracles run.
+    * **hosts configured** (``hosts=[...]`` or ``$REPRO_SSH_HOSTS``):
+      a deployment stub.  :meth:`command_lines` renders the per-host
+      invocations (one ``python -m repro.experiments worker`` per rank
+      with its rank/world/cache environment); :meth:`execute` refuses
+      with :class:`BackendUnavailable` since remote spawning is not
+      wired up yet.
+    """
+
+    name = "ssh"
+
+    def __init__(self, hosts: Optional[Sequence[str]] = None,
+                 world: Optional[int] = None,
+                 python: str = "python") -> None:
+        self.hosts: Tuple[str, ...] = tuple(hosts or ())
+        if world is None:
+            world = len(self.hosts) or 2
+        if world < 1:
+            raise ValueError(f"world must be >= 1, got {world}")
+        self.world = world
+        self.python = python
+
+    @classmethod
+    def from_env(cls) -> "SSHBackend":
+        hosts = [
+            host.strip()
+            for host in os.environ.get(SSH_HOSTS_ENV, "").split(",")
+            if host.strip()
+        ]
+        return cls(hosts=hosts)
+
+    @property
+    def slots(self) -> int:
+        return self.world
+
+    def shard(self, queue_length: int, rank: int) -> List[int]:
+        """Chunk ids owned by ``rank`` (the static modulo partition)."""
+        return [
+            chunk_id for chunk_id in range(queue_length)
+            if chunk_id % self.world == rank
+        ]
+
+    def command_lines(self, cache_dir: str, label: str = "") -> List[str]:
+        """The per-host commands a real deployment would launch.
+
+        One line per rank: ``ssh HOST env REPRO_RANK=r ... python -m
+        repro.experiments worker``.  The worker process would recompute
+        the batch from the manifest named by ``label``, execute its
+        shard, and stream results into the shared ``cache_dir``.
+        """
+        if not self.hosts:
+            raise BackendUnavailable(
+                "ssh backend has no hosts configured "
+                f"(set ${SSH_HOSTS_ENV} or pass hosts=[...])"
+            )
+        lines = []
+        for rank, host in enumerate(self.hosts):
+            env = (
+                f"REPRO_RANK={rank} REPRO_WORLD={len(self.hosts)} "
+                f"REPRO_CACHE_DIR={shlex.quote(cache_dir)}"
+            )
+            label_arg = f" --label {shlex.quote(label)}" if label else ""
+            lines.append(
+                f"ssh {shlex.quote(host)} env {env} "
+                f"{self.python} -m repro.experiments worker{label_arg}"
+            )
+        return lines
+
+    def execute(self, queue: JobQueue, on_result: OnResult) -> None:
+        if self.hosts:
+            raise BackendUnavailable(
+                "ssh backend cannot spawn remote workers yet; use "
+                "command_lines() to render the per-host invocations, or "
+                "leave hosts unset for loopback execution"
+            )
+        started = time.perf_counter()
+        try:
+            # Loopback: drain the queue in chunk-id order; each chunk
+            # executes as its owning rank (chunk_id % world), which is
+            # the static modulo shard -- no stealing across ranks.
+            pulled = 0
+            while True:
+                chunk = queue.pull(pulled)
+                if chunk is None:
+                    break
+                pulled += 1
+                rank = chunk.chunk_id % self.world
+                chunk_started = time.perf_counter()
+                try:
+                    for job in chunk.jobs:
+                        on_result(job, run_payload(job.payload))
+                finally:
+                    queue.chunk_done(
+                        chunk, rank, time.perf_counter() - chunk_started
+                    )
+        finally:
+            queue.stats.dispatch_seconds += time.perf_counter() - started
+
+
+def resolve_backend(
+    spec: Any = None, *, workers: int = 0
+) -> ExecutionBackend:
+    """The backend an :class:`Experiment` will execute with.
+
+    ``spec`` may be an :class:`ExecutionBackend` instance, a name
+    (``"serial"``, ``"process"``, ``"ssh"``), or ``None`` -- which reads
+    ``$REPRO_BACKEND`` and otherwise infers from ``workers``: more than
+    one worker selects the process backend, else serial.  A bare
+    ``"process"`` uses ``workers`` (minimum 2) for its pool size;
+    ``"process:N"`` pins the pool to N.
+    """
+    if spec is None:
+        spec = os.environ.get(BACKEND_ENV) or None
+    if spec is None:
+        return ProcessBackend(workers) if workers > 1 else SerialBackend()
+    if isinstance(spec, (SerialBackend, ProcessBackend, SSHBackend)):
+        return spec
+    if not isinstance(spec, str):
+        if isinstance(spec, ExecutionBackend):
+            return spec
+        raise TypeError(
+            f"backend must be a name or an ExecutionBackend, got {spec!r}"
+        )
+    name, _, argument = spec.partition(":")
+    if name == "serial":
+        return SerialBackend()
+    if name == "process":
+        if argument:
+            return ProcessBackend(int(argument))
+        return ProcessBackend(max(2, workers))
+    if name == "ssh":
+        backend = SSHBackend.from_env()
+        if argument:
+            backend = SSHBackend(hosts=backend.hosts, world=int(argument))
+        return backend
+    raise ValueError(
+        f"unknown backend {spec!r} (expected serial, process[:N] or ssh[:N])"
+    )

@@ -12,6 +12,14 @@ Entries are one JSON file each, sharded by key prefix, written
 atomically (temp file + rename) so concurrent writers on the same
 machine cannot corrupt each other.  Results round-trip exactly:
 ``RunResult.from_dict(result.to_dict()) == result``.
+
+Batches stream: :meth:`Experiment.map` writes each point into the cache
+*as it completes* (not at sweep end) and records progress in a
+:class:`SweepManifest` -- an append-only JSONL ledger addressed by a
+hash of the batch's point keys.  An interrupted sweep therefore keeps
+everything it finished; re-running the same batch resumes from the
+cache, executing only the points that never landed, and the manifest
+says exactly which those are.
 """
 
 from __future__ import annotations
@@ -22,7 +30,7 @@ import os
 import tempfile
 from dataclasses import asdict
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Union
 
 from ..sim.config import MeasurementConfig, SimConfig
 from ..sim.metrics import RunResult
@@ -81,6 +89,98 @@ def config_key(
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
+def sweep_key(keys: Sequence[str]) -> str:
+    """Content address of one batch: a hash over its point keys.
+
+    Order-independent (the same set of points is the same sweep however
+    the caller enumerated the grid), so a restarted sweep finds its own
+    manifest even if the batch was rebuilt in a different order.
+    """
+    digest = hashlib.sha256()
+    for key in sorted(set(keys)):
+        digest.update(key.encode())
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+class SweepManifest:
+    """Append-only progress ledger of one batch of points.
+
+    Line 1 is the header (sweep key, label, point count); every
+    completed point appends a ``{"done": key}`` record the moment its
+    result is in the cache; a final ``{"complete": true}`` line marks a
+    finished batch.  Appends are line-buffered single writes, so a
+    killed process leaves a readable ledger that simply ends early --
+    which is the resume story: re-open the manifest, read the done set,
+    execute the rest.
+    """
+
+    def __init__(self, path: Path, sweep: str, points: int,
+                 label: str = "") -> None:
+        self.path = path
+        self.sweep = sweep
+        self.points = points
+        self.label = label
+        self._done: Set[str] = set()
+        self._complete = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError:
+            return
+        for line in lines:
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # a torn trailing write from a killed process
+            if "done" in record:
+                self._done.add(record["done"])
+            elif record.get("complete"):
+                self._complete = True
+
+    def start(self) -> "SweepManifest":
+        """Write the header if this is a fresh ledger; no-op on resume."""
+        if not self.path.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._append({
+                "format": CACHE_FORMAT,
+                "sweep": self.sweep,
+                "label": self.label,
+                "points": self.points,
+            })
+        return self
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def record(self, key: str) -> None:
+        """One point's result is in the cache: append its done record."""
+        if key not in self._done:
+            self._done.add(key)
+            self._append({"done": key})
+
+    def complete(self) -> None:
+        """Every point landed: append the completion marker."""
+        if not self._complete:
+            self._complete = True
+            self._append({"complete": True, "points": self.points})
+
+    @property
+    def done(self) -> Set[str]:
+        return set(self._done)
+
+    @property
+    def is_complete(self) -> bool:
+        return self._complete
+
+    def remaining(self, keys: Iterable[str]) -> List[str]:
+        """The subset of ``keys`` this ledger has not seen complete."""
+        return [key for key in keys if key not in self._done]
+
+
 def default_cache_dir() -> Path:
     """``$REPRO_CACHE_DIR``, else ``~/.cache/repro-sim``."""
     env = os.environ.get("REPRO_CACHE_DIR")
@@ -137,6 +237,17 @@ class ResultCache:
             raise
         return path
 
+    def manifest(self, keys: Sequence[str], label: str = "") -> SweepManifest:
+        """The progress ledger for the batch addressed by ``keys``.
+
+        Lives under ``manifests/`` next to the entry shards; the same
+        batch (same point keys, any order) always maps to the same
+        ledger, which is what makes an interrupted sweep resumable.
+        """
+        sweep = sweep_key(keys)
+        path = self.directory / "manifests" / f"{sweep}.jsonl"
+        return SweepManifest(path, sweep, len(set(keys)), label=label)
+
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()
 
@@ -155,6 +266,9 @@ class ResultCache:
             for path in self.directory.glob("*/*.json"):
                 path.unlink()
                 removed += 1
+            # Progress ledgers describe entries that no longer exist.
+            for path in self.directory.glob("manifests/*.jsonl"):
+                path.unlink()
         return removed
 
     @property

@@ -1,53 +1,62 @@
 """The unified experiment runtime: one façade over every way to run.
 
-:class:`Experiment` replaces the three historical entry points
-(``Simulator(cfg).run()``, module-level ``simulate(cfg, meas)``, and
-``experiments.sweep.sweep(...)``) with one object that owns the
-measurement scale, the worker pool, the result cache, and progress
-reporting:
+:class:`Experiment` owns the measurement scale, the execution backend,
+the result cache, and progress reporting.  Its core is a single method:
 
-* :meth:`Experiment.run_one` -- a single point.
-* :meth:`Experiment.run_sweep` -- one latency-throughput curve.
-* :meth:`Experiment.run_grid` -- a config x load x seed cartesian grid,
-  the shape behind every figure of Section 5.
+* :meth:`Experiment.map` -- run a batch of configs, in input order,
+  through the chunked job scheduler.
 
-Points fan out over a :class:`concurrent.futures.ProcessPoolExecutor`
-when ``workers > 1`` (serial otherwise -- bit-identical results either
-way, since each run is a pure function of config + seed), and identical
-points are deduplicated and served from the content-addressed
-:class:`~repro.runtime.cache.ResultCache` when one is attached.
+Everything else is a thin, keyword-only convenience wrapper over it:
+
+* :meth:`Experiment.point` -- a single config.
+* :meth:`Experiment.sweep` / :meth:`Experiment.sweeps` -- one or more
+  latency-throughput curves.
+* :meth:`Experiment.grid` -- a config x load x seed cartesian grid, the
+  shape behind every figure of Section 5.
+* :meth:`Experiment.aggregate` -- one point across seeds, with a CI.
+
+(The accreted ``run_one/run_many/run_sweep/run_sweeps/run_grid/
+run_with_seeds`` surface survives as deprecated shims over the above --
+see the migration table in ``docs/RUNTIME.md``.)
+
+Execution goes through an :class:`~repro.runtime.backends.\
+ExecutionBackend` (``serial``, chunked work-stealing ``process`` pool,
+or the rank-style ``ssh`` fabric) selected via ``backend=`` or
+``$REPRO_BACKEND``; results are bit-identical across backends since
+each point is a pure function of config + seed.  Completed points
+stream into the content-addressed :class:`~repro.runtime.cache.\
+ResultCache` *as they land*, with progress recorded in a sweep
+manifest -- so an interrupted batch keeps everything it finished and a
+re-run executes only the points still missing.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..sim.config import MeasurementConfig, SimConfig
-from ..sim.engine import Simulator
 from ..sim.instrumentation import NullProgress, ProgressHook
 from ..sim.metrics import AggregateResult, RunResult, SweepResult
 from ..telemetry.config import TelemetryConfig
+from ..telemetry.registry import MetricRegistry
+from .backends import ExecutionBackend, SerialBackend, SSHBackend, resolve_backend
 from .cache import ResultCache, config_key
+from .scheduler import Job, JobQueue, Plan, SchedulerStats
 
 #: Offered loads used when a sweep doesn't specify its own grid
 #: (mirrors ``experiments.sweep.DEFAULT_LOADS``; duplicated to keep the
 #: runtime layer importable without the experiments layer).
 DEFAULT_LOADS: Sequence[float] = (0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75)
 
-
-def _execute_payload(
-    payload: Tuple[SimConfig, Optional[MeasurementConfig], bool, bool]
-) -> RunResult:
-    """Worker entry point: run one point (top level so it pickles)."""
-    config, measurement, check_invariants, checked = payload
-    return Simulator(
-        config, measurement, check_invariants, checked=checked
-    ).run()
+#: Chunk-latency buckets (seconds) for the scheduler histogram.
+CHUNK_SECONDS_BUCKETS: Tuple[float, ...] = (
+    0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0
+)
 
 
 @dataclass
@@ -61,7 +70,7 @@ class GridPoint:
 
 @dataclass
 class GridResult:
-    """Every point of a :meth:`Experiment.run_grid` call, in grid order."""
+    """Every point of a :meth:`Experiment.grid` call, in grid order."""
 
     points: List[GridPoint] = field(default_factory=list)
 
@@ -104,13 +113,21 @@ class GridResult:
 
 @dataclass
 class ExperimentStats:
-    """Cumulative accounting across an :class:`Experiment`'s batches."""
+    """Cumulative accounting across an :class:`Experiment`'s batches.
+
+    The scheduler sub-record carries the dispatch-level observability
+    the job queue collects -- chunk latency, steal/split counts, worker
+    busy time, cache-stream lag -- and :meth:`to_registry` exports the
+    whole object as :mod:`repro.telemetry` metrics so experiment-level
+    and simulation-level observability share one data model.
+    """
 
     points_requested: int = 0
     points_executed: int = 0
     cache_hits: int = 0
     deduplicated: int = 0
     wall_seconds: float = 0.0
+    scheduler: SchedulerStats = field(default_factory=SchedulerStats)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -118,9 +135,74 @@ class ExperimentStats:
             return 0.0
         return self.cache_hits / self.points_requested
 
+    @property
+    def steals(self) -> int:
+        return self.scheduler.steals
+
+    @property
+    def mean_worker_utilization(self) -> float:
+        utilization = self.scheduler.worker_utilization()
+        if not utilization:
+            return 0.0
+        return sum(utilization.values()) / len(utilization)
+
+    def to_registry(self) -> MetricRegistry:
+        """This record as telemetry metrics (counters/gauges/histogram)."""
+        registry = MetricRegistry()
+        registry.counter("experiment_points_requested").inc(
+            self.points_requested
+        )
+        registry.counter("experiment_points_executed").inc(
+            self.points_executed
+        )
+        registry.counter("experiment_cache_hits").inc(self.cache_hits)
+        registry.counter("experiment_points_deduplicated").inc(
+            self.deduplicated
+        )
+        scheduler = self.scheduler
+        registry.counter("scheduler_chunks_completed").inc(
+            scheduler.chunks_completed
+        )
+        registry.counter("scheduler_steals").inc(scheduler.steals)
+        registry.counter("scheduler_splits").inc(scheduler.splits)
+        histogram = registry.histogram(
+            "scheduler_chunk_seconds", bounds=CHUNK_SECONDS_BUCKETS
+        )
+        if scheduler.chunks_completed:
+            # Aggregate form: mean into the matching bucket keeps the
+            # histogram's total/observations exact even though the
+            # per-chunk spread is summarized, and the max is preserved
+            # in its own bucket.
+            mean = scheduler.mean_chunk_seconds
+            histogram.observe(mean, scheduler.chunks_completed - 1)
+            histogram.observe(scheduler.chunk_seconds_max)
+            # Re-anchor the total to the true sum (mean * (n-1) + max
+            # overshoots by max - mean).
+            histogram.total = scheduler.chunk_seconds_total
+        for worker, utilization in scheduler.worker_utilization().items():
+            registry.gauge(
+                "scheduler_worker_utilization", worker=worker
+            ).set(utilization)
+        lag = registry.gauge("cache_stream_lag_seconds")
+        if scheduler.stream_lag_count:
+            lag.set(scheduler.mean_stream_lag)
+            lag.set(scheduler.stream_lag_max)
+        return registry
+
+
+def _warn_deprecated(old: str, new: str) -> None:
+    """One :class:`DeprecationWarning` per call site (python's default
+    warning registry deduplicates on the caller's module + line)."""
+    warnings.warn(
+        f"Experiment.{old}() is deprecated; use {new} instead "
+        f"(migration table: docs/RUNTIME.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
 
 class Experiment:
-    """Owns how simulation points run: scale, parallelism, cache, progress.
+    """Owns how simulation points run: scale, backend, cache, progress.
 
     Parameters
     ----------
@@ -131,6 +213,15 @@ class Experiment:
         Process count for parallel execution; ``0``/``1`` run serially
         in-process (determinism debugging, no fork overhead).  ``None``
         reads ``$REPRO_WORKERS`` (default serial).
+    backend:
+        Execution strategy: an :class:`ExecutionBackend` instance or a
+        name -- ``"serial"``, ``"process"``/``"process:N"`` (chunked
+        work-stealing pool), ``"ssh"`` (rank-style multi-host fabric
+        sharing the cache directory).  ``None`` reads ``$REPRO_BACKEND``
+        and otherwise infers from ``workers``.
+    plan:
+        Default :class:`~repro.runtime.scheduler.Plan` for every batch
+        (chunk sizing, manifest bookkeeping); per-call ``plan=`` wins.
     cache:
         ``None`` disables caching; ``True`` uses the default directory
         (``$REPRO_CACHE_DIR`` or ``~/.cache/repro-sim``); a path or a
@@ -163,6 +254,8 @@ class Experiment:
         measurement: Optional[MeasurementConfig] = None,
         *,
         workers: Optional[int] = None,
+        backend: Union[ExecutionBackend, str, None] = None,
+        plan: Optional[Plan] = None,
         cache: Union[ResultCache, str, Path, bool, None] = None,
         progress: Optional[ProgressHook] = None,
         check_invariants: bool = False,
@@ -175,6 +268,10 @@ class Experiment:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         self.workers = workers
+        self.backend: ExecutionBackend = resolve_backend(
+            backend, workers=workers
+        )
+        self.plan = plan or Plan()
         self.cache = self._resolve_cache(cache)
         self.progress: ProgressHook = progress or NullProgress()
         self.check_invariants = check_invariants
@@ -198,6 +295,12 @@ class Experiment:
             )
         self.telemetry: Optional[TelemetryConfig] = telemetry
         self.stats = ExperimentStats()
+        if isinstance(self.backend, SSHBackend) and self.cache is None:
+            raise ValueError(
+                "the ssh backend coordinates ranks through a shared "
+                "result cache; pass cache=... (a directory every host "
+                "mounts) to use it"
+            )
 
     @staticmethod
     def _resolve_cache(
@@ -218,9 +321,9 @@ class Experiment:
         """An Experiment configured by the ``$REPRO_*`` environment.
 
         ``REPRO_CACHE=1`` (or any truthy value) enables the default
-        on-disk cache; ``REPRO_WORKERS`` and ``REPRO_CHECKED`` are read
-        by the constructor itself.  Keyword overrides win over the
-        environment.
+        on-disk cache; ``REPRO_WORKERS``, ``REPRO_BACKEND`` and
+        ``REPRO_CHECKED`` are read by the constructor itself.  Keyword
+        overrides win over the environment.
         """
         if "cache" not in overrides:
             env = os.environ.get("REPRO_CACHE", "")
@@ -229,17 +332,24 @@ class Experiment:
         return cls(measurement, **overrides)
 
     # ------------------------------------------------------------------
-    # Core execution.
+    # The core: one batch through the job scheduler.
     # ------------------------------------------------------------------
 
-    def run_many(self, configs: Sequence[SimConfig]) -> List[RunResult]:
-        """Run a batch of points, in input order.
+    def map(self, configs: Sequence[SimConfig], *,
+            plan: Optional[Plan] = None) -> List[RunResult]:
+        """Run a batch of points, returning results in input order.
 
         Every config is validated up front; identical points execute
-        once; cached points never execute.  The result list is
-        bit-identical whether the batch ran serially or across workers.
+        once; cached points never execute.  The batch is chunked onto
+        the execution backend by a work-stealing :class:`JobQueue`, and
+        each completed point streams into the cache (and the batch's
+        sweep manifest) the moment it lands -- interrupting a batch
+        keeps everything already finished, and re-running it executes
+        only the points still missing.  The result list is bit-identical
+        whatever the backend.
         """
         started = time.perf_counter()
+        plan = plan or self.plan
         configs = list(configs)
         if self.telemetry is not None:
             # Stamp the experiment-level telemetry request onto configs
@@ -264,12 +374,18 @@ class Experiment:
         results: Dict[str, RunResult] = {}
         cached_keys = set()
         use_cache = self.cache is not None and not self.checked
+        manifest = None
         if use_cache:
             for key in dict.fromkeys(keys):
                 hit = self.cache.get(key)
                 if hit is not None:
                     results[key] = hit
                     cached_keys.add(key)
+            if plan.manifest:
+                manifest = self.cache.manifest(keys, label=plan.label)
+                manifest.start()
+                for key in cached_keys:
+                    manifest.record(key)
 
         pending = [
             (index, key) for index, key in enumerate(keys)
@@ -288,17 +404,57 @@ class Experiment:
             1 for key in keys if key in cached_keys
         )
 
-        if self.workers > 1 and len(to_run) > 1:
-            self._execute_parallel(configs, keys, to_run, results, total)
-        else:
-            self._execute_serial(configs, keys, to_run, results, total)
+        jobs = [
+            Job(
+                index=index,
+                key=key,
+                payload=(
+                    configs[index], self.measurement,
+                    self.check_invariants, self.checked,
+                ),
+            )
+            for index, key in to_run
+        ]
+        queue = JobQueue(
+            jobs,
+            chunk_size=plan.resolve_chunk_size(
+                len(jobs), self.backend.slots
+            ),
+            workers=self.backend.slots,
+        )
 
-        if use_cache:
-            for index, key in to_run:
+        def on_result(job: Job, result: RunResult) -> None:
+            arrived = time.perf_counter()
+            results[job.key] = result
+            if use_cache:
                 self.cache.put(
-                    key, results[key],
-                    metadata={"label": repr(configs[index])},
+                    job.key, result,
+                    metadata={"label": repr(configs[job.index])},
                 )
+                if manifest is not None:
+                    manifest.record(job.key)
+                queue.stats.record_stream_lag(
+                    time.perf_counter() - arrived
+                )
+            self.progress.on_point_done(
+                job.index, total, configs[job.index], result, cached=False
+            )
+
+        try:
+            if jobs:
+                for job in jobs:
+                    self.progress.on_point_start(
+                        job.index, total, configs[job.index]
+                    )
+                self.backend.execute(queue, on_result)
+        finally:
+            # Keep the accounting even when a worker raised: the
+            # streamed points are in the cache and the manifest says so.
+            self.stats.scheduler.merge(queue.stats)
+            self.stats.wall_seconds += time.perf_counter() - started
+
+        if manifest is not None:
+            manifest.complete()
 
         # Progress for points resolved without executing (cache/dedupe).
         executed_indices = {index for index, _ in to_run}
@@ -309,120 +465,92 @@ class Experiment:
                     cached=key in cached_keys,
                 )
         self.progress.on_batch_done(total)
-        self.stats.wall_seconds += time.perf_counter() - started
         return [results[key] for key in keys]
 
-    def _execute_serial(self, configs, keys, to_run, results, total) -> None:
-        for index, key in to_run:
-            self.progress.on_point_start(index, total, configs[index])
-            results[key] = Simulator(
-                configs[index], self.measurement, self.check_invariants,
-                checked=self.checked,
-            ).run()
-            self.progress.on_point_done(
-                index, total, configs[index], results[key], cached=False
-            )
-
-    def _execute_parallel(self, configs, keys, to_run, results, total) -> None:
-        max_workers = min(self.workers, len(to_run))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = {}
-            for index, key in to_run:
-                self.progress.on_point_start(index, total, configs[index])
-                future = pool.submit(
-                    _execute_payload,
-                    (configs[index], self.measurement,
-                     self.check_invariants, self.checked),
-                )
-                futures[future] = (index, key)
-            outstanding = set(futures)
-            while outstanding:
-                done, outstanding = wait(
-                    outstanding, return_when=FIRST_COMPLETED
-                )
-                for future in done:
-                    index, key = futures[future]
-                    results[key] = future.result()
-                    self.progress.on_point_done(
-                        index, total, configs[index], results[key],
-                        cached=False,
-                    )
-
     # ------------------------------------------------------------------
-    # The public façade.
+    # The public façade: thin wrappers over map().
     # ------------------------------------------------------------------
 
-    def run_one(self, config: SimConfig) -> RunResult:
+    def point(self, config: SimConfig) -> RunResult:
         """Run (or fetch from cache) a single simulation point."""
-        return self.run_many([config])[0]
+        return self.map([config])[0]
 
-    def run_sweep(
+    def sweep(
         self,
         config: SimConfig,
+        *,
         label: str,
         loads: Iterable[float] = DEFAULT_LOADS,
         stop_after_saturation: bool = True,
+        plan: Optional[Plan] = None,
     ) -> SweepResult:
         """One latency-throughput curve over ``loads``.
 
         ``stop_after_saturation`` truncates the curve after its first
-        saturated point.  Serially that point ends execution early (the
-        points beyond are strictly more expensive and add no
-        information); in parallel all points run and the tail is
-        dropped, so both paths return identical curves.
+        saturated point.  On the serial backend that point ends
+        execution early (the points beyond are strictly more expensive
+        and add no information); on batched backends all points run and
+        the tail is dropped, so every backend returns identical curves.
         """
-        return self.run_sweeps([(label, config)], loads,
-                               stop_after_saturation)[0]
+        return self.sweeps(
+            [(label, config)], loads=loads,
+            stop_after_saturation=stop_after_saturation, plan=plan,
+        )[0]
 
-    def run_sweeps(
+    def sweeps(
         self,
         labeled_configs: Sequence[Tuple[str, SimConfig]],
+        *,
         loads: Iterable[float] = DEFAULT_LOADS,
         stop_after_saturation: bool = True,
+        plan: Optional[Plan] = None,
     ) -> List[SweepResult]:
         """Several curves over a shared load grid, batched together.
 
-        This is the figure-reproduction shape: with workers attached,
-        every point of every curve fans out as one batch.
+        This is the figure-reproduction shape: with a parallel backend
+        attached, every point of every curve fans out as one batch.
         """
         load_grid = sorted(loads)
-        if self.workers > 1 or not stop_after_saturation:
+        serial = isinstance(self.backend, SerialBackend)
+        if not serial or not stop_after_saturation:
             flat = [
                 replace(config, injection_fraction=load)
                 for _, config in labeled_configs
                 for load in load_grid
             ]
-            flat_results = self.run_many(flat)
-            sweeps = []
+            flat_results = self.map(flat, plan=plan)
+            result = []
             for curve_index, (label, _) in enumerate(labeled_configs):
                 start = curve_index * len(load_grid)
                 points = flat_results[start:start + len(load_grid)]
-                sweeps.append(SweepResult(
+                result.append(SweepResult(
                     label=label,
                     points=_truncate_after_saturation(
                         points, stop_after_saturation
                     ),
                 ))
-            return sweeps
+            return result
 
-        sweeps = []
+        result = []
         for label, config in labeled_configs:
-            result = SweepResult(label=label)
+            curve = SweepResult(label=label)
             for load in load_grid:
-                point = self.run_one(
-                    replace(config, injection_fraction=load)
-                )
-                result.points.append(point)
+                point = self.map(
+                    [replace(config, injection_fraction=load)], plan=plan
+                )[0]
+                curve.points.append(point)
                 if stop_after_saturation and point.saturated:
                     break
-            sweeps.append(result)
-        return sweeps
+            result.append(curve)
+        return result
 
-    def run_grid(
+    def grid(
         self,
         configs: Union[SimConfig, Sequence[SimConfig]],
+        *,
         loads: Optional[Iterable[float]] = None,
         seeds: Optional[Sequence[int]] = None,
+        plan: Optional[Plan] = None,
     ) -> GridResult:
         """The cartesian config x load x seed grid, as one batch.
 
@@ -432,7 +560,7 @@ class Experiment:
         """
         if isinstance(configs, SimConfig):
             configs = [configs]
-        grid: List[SimConfig] = []
+        flat: List[SimConfig] = []
         for config in configs:
             load_axis = (
                 [config.injection_fraction] if loads is None
@@ -441,14 +569,87 @@ class Experiment:
             seed_axis = [config.seed] if seeds is None else list(seeds)
             for load in load_axis:
                 for seed in seed_axis:
-                    grid.append(replace(
+                    flat.append(replace(
                         config, injection_fraction=load, seed=seed
                     ))
-        results = self.run_many(grid)
+        results = self.map(flat, plan=plan)
         return GridResult(points=[
             GridPoint(config=config, result=result)
-            for config, result in zip(grid, results)
+            for config, result in zip(flat, results)
         ])
+
+    def aggregate(
+        self,
+        config: SimConfig,
+        *,
+        load: float,
+        seeds: Sequence[int] = (1, 2, 3),
+    ) -> AggregateResult:
+        """One point across several seeds, aggregated with a 95% CI."""
+        if not seeds:
+            raise ValueError("need at least one seed")
+        grid = self.grid(
+            replace(config, injection_fraction=load), seeds=seeds
+        )
+        return AggregateResult(injection_fraction=load, runs=grid.results)
+
+    # ------------------------------------------------------------------
+    # Deprecated entry points (the pre-redesign accreted surface).
+    # Each forwards to its replacement and warns once per call site.
+    # ------------------------------------------------------------------
+
+    def run_many(self, configs: Sequence[SimConfig]) -> List[RunResult]:
+        """.. deprecated:: use :meth:`map`."""
+        _warn_deprecated("run_many", "Experiment.map(configs)")
+        return self.map(configs)
+
+    def run_one(self, config: SimConfig) -> RunResult:
+        """.. deprecated:: use :meth:`point`."""
+        _warn_deprecated("run_one", "Experiment.point(config)")
+        return self.point(config)
+
+    def run_sweep(
+        self,
+        config: SimConfig,
+        label: str,
+        loads: Iterable[float] = DEFAULT_LOADS,
+        stop_after_saturation: bool = True,
+    ) -> SweepResult:
+        """.. deprecated:: use :meth:`sweep` (keyword-only)."""
+        _warn_deprecated(
+            "run_sweep", "Experiment.sweep(config, label=..., loads=...)"
+        )
+        return self.sweep(
+            config, label=label, loads=loads,
+            stop_after_saturation=stop_after_saturation,
+        )
+
+    def run_sweeps(
+        self,
+        labeled_configs: Sequence[Tuple[str, SimConfig]],
+        loads: Iterable[float] = DEFAULT_LOADS,
+        stop_after_saturation: bool = True,
+    ) -> List[SweepResult]:
+        """.. deprecated:: use :meth:`sweeps` (keyword-only)."""
+        _warn_deprecated(
+            "run_sweeps", "Experiment.sweeps(labeled_configs, loads=...)"
+        )
+        return self.sweeps(
+            labeled_configs, loads=loads,
+            stop_after_saturation=stop_after_saturation,
+        )
+
+    def run_grid(
+        self,
+        configs: Union[SimConfig, Sequence[SimConfig]],
+        loads: Optional[Iterable[float]] = None,
+        seeds: Optional[Sequence[int]] = None,
+    ) -> GridResult:
+        """.. deprecated:: use :meth:`grid` (keyword-only)."""
+        _warn_deprecated(
+            "run_grid", "Experiment.grid(configs, loads=..., seeds=...)"
+        )
+        return self.grid(configs, loads=loads, seeds=seeds)
 
     def run_with_seeds(
         self,
@@ -456,13 +657,11 @@ class Experiment:
         load: float,
         seeds: Sequence[int] = (1, 2, 3),
     ) -> AggregateResult:
-        """One point across several seeds, aggregated with a 95% CI."""
-        if not seeds:
-            raise ValueError("need at least one seed")
-        grid = self.run_grid(
-            replace(config, injection_fraction=load), seeds=seeds
+        """.. deprecated:: use :meth:`aggregate` (keyword-only)."""
+        _warn_deprecated(
+            "run_with_seeds", "Experiment.aggregate(config, load=..., seeds=...)"
         )
-        return AggregateResult(injection_fraction=load, runs=grid.results)
+        return self.aggregate(config, load=load, seeds=seeds)
 
 
 def _truncate_after_saturation(

@@ -191,7 +191,7 @@ def simulate(
     """Convenience wrapper: build a :class:`Simulator` and run it.
 
     .. deprecated:: kept as a thin shim; prefer
-       :meth:`repro.runtime.Experiment.run_one`, which validates the
+       :meth:`repro.runtime.Experiment.point`, which validates the
        config, can serve the result from cache, and batches with other
        points across worker processes.
     """

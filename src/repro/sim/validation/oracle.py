@@ -10,11 +10,13 @@ found:
   deliver the full sample, and satisfy the paper's structural relations
   (the speculative router's shallower pipeline means lower latency; only
   it issues speculative grants).
-* :func:`oracle_serial_vs_parallel` -- the same sweep through
-  ``Experiment(workers=0)`` and ``Experiment(workers=2)`` must produce
-  bit-identical curves (each point is a pure function of config + seed).
+* :func:`oracle_serial_vs_parallel` -- the same sweep through the
+  serial backend and every parallel backend (chunked work-stealing
+  process pool, rank-style ssh loopback) must produce bit-identical
+  curves (each point is a pure function of config + seed).
 * :func:`oracle_cached_vs_uncached` -- a point served from the result
-  cache must equal the freshly executed one.
+  cache must equal the freshly executed one, whichever backend wrote
+  the entry.
 * :func:`oracle_fast_vs_reference` -- the event-driven fast stepper and
   the original full-scan reference stepper must be cycle-for-cycle
   bit-identical: same :class:`RunResult` and the same per-sink delivery
@@ -208,21 +210,45 @@ def oracle_serial_vs_parallel(
     config: Optional[SimConfig] = None,
     loads=(0.1, 0.2, 0.3),
 ) -> OracleReport:
-    """``Experiment.run_sweep`` serial vs across worker processes."""
+    """``Experiment.sweep`` on the serial backend vs every other backend.
+
+    Each point is a pure function of config + seed, so the chunked
+    work-stealing process pool and the rank-style ssh fabric (loopback
+    mode, coordinating through a throwaway shared cache directory) must
+    both reproduce the serial curve bit for bit.
+    """
+    from ...runtime.backends import ProcessBackend, SSHBackend
     from ...runtime.experiment import Experiment
 
     measurement = measurement or ORACLE_MEASUREMENT
     config = config or _tiny_config(RouterKind.SPECULATIVE_VC)
-    report = OracleReport("serial_vs_parallel", "workers=0", "workers=2")
-    serial = Experiment(measurement, workers=0).run_sweep(
-        config, "serial", loads=loads
+    report = OracleReport(
+        "serial_vs_parallel", "backend=serial", "backend=process/ssh"
     )
-    parallel = Experiment(measurement, workers=2).run_sweep(
-        config, "parallel", loads=loads
+    serial = Experiment(measurement, backend="serial").sweep(
+        config, label="serial", loads=loads
     )
-    report.compare("point count", len(serial.points), len(parallel.points))
-    for i, (lhs, rhs) in enumerate(zip(serial.points, parallel.points)):
-        diff_run_results(report, lhs, rhs, label=f"point[{i}]")
+
+    def compare_backend(name: str, parallel) -> None:
+        report.compare(
+            f"{name} point count", len(serial.points), len(parallel.points)
+        )
+        for i, (lhs, rhs) in enumerate(zip(serial.points, parallel.points)):
+            diff_run_results(report, lhs, rhs, label=f"{name} point[{i}]")
+
+    compare_backend(
+        "process",
+        Experiment(measurement, backend=ProcessBackend(2)).sweep(
+            config, label="process", loads=loads
+        ),
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-oracle-ssh-") as shared:
+        compare_backend(
+            "ssh",
+            Experiment(
+                measurement, backend=SSHBackend(world=2), cache=shared
+            ).sweep(config, label="ssh", loads=loads),
+        )
     return report
 
 
@@ -234,36 +260,52 @@ def oracle_cached_vs_uncached(
 ) -> OracleReport:
     """A cache-served result must equal the freshly executed one.
 
-    ``cache_dir=None`` uses a throwaway temporary directory.
+    Runs the fresh-then-cached round trip once per execution backend
+    (serial, chunked process pool, rank-style ssh loopback): every
+    backend streams results into the same content-addressed store, so a
+    cache entry written by any of them must be served back bit-identical
+    to a fresh execution.  ``cache_dir=None`` uses throwaway temporary
+    directories (one per backend).
     """
+    from ...runtime.backends import ProcessBackend, SSHBackend
     from ...runtime.experiment import Experiment
 
     measurement = measurement or ORACLE_MEASUREMENT
     config = config or _tiny_config(RouterKind.SPECULATIVE_VC)
     report = OracleReport("cached_vs_uncached", "fresh run", "cache hit")
+    backends = (
+        ("serial", lambda: "serial"),
+        ("process", lambda: ProcessBackend(2)),
+        ("ssh", lambda: SSHBackend(world=2)),
+    )
 
-    def _run(directory: Union[str, Path]) -> None:
-        fresh_exp = Experiment(measurement, cache=directory)
-        fresh = fresh_exp.run_one(config)
+    def _run(name: str, make_backend, directory: Union[str, Path]) -> None:
+        fresh_exp = Experiment(
+            measurement, backend=make_backend(), cache=directory
+        )
+        fresh = fresh_exp.point(config)
         report.expect(
             fresh_exp.stats.cache_hits == 0,
-            "first run executes (cold cache)",
+            f"[{name}] first run executes (cold cache)",
             fresh_exp.stats.cache_hits, 0,
         )
-        cached_exp = Experiment(measurement, cache=directory)
-        cached = cached_exp.run_one(config)
+        cached_exp = Experiment(
+            measurement, backend=make_backend(), cache=directory
+        )
+        cached = cached_exp.point(config)
         report.expect(
             cached_exp.stats.cache_hits == 1,
-            "second run is served from the cache",
+            f"[{name}] second run is served from the cache",
             cached_exp.stats.cache_hits, 1,
         )
-        diff_run_results(report, fresh, cached, label="result")
+        diff_run_results(report, fresh, cached, label=f"[{name}] result")
 
-    if cache_dir is None:
-        with tempfile.TemporaryDirectory(prefix="repro-oracle-") as tmp:
-            _run(tmp)
-    else:
-        _run(cache_dir)
+    for name, make_backend in backends:
+        if cache_dir is None:
+            with tempfile.TemporaryDirectory(prefix="repro-oracle-") as tmp:
+                _run(name, make_backend, tmp)
+        else:
+            _run(name, make_backend, Path(cache_dir) / name)
     return report
 
 

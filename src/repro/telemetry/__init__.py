@@ -18,7 +18,7 @@ Enable per run or per experiment::
     from repro.runtime import Experiment
     from repro.telemetry import TelemetryConfig
 
-    result = Experiment(telemetry=True).run_one(config)
+    result = Experiment(telemetry=True).point(config)
     print(result.telemetry.speculation_win_rate)
 
 See ``docs/OBSERVABILITY.md`` for the metric catalogue, the sampling

@@ -1,0 +1,26 @@
+"""Seeded CACHE003 bad example: an unaccounted execution-plan knob."""
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+RESULT_NEUTRAL = {
+    "Plan.chunk_size",
+}
+
+
+@dataclass
+class Plan:
+    chunk_size: Optional[int] = None  # declared scheduling-only above
+    retry_limit: int = 0  # neither keyed nor declared -> CACHE003
+
+
+@dataclass
+class SimConfig:
+    seed: int = 1
+
+
+def config_key(config: SimConfig) -> str:
+    canonical = json.dumps(asdict(config), sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()

@@ -1,0 +1,32 @@
+"""Seeded CACHE003 good example: every plan field declared or keyed."""
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+RESULT_NEUTRAL = {
+    "Plan.chunk_size",
+    "Plan.label",
+}
+
+
+@dataclass
+class Plan:
+    chunk_size: Optional[int] = None  # scheduling-only, declared above
+    label: str = ""  # scheduling-only, declared above
+    fault_rate: float = 0.0  # changes results, so it rides the key
+
+
+@dataclass
+class SimConfig:
+    seed: int = 1
+
+
+def config_key(config: SimConfig, plan: Plan) -> str:
+    payload = {
+        "config": asdict(config),
+        "fault_rate": plan.fault_rate,
+    }
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()

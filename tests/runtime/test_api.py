@@ -1,0 +1,152 @@
+"""The redesigned surface: map + wrappers, deprecated shims, stats export."""
+
+import warnings
+
+import pytest
+
+from repro.runtime import Experiment, ExperimentStats, Plan
+from repro.runtime.scheduler import SchedulerStats
+from repro.sim.config import MeasurementConfig, RouterKind, SimConfig
+
+FAST = MeasurementConfig(
+    warmup_cycles=50, sample_packets=60, max_cycles=3_000, drain_cycles=1_000
+)
+
+
+def config(load=0.1, seed=3, **overrides):
+    defaults = dict(
+        router_kind=RouterKind.WORMHOLE, mesh_radix=4, buffers_per_vc=8,
+        injection_fraction=load, seed=seed,
+    )
+    defaults.update(overrides)
+    return SimConfig(**defaults)
+
+
+class TestMap:
+    def test_returns_results_in_input_order(self):
+        configs = [config(0.2), config(0.05), config(0.2)]
+        results = Experiment(FAST).map(configs)
+        assert len(results) == 3
+        assert results[0] == results[2]  # identical configs share a run
+        assert results[0] != results[1]
+
+    def test_per_call_plan_overrides_default(self):
+        exp = Experiment(FAST, plan=Plan(chunk_size=4))
+        exp.map([config(load) for load in (0.05, 0.1, 0.15)],
+                plan=Plan(chunk_size=1))
+        assert exp.stats.scheduler.chunks_completed == 3
+
+    def test_default_plan_applies(self):
+        exp = Experiment(FAST, plan=Plan(chunk_size=3))
+        exp.map([config(load) for load in (0.05, 0.1, 0.15)])
+        assert exp.stats.scheduler.chunks_completed == 1
+
+
+class TestKeywordOnlyWrappers:
+    def test_sweep_label_is_keyword_only(self):
+        with pytest.raises(TypeError):
+            Experiment(FAST).sweep(config(), "wh")
+
+    def test_grid_axes_are_keyword_only(self):
+        with pytest.raises(TypeError):
+            Experiment(FAST).grid(config(), (0.05,))
+
+    def test_aggregate_load_is_keyword_only(self):
+        with pytest.raises(TypeError):
+            Experiment(FAST).aggregate(config(), 0.1)
+
+    def test_aggregate_needs_seeds(self):
+        with pytest.raises(ValueError, match="seed"):
+            Experiment(FAST).aggregate(config(), load=0.1, seeds=())
+
+
+class TestDeprecatedShims:
+    def test_run_one_forwards_to_point(self):
+        with pytest.warns(DeprecationWarning, match="run_one"):
+            old = Experiment(FAST).run_one(config())
+        assert old == Experiment(FAST).point(config())
+
+    def test_run_many_forwards_to_map(self):
+        configs = [config(0.05), config(0.1)]
+        with pytest.warns(DeprecationWarning, match="run_many"):
+            old = Experiment(FAST).run_many(configs)
+        assert old == Experiment(FAST).map(configs)
+
+    def test_run_sweep_forwards_to_sweep(self):
+        with pytest.warns(DeprecationWarning, match="run_sweep"):
+            old = Experiment(FAST).run_sweep(config(), "wh", loads=(0.05,))
+        new = Experiment(FAST).sweep(config(), label="wh", loads=(0.05,))
+        assert old.points == new.points
+
+    def test_run_grid_forwards_to_grid(self):
+        with pytest.warns(DeprecationWarning, match="run_grid"):
+            old = Experiment(FAST).run_grid(config(), loads=(0.05, 0.1))
+        new = Experiment(FAST).grid(config(), loads=(0.05, 0.1))
+        assert old.results == new.results
+
+    def test_run_with_seeds_forwards_to_aggregate(self):
+        with pytest.warns(DeprecationWarning, match="run_with_seeds"):
+            old = Experiment(FAST).run_with_seeds(
+                config(), 0.1, seeds=(1, 2)
+            )
+        new = Experiment(FAST).aggregate(config(), load=0.1, seeds=(1, 2))
+        assert old.runs == new.runs
+
+    def test_warning_names_the_migration_table(self):
+        with pytest.warns(DeprecationWarning, match="docs/RUNTIME.md"):
+            Experiment(FAST).run_one(config())
+
+    def test_new_surface_is_warning_clean(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            exp = Experiment(FAST)
+            exp.point(config())
+            exp.sweep(config(), label="wh", loads=(0.05,))
+            exp.grid(config(), loads=(0.05,))
+
+
+class TestStatsExport:
+    def test_to_registry_exports_counters_and_gauges(self):
+        stats = ExperimentStats(
+            points_requested=6, points_executed=4, cache_hits=2,
+            deduplicated=0,
+        )
+        stats.scheduler = SchedulerStats(
+            chunks_total=2, chunks_completed=2, jobs_completed=4,
+            steals=1, splits=1, chunk_seconds_total=3.0,
+            chunk_seconds_max=2.0, dispatch_seconds=4.0,
+        )
+        stats.scheduler.worker_busy_seconds = {0: 4.0, 1: 2.0}
+        stats.scheduler.record_stream_lag(0.002)
+
+        registry = stats.to_registry()
+        assert registry.value("experiment_points_requested") == 6
+        assert registry.value("experiment_points_executed") == 4
+        assert registry.value("experiment_cache_hits") == 2
+        assert registry.value("scheduler_chunks_completed") == 2
+        assert registry.value("scheduler_steals") == 1
+        assert registry.value("scheduler_splits") == 1
+        assert registry.value("scheduler_worker_utilization", worker=0) == 1.0
+        assert registry.value("scheduler_worker_utilization", worker=1) == 0.5
+        histogram = registry.get("scheduler_chunk_seconds")
+        assert histogram.observations == 2
+        assert histogram.total == pytest.approx(3.0)
+        lag = registry.get("cache_stream_lag_seconds")
+        assert lag.maximum == pytest.approx(0.002)
+
+    def test_real_batch_populates_scheduler_stats(self, tmp_path):
+        exp = Experiment(FAST, cache=tmp_path)
+        exp.map([config(load) for load in (0.05, 0.1, 0.15)])
+        scheduler = exp.stats.scheduler
+        assert scheduler.jobs_completed == 3
+        assert scheduler.chunks_completed >= 1
+        assert scheduler.dispatch_seconds > 0
+        # Every streamed point recorded its cache-write lag.
+        assert scheduler.stream_lag_count == 3
+        assert exp.stats.mean_worker_utilization > 0
+        assert len(exp.stats.to_registry()) > 0
+
+    def test_steals_property_mirrors_scheduler(self):
+        stats = ExperimentStats()
+        stats.scheduler.steals = 7
+        assert stats.steals == 7
