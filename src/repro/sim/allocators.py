@@ -114,6 +114,10 @@ class SeparableAllocator:
         self._stage2: List[Arbiter] = [
             make_arbiter(arbiter_kind, num_groups) for _ in range(num_resources)
         ]
+        # Matrix arbiters expose their flat-int priority state, letting
+        # allocate_grouped inline the single-candidate rotation (the
+        # dominant case under load) instead of paying an arbitrate call.
+        self._matrix = arbiter_kind == "matrix"
 
     def allocate(
         self, requests: Sequence[Request], busy_resources: Sequence[int] = ()
@@ -169,6 +173,115 @@ class SeparableAllocator:
                 if request.group == winner_group:
                     grants.append(Grant(request.group, request.member, request.resource))
                     break
+        return grants
+
+    def allocate_grouped(
+        self,
+        groups: Sequence[int],
+        members_lists: Sequence[Sequence[int]],
+        resources_lists: Sequence[Sequence[int]],
+        busy_resources: Sequence[int] = (),
+    ) -> List[Grant]:
+        """Batched :meth:`allocate` for pre-grouped requests.
+
+        ``groups`` lists the group ids in first-appearance (request)
+        order; ``members_lists[i]`` and ``resources_lists[i]`` are that
+        group's member/resource ids, aligned, in request order.  The
+        matching, arbiter state evolution, and grant order are
+        bit-identical to building ``Request`` tuples and calling
+        ``allocate`` -- this entry point only skips the per-request
+        tuple construction, the ``_validate`` scan, and the per-cycle
+        regrouping dict churn, which dominate allocation cost under
+        load.  Callers must submit each member at most once per group
+        (true of every router flow: one request per input VC per
+        candidate resource).  Used by the config-specialized steppers;
+        the generic phases keep the ``Request`` path as the executable
+        spec.
+        """
+        if busy_resources:
+            busy = set(busy_resources)
+            kept_groups: List[int] = []
+            kept_members: List[List[int]] = []
+            kept_resources: List[List[int]] = []
+            for group, members, resources in zip(
+                groups, members_lists, resources_lists
+            ):
+                live_members: List[int] = []
+                live_resources: List[int] = []
+                for member, resource in zip(members, resources):
+                    if resource not in busy:
+                        live_members.append(member)
+                        live_resources.append(resource)
+                if live_members:
+                    kept_groups.append(group)
+                    kept_members.append(live_members)
+                    kept_resources.append(live_resources)
+            groups = kept_groups
+            members_lists = kept_members
+            resources_lists = kept_resources
+        if not groups:
+            return []
+        stage1 = self._stage1
+        stage2 = self._stage2
+        matrix = self._matrix
+
+        # Stage 1: per group, pick one surviving request.  A sole
+        # candidate wins unconditionally; for matrix arbiters its
+        # priority rotation is two inlined integer ops (identical to
+        # what arbitrate() would do) instead of a call.
+        survivors: List[Tuple[int, int, int]] = []
+        for group, members, resources in zip(
+            groups, members_lists, resources_lists
+        ):
+            arb = stage1[group]
+            if len(members) == 1:
+                winner_member = members[0]
+                if matrix:
+                    arb._state = (
+                        arb._state | arb._col[winner_member]
+                    ) & arb._row_keep[winner_member]
+                else:
+                    arb.arbitrate(members)
+                survivors.append((group, winner_member, resources[0]))
+            else:
+                winner_member = arb.arbitrate(members)
+                survivors.append(
+                    (group, winner_member,
+                     resources[members.index(winner_member)])
+                )
+
+        # Stage 2: per resource, pick one group among the survivors.
+        if len(survivors) == 1:
+            group, member, resource = survivors[0]
+            arb = stage2[resource]
+            if matrix:
+                arb._state = (
+                    arb._state | arb._col[group]
+                ) & arb._row_keep[group]
+            else:
+                arb.arbitrate((group,))
+            return [Grant(group, member, resource)]
+        by_resource: Dict[int, List[Tuple[int, int]]] = {}
+        for group, member, resource in survivors:
+            by_resource.setdefault(resource, []).append((group, member))
+        grants: List[Grant] = []
+        for resource, claimants in by_resource.items():
+            arb = stage2[resource]
+            if len(claimants) == 1:
+                group, member = claimants[0]
+                if matrix:
+                    arb._state = (
+                        arb._state | arb._col[group]
+                    ) & arb._row_keep[group]
+                else:
+                    arb.arbitrate((group,))
+                grants.append(Grant(group, member, resource))
+            else:
+                winner_group = arb.arbitrate([pair[0] for pair in claimants])
+                for group, member in claimants:
+                    if group == winner_group:
+                        grants.append(Grant(group, member, resource))
+                        break
         return grants
 
     def _validate(self, requests: Sequence[Request]) -> None:
@@ -243,6 +356,45 @@ class SpeculativeSwitchAllocator:
         taken_inputs = {g.group for g in nonspec_grants}
         spec_grants = self._spec.allocate(
             spec_requests, busy_resources=sorted(taken_outputs)
+        )
+        surviving = [g for g in spec_grants if g.group not in taken_inputs]
+        return nonspec_grants, surviving
+
+    def allocate_grouped(
+        self,
+        nonspec_groups: Sequence[int],
+        nonspec_members: Sequence[Sequence[int]],
+        nonspec_resources: Sequence[Sequence[int]],
+        spec_groups: Sequence[int],
+        spec_members: Sequence[Sequence[int]],
+        spec_resources: Sequence[Sequence[int]],
+    ) -> Tuple[List[Grant], List[Grant]]:
+        """Batched :meth:`allocate` (conservative priority only).
+
+        Same contract as ``SeparableAllocator.allocate_grouped``; the
+        ``"equal"`` ablation keeps the ``Request`` path -- specialized
+        steppers are not compiled for it.
+        """
+        if self.priority == "equal":
+            raise AssertionError(
+                "allocate_grouped only supports conservative priority"
+            )
+        skip_empty = self._pure_on_empty
+        if nonspec_groups or not skip_empty:
+            nonspec_grants = self._nonspec.allocate_grouped(
+                nonspec_groups, nonspec_members, nonspec_resources
+            )
+        else:
+            nonspec_grants = []
+        if not spec_groups and skip_empty:
+            return nonspec_grants, []
+        taken_outputs = {g.resource for g in nonspec_grants}
+        taken_inputs = {g.group for g in nonspec_grants}
+        spec_grants = self._spec.allocate_grouped(
+            spec_groups,
+            spec_members,
+            spec_resources,
+            busy_resources=sorted(taken_outputs),
         )
         surviving = [g for g in spec_grants if g.group not in taken_inputs]
         return nonspec_grants, surviving

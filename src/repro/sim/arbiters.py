@@ -10,7 +10,7 @@ an alternative policy for ablation studies.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 
 class Arbiter:
@@ -37,26 +37,38 @@ class Arbiter:
 class MatrixArbiter(Arbiter):
     """Least-recently-served matrix arbiter (Figure 10).
 
-    Row ``i`` of the priority matrix is stored as the int bitmask
-    ``self._rows[i]``: bit ``j`` set means ``i`` has priority over
-    ``j``.  The diagonal is unused and kept clear.  Bitmask rows make
-    the winner test a pair of integer operations instead of a nested
-    Python loop -- this arbiter runs on every switch and VC allocation
-    of every simulated cycle.
+    The whole priority matrix is one flat int ``self._state``: bit
+    ``i * n + j`` set means ``i`` has priority over ``j`` (the diagonal
+    is unused and kept clear).  Row ``i`` is the bitfield at shift
+    ``i * n``, so the winner test is a shift-and-mask pair, and the
+    after-win rotation -- set the winner's column everywhere, clear its
+    row -- is two integer operations against precomputed masks instead
+    of a per-row Python loop.  This arbiter runs on every switch and VC
+    allocation of every simulated cycle; the flat-int layout is what
+    keeps it off the saturation-load profile.
     """
 
     def __init__(self, n: int) -> None:
         super().__init__(n)
         # Initially, lower indices have priority (all bits above the
-        # diagonal set).
+        # diagonal set in each row).
         full = (1 << n) - 1
-        self._rows: List[int] = [
-            full & ~((1 << (i + 1)) - 1) for i in range(n)
-        ]
+        state = 0
+        for i in range(n):
+            state |= (full & ~((1 << (i + 1)) - 1)) << (i * n)
+        self._state = state
+        self._shift = tuple(i * n for i in range(n))
+        #: OR-ing ``_col[w]`` sets bit ``w`` in every row; AND-ing
+        #: ``_row_keep[w]`` then clears row ``w`` (including the
+        #: diagonal bit the column OR just set).
+        self._col = tuple(
+            sum(1 << (j * n + w) for j in range(n)) for w in range(n)
+        )
+        self._row_keep = tuple(~(full << (w * n)) for w in range(n))
 
     def has_priority(self, i: int, j: int) -> bool:
         """True if requestor ``i`` currently beats requestor ``j``."""
-        return bool(self._rows[i] >> j & 1)
+        return bool(self._state >> (i * self.n + j) & 1)
 
     def arbitrate(self, requests: Sequence[int]) -> Optional[int]:
         self._check(requests)
@@ -66,39 +78,33 @@ class MatrixArbiter(Arbiter):
             # Sole requestor wins unconditionally; priority still
             # rotates exactly as the general path would rotate it.
             winner = requests[0]
-            self._lower_priority(winner)
-            return winner
-        # Iterate the request sequence directly: duplicates are harmless
-        # to both loops (OR is idempotent; the matrix invariant makes
-        # the winner unique), and sequence order -- unlike set order --
-        # is part of the deterministic contract.
-        active_mask = 0
-        for i in requests:
-            active_mask |= 1 << i
-        rows = self._rows
-        winner = None
-        for i in requests:
-            others = active_mask & ~(1 << i)
-            if rows[i] & others == others:
-                winner = i
-                break
-        if winner is None:
-            # The matrix invariant (antisymmetry) guarantees a unique
-            # winner exists among any non-empty subset; reaching here
-            # means state corruption.
-            raise AssertionError("matrix arbiter found no winner")
-        self._lower_priority(winner)
+        else:
+            # Iterate the request sequence directly: duplicates are
+            # harmless to both loops (OR is idempotent; the matrix
+            # invariant makes the winner unique), and sequence order --
+            # unlike set order -- is part of the deterministic contract.
+            active_mask = 0
+            for i in requests:
+                active_mask |= 1 << i
+            state = self._state
+            shift = self._shift
+            winner = None
+            for i in requests:
+                others = active_mask & ~(1 << i)
+                if (state >> shift[i]) & others == others:
+                    winner = i
+                    break
+            if winner is None:
+                # The matrix invariant (antisymmetry) guarantees a
+                # unique winner exists among any non-empty subset;
+                # reaching here means state corruption.
+                raise AssertionError("matrix arbiter found no winner")
+        self._state = (self._state | self._col[winner]) & self._row_keep[winner]
         return winner
 
     def _lower_priority(self, winner: int) -> None:
         """Set the winner's priority lowest among all requestors."""
-        bit = 1 << winner
-        rows = self._rows
-        for j in range(self.n):
-            rows[j] |= bit
-        # Clears the winner's whole row, including the diagonal bit the
-        # loop above just set.
-        rows[winner] = 0
+        self._state = (self._state | self._col[winner]) & self._row_keep[winner]
 
     def check_invariant(self) -> bool:
         """Antisymmetry: exactly one of (i beats j), (j beats i) holds."""

@@ -14,7 +14,17 @@ from .flit import Flit
 
 
 class FlitBuffer:
-    """Fixed-capacity FIFO of flits."""
+    """Fixed-capacity FIFO of flits.
+
+    The underlying deque (``_queue``) is deliberately exposed to the
+    struct-of-arrays hot path: the specialized router steppers collect
+    every input VC's queue into one flat list at wiring time and operate
+    on the deques directly, skipping the method layer.  The wrapper
+    stays the only *mutation* API outside those steppers so the
+    overflow check keeps surfacing flow-control bugs.
+    """
+
+    __slots__ = ("capacity", "_queue")
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:

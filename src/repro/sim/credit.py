@@ -64,6 +64,11 @@ class InfiniteCredits:
     capacity = float("inf")
     available = float("inf")
     in_use = 0
+    #: Mirrors :class:`CreditCounter`'s storage so the specialized
+    #: steppers can read ``._credits`` on any counter kind -- a plain
+    #: attribute compare instead of a ``__bool__``/property call in the
+    #: per-VC credit checks that run every allocation cycle.
+    _credits = float("inf")
 
     def __bool__(self) -> bool:
         return True

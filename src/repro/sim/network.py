@@ -323,6 +323,42 @@ class Network:
             else self._step_reference
         )
 
+        #: Why the routers run the generic ``cycle`` path instead of a
+        #: compiled step function; None while specialization is live.
+        self.generic_step_reason: Optional[str] = None
+        if config.stepper == "fast":
+            self._specialize_routers()
+        else:
+            self.generic_step_reason = "reference-stepper"
+
+    def _specialize_routers(self) -> None:
+        """Bind a config-specialized step function to each router.
+
+        Runs once at wiring time (channels must already be connected).
+        Routers whose config or instance state is outside the supported
+        envelope keep ``_step_fn = None`` and run the generic path.
+        """
+        from .routers.specialized import compile_step, plan_for
+
+        if plan_for(self.config) is None:
+            self.generic_step_reason = "unsupported-config"
+            return
+        for router in self.routers:
+            router._step_fn = compile_step(router)
+
+    def force_generic_step(self, reason: str) -> None:
+        """Drop every compiled step function; the generic path runs.
+
+        Called by ``ValidationSuite.attach``, ``TelemetrySession.attach``
+        and ``Tracer.attach``: their probes/collectors wrap the generic
+        methods (instance-level ``_traverse`` wrappers, allocator
+        proxies, ``Sink.accept`` wraps), which the compiled closures
+        would bypass.
+        """
+        self.generic_step_reason = reason
+        for router in self.routers:
+            router._step_fn = None
+
     # ------------------------------------------------------------------
 
     def _wire(self) -> None:
@@ -432,7 +468,11 @@ class Network:
         # accept_flit/receive_credit.
         for router in routers:
             if router.active:
-                router.cycle(cycle)
+                step_fn = router._step_fn
+                if step_fn is not None:
+                    step_fn(cycle)
+                else:
+                    router.cycle(cycle)
                 if router._can_sleep and router.is_idle():
                     router.active = False
 

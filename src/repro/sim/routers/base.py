@@ -56,11 +56,18 @@ _ACTIVE = VCState.ACTIVE
 
 
 class InputVC:
-    """One input virtual channel: its FIFO and channel state."""
+    """One input virtual channel: its FIFO and channel state.
+
+    ``flat`` is the VC's port-major index (``port * v + vc``) into the
+    owning router's struct-of-arrays views (flat VC list, flat buffer
+    list, and the per-state bitmasks); ``owner`` is the router, so state
+    transitions funnelled through :meth:`reset_to_idle` keep the
+    bitmasks in sync without the callers having to.
+    """
 
     __slots__ = (
         "port", "vc", "buffer", "state", "route", "out_vc", "routing_ready",
-        "reroute_count", "va_ready",
+        "reroute_count", "va_ready", "flat", "owner",
     )
 
     def __init__(self, port: int, vc: int, capacity: int) -> None:
@@ -73,12 +80,20 @@ class InputVC:
         self.routing_ready: int = 0             # earliest cycle RC may run
         self.reroute_count: int = 0             # adaptive re-iterations
         self.va_ready: int = 0                  # earliest cycle VA may run
+        self.flat: int = 0                      # set by the owning router
+        self.owner: Optional["BaseRouter"] = None
 
     def reset_to_idle(self) -> None:
         self.state = _IDLE
         self.route = None
         self.out_vc = None
         self.reroute_count = 0
+        owner = self.owner
+        if owner is not None:
+            mask = ~(1 << self.flat)
+            owner._routing_mask &= mask
+            owner._va_mask &= mask
+            owner._active_mask &= mask
 
 
 class OutputVC:
@@ -141,6 +156,20 @@ class BaseRouter:
         self._all_ivcs: List[InputVC] = [
             ivc for port_vcs in self.input_vcs for ivc in port_vcs
         ]
+        for flat, ivc in enumerate(self._all_ivcs):
+            ivc.flat = flat
+            ivc.owner = self
+        #: Struct-of-arrays state bitmasks over the flat (port-major)
+        #: input-VC index: bit ``i`` of ``_routing_mask`` / ``_va_mask``
+        #: / ``_active_mask`` is set iff ``_all_ivcs[i].state`` is
+        #: ROUTING / VC_ALLOC / ACTIVE.  Maintained at every state
+        #: transition; the specialized steppers iterate set bits instead
+        #: of scanning VC objects, and :meth:`is_idle` becomes O(1).
+        #: Checked mode cross-validates the masks against the per-VC
+        #: states every cycle (``VCExclusivityProbe``).
+        self._routing_mask: int = 0
+        self._va_mask: int = 0
+        self._active_mask: int = 0
         #: Activity flag for the network's fast stepper.  Routers start
         #: active (covers state poked in before the first cycle) and are
         #: re-armed by :meth:`accept_flit` / :meth:`receive_credit`; the
@@ -164,6 +193,16 @@ class BaseRouter:
             ]
             for port in range(NUM_PORTS)
         ]
+        #: Flat (port-major) struct-of-arrays views of the output VCs
+        #: and their credit counters, mirrors of ``output_vcs``: index
+        #: ``port * v + vc``.  The specialized steppers index these with
+        #: precomputed flat offsets instead of chasing the nested lists.
+        self._ovc_flat: List[OutputVC] = [
+            ovc for port_vcs in self.output_vcs for ovc in port_vcs
+        ]
+        self._ovc_credits: List = [ovc.credits for ovc in self._ovc_flat]
+        #: Flat (port-major) list of the raw input-buffer deques.
+        self._ivc_queues: List = [ivc.buffer._queue for ivc in self._all_ivcs]
         #: Output flit channels; None for ports at the mesh edge.
         self.output_channels: List[Optional[PipelinedChannel]] = [None] * NUM_PORTS
         #: Upstream credit channels, indexed by *input* port.
@@ -172,10 +211,30 @@ class BaseRouter:
         self.pending_st: List[Tuple[int, int]] = []
         #: Optional :class:`repro.sim.trace.Tracer` (set via Tracer.attach).
         self.tracer = None
+        #: Config-specialized step function compiled at wiring time by
+        #: :mod:`repro.sim.routers.specialized` (fast stepper only);
+        #: ``None`` means the generic :meth:`cycle` runs.  The network
+        #: clears this on every router when probes, telemetry or tracers
+        #: attach, so wrap-based instrumentation keeps intercepting the
+        #: generic path.
+        self._step_fn = None
         from ..routing import make_routing_function
 
         self._routing_name = config.routing_function
         self._routing_fn = make_routing_function(config.routing_function)
+        #: Precomputed routing table for static (flit-independent)
+        #: routing functions: ``_route_table[destination]`` is this
+        #: node's output port.  Used by *both* the generic and the
+        #: specialized path -- corruption is therefore observable under
+        #: checked mode -- and None for o1turn/adaptive routing, whose
+        #: choice depends on the packet.
+        self._route_table: Optional[Tuple[int, ...]] = None
+        if self._routing_name in ("xy", "yx"):
+            fn = self._routing_fn
+            self._route_table = tuple(
+                fn(mesh, node, destination)
+                for destination in range(mesh.num_nodes)
+            )
 
     # ------------------------------------------------------------------
     # Wiring (called by the network).
@@ -211,6 +270,7 @@ class BaseRouter:
                 )
             ivc.state = _ROUTING
             ivc.routing_ready = cycle
+            self._routing_mask |= 1 << ivc.flat
 
     def receive_credit(self, port: int, vc: int) -> None:
         """A credit returned for output ``port``/``vc``.
@@ -288,6 +348,7 @@ class BaseRouter:
             # Channel-state update settles at the cycle's end; the next
             # packet routes from the following cycle.
             ivc.routing_ready = cycle + 1
+            self._routing_mask |= 1 << ivc.flat
 
     def _grant_switch(self, port: int, vc: int, cycle: int) -> None:
         """Record a switch grant and dispatch the flow-control credit.
@@ -346,20 +407,22 @@ class BaseRouter:
         No granted traversals are pending and every input VC is IDLE
         (an IDLE VC has an empty buffer -- :meth:`accept_flit` asserts
         it).  Idle routers hold no output VCs or ports either: a held
-        resource implies a non-IDLE holder VC in this router.
+        resource implies a non-IDLE holder VC in this router.  O(1) via
+        the state bitmasks; checked mode cross-validates the masks
+        against the per-VC states every cycle.
         """
         if self.pending_st:
             return False
-        for ivc in self._all_ivcs:
-            if ivc.state:        # IntEnum: IDLE is 0
-                return False
-        return True
+        return not (self._routing_mask | self._va_mask | self._active_mask)
 
     def _route_vc(self, ivc: InputVC, flit: Flit) -> int:
         """Route a head; subclasses may use per-VC state (adaptivity)."""
         return self._route(flit)
 
     def _route(self, flit: Flit) -> int:
+        table = self._route_table
+        if table is not None:
+            return table[flit.destination]
         if self._routing_name == "o1turn":
             from ..routing import o1turn_route_for_packet
 
@@ -369,6 +432,9 @@ class BaseRouter:
     def _after_routing(self, ivc: InputVC, cycle: int) -> None:
         """State transition after RC; VC routers go to VC_ALLOC."""
         ivc.state = VCState.ACTIVE
+        bit = 1 << ivc.flat
+        self._routing_mask &= ~bit
+        self._active_mask |= bit
 
     # ------------------------------------------------------------------
     # Introspection helpers (tests and invariant checks).

@@ -1,0 +1,983 @@
+"""Config-specialized router step compilation (the saturation-speed path).
+
+At wiring time the network asks :func:`compile_step` for a per-router
+step function specialized to the config: the routing table is
+precomputed, the port/VC loops run over the struct-of-arrays state
+bitmasks instead of scanning VC objects, allocator requests are built as
+pre-grouped parallel lists (``SeparableAllocator.allocate_grouped``),
+and every branch serving validation, telemetry or tracing is compiled
+out.  The compiled closure is bit-identical to the generic
+``BaseRouter.cycle`` for the supported configs -- same state
+transitions, same arbiter state evolution, same stats, same channel
+sends in the same order -- which the high-load differential battery in
+``tests/sim/test_fast_stepper.py`` and ``oracle_fast_vs_reference``
+enforce.
+
+The generic path remains the executable spec and the fallback:
+
+* configs outside the supported envelope (maximum-matching allocator,
+  packet-dependent routing functions, the ``equal`` speculation
+  ablation) never compile -- :func:`plan_for` returns ``None``;
+* attaching probes, telemetry or a tracer calls
+  ``Network.force_generic_step``, clearing every compiled step so
+  wrap-based instrumentation keeps intercepting the generic methods;
+* a router whose step methods were monkeypatched (instance or class
+  level) refuses to specialize -- :func:`compile_step` verifies each
+  method against the canonical function captured at import time.
+
+Plans (not closures) are cached per :func:`specialization_key`; the
+closures themselves capture per-router state and are built fresh for
+every router.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..topology import NUM_PORTS
+from .base import _ACTIVE, _VC_ALLOC, BaseRouter
+from .single_cycle import SingleCycleVCRouter, SingleCycleWormholeRouter
+from .spec_vc import SpeculativeVCRouter
+from .vc import VirtualChannelRouter
+from .vct import VirtualCutThroughRouter
+from .wormhole import WormholeRouter
+
+
+class StepPlan:
+    """A compilable (config-key, router-class, builder) triple.
+
+    Plans are interned per :func:`specialization_key`: two configs with
+    the same key share the plan object; configs with different keys
+    never do (the specialization-cache tests assert both directions).
+    """
+
+    __slots__ = ("key", "router_class", "builder", "canonical")
+
+    def __init__(self, key, router_class, builder, canonical) -> None:
+        self.key = key
+        self.router_class = router_class
+        self.builder = builder
+        self.canonical = canonical
+
+
+def specialization_key(config) -> Tuple:
+    """Every config field the compiled step code depends on."""
+    return (
+        config.router_kind.value,
+        config.num_vcs,
+        config.buffers_per_vc,
+        config.topology,
+        config.mesh_radix,
+        config.routing_function,
+        config.allocator_kind,
+        config.arbiter_kind,
+        config.speculation_priority,
+        config.va_extra_cycles,
+        config.packet_length,
+    )
+
+
+# ----------------------------------------------------------------------
+# Canonical step methods, captured at import time.  compile_step refuses
+# to specialize a router whose class resolves any of these names to a
+# different function (class-level monkeypatch) or that shadows one on
+# the instance -- the patched generic path must keep running.
+# ----------------------------------------------------------------------
+
+_BASE_STEP_METHODS = (
+    "cycle",
+    "_st_phase",
+    "_traverse",
+    "_grant_switch",
+    "_release_resources",
+    "_allocation_phase",
+    "_rc_phase",
+    "_route",
+    "_route_vc",
+    "_after_routing",
+)
+_VC_STEP_METHODS = _BASE_STEP_METHODS + (
+    "_vc_allocation",
+    "_switch_allocation",
+    "_sa_eligible",
+    "_collect_va_requests",
+    "_candidate_vcs",
+)
+
+
+def _capture(cls, names) -> Tuple[Tuple[str, object], ...]:
+    return tuple((name, getattr(cls, name)) for name in names)
+
+
+_CANONICAL = {
+    WormholeRouter: _capture(WormholeRouter, _BASE_STEP_METHODS),
+    VirtualCutThroughRouter: _capture(
+        VirtualCutThroughRouter, _BASE_STEP_METHODS
+    ),
+    SingleCycleWormholeRouter: _capture(
+        SingleCycleWormholeRouter, _BASE_STEP_METHODS
+    ),
+    VirtualChannelRouter: _capture(VirtualChannelRouter, _VC_STEP_METHODS),
+    SingleCycleVCRouter: _capture(SingleCycleVCRouter, _VC_STEP_METHODS),
+    SpeculativeVCRouter: _capture(SpeculativeVCRouter, _VC_STEP_METHODS),
+}
+
+
+def _uses_canonical(router: BaseRouter, canonical) -> bool:
+    cls = type(router)
+    instance_dict = router.__dict__
+    for name, func in canonical:
+        if name in instance_dict:
+            return False
+        if getattr(cls, name, None) is not func:
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Closure builders.  Each captures the router's struct-of-arrays views
+# once; the per-cycle work then runs on flat lists and int bitmasks.
+# ----------------------------------------------------------------------
+
+
+def _make_grant(router: BaseRouter):
+    """Inlined ``_grant_switch`` without the tracer branch."""
+    credit_channels = router.credit_channels
+    stats = router.stats
+
+    def grant(port: int, vc: int, cycle: int) -> None:
+        router.pending_st.append((port, vc))
+        stats.sa_grants += 1
+        credit_channel = credit_channels[port]
+        if credit_channel is not None:
+            credit_channel.send(vc, cycle)
+
+    return grant
+
+
+def _make_st(router: BaseRouter):
+    """Inlined ``_st_phase`` + ``_traverse``: tracer branch and the
+    duplicate-output set check compiled out; the cheap empty-VC and
+    unallocated-resource asserts stay (the failure-injection tests
+    expect them on either path).  Tail release stays the shared
+    ``_release_resources`` (it owns the mask/port-hold bookkeeping)."""
+    v = router.num_vcs
+    all_ivcs = router._all_ivcs
+    queues = router._ivc_queues
+    ovc_flat = router._ovc_flat
+    output_channels = router.output_channels
+    stats = router.stats
+    release = router._release_resources
+
+    def st(cycle: int) -> None:
+        pending = router.pending_st
+        if not pending:
+            return
+        router.pending_st = []
+        for port, vc in pending:
+            flat = port * v + vc
+            ivc = all_ivcs[flat]
+            queue = queues[flat]
+            if not queue:
+                raise AssertionError("switch granted to an empty input VC")
+            out_port = ivc.route
+            out_vc = ivc.out_vc
+            if out_port is None or out_vc is None:
+                raise AssertionError(
+                    "switch granted before resources allocated"
+                )
+            flit = queue.popleft()
+            ovc = ovc_flat[out_port * v + out_vc]
+            ovc.credits.consume()
+            flit.vcid = out_vc
+            output_channels[out_port].send(flit, cycle)
+            stats.flits_forwarded += 1
+            if flit.is_tail:
+                release(ivc, ovc, cycle)
+
+    return st
+
+
+def _make_rc(router: BaseRouter, *, vc_family: bool, single_cycle: bool):
+    """Inlined ``_rc_phase`` iterating the ROUTING bitmask with the
+    precomputed routing table (xy/yx only -- plan_for guarantees it)."""
+    all_ivcs = router._all_ivcs
+    queues = router._ivc_queues
+    route_table = router._route_table
+    stats = router.stats
+    va_delay = 0 if single_cycle else 1 + router.config.va_extra_cycles
+
+    if vc_family:
+
+        def rc(cycle: int) -> None:
+            m = router._routing_mask
+            routed = 0
+            moved = 0
+            while m:
+                low = m & -m
+                m -= low
+                flat = low.bit_length() - 1
+                ivc = all_ivcs[flat]
+                if ivc.routing_ready > cycle:
+                    continue
+                ivc.route = route_table[queues[flat][0].destination]
+                ivc.state = _VC_ALLOC
+                ivc.va_ready = cycle + va_delay
+                routed += 1
+                moved |= low
+            if routed:
+                stats.packets_routed += routed
+                router._routing_mask &= ~moved
+                router._va_mask |= moved
+
+    else:
+
+        def rc(cycle: int) -> None:
+            m = router._routing_mask
+            routed = 0
+            moved = 0
+            while m:
+                low = m & -m
+                m -= low
+                flat = low.bit_length() - 1
+                ivc = all_ivcs[flat]
+                if ivc.routing_ready > cycle:
+                    continue
+                ivc.route = route_table[queues[flat][0].destination]
+                ivc.state = _ACTIVE
+                routed += 1
+                moved |= low
+            if routed:
+                stats.packets_routed += routed
+                router._routing_mask &= ~moved
+                router._active_mask |= moved
+
+    return rc
+
+
+def _make_wormhole_alloc(router: BaseRouter, grant, *, vct: bool):
+    """Inlined wormhole/VCT ``_allocation_phase``.
+
+    The reference's ``held_outputs`` busy filter is dropped: free-port
+    requests never target a held output (checked right here), so the
+    filter -- and the singleton fast path's busy test -- are no-ops.
+    """
+    all_ivcs = router._all_ivcs
+    queues = router._ivc_queues
+    ovc_credits = router._ovc_credits
+    stats = router.stats
+    port_held_by = router.port_held_by
+    arbiter = router._switch_arbiter
+    member0 = (0,)
+
+    def alloc(cycle: int) -> None:
+        held_inputs = 0
+        for out_port in range(NUM_PORTS):
+            in_port = port_held_by[out_port]
+            if in_port is None:
+                continue
+            held_inputs |= 1 << in_port
+            if queues[in_port]:
+                if ovc_credits[out_port]._credits > 0:
+                    grant(in_port, 0, cycle)
+                else:
+                    stats.credits_stalled += 1
+
+        m = router._active_mask & ~held_inputs
+        groups = []
+        resources = []
+        while m:
+            low = m & -m
+            m -= low
+            in_port = low.bit_length() - 1
+            route = all_ivcs[in_port].route
+            if port_held_by[route] is not None:
+                continue
+            credits = ovc_credits[route]
+            if vct:
+                if credits._credits < queues[in_port][0].packet.length:
+                    stats.credits_stalled += 1
+                    continue
+            elif credits._credits <= 0:
+                stats.credits_stalled += 1
+                continue
+            groups.append(in_port)
+            resources.append((route,))
+
+        if groups:
+            for won in arbiter.allocate_grouped(
+                groups, [member0] * len(groups), resources
+            ):
+                in_port = won.group
+                all_ivcs[in_port].out_vc = 0
+                port_held_by[won.resource] = in_port
+                grant(in_port, 0, cycle)
+
+    return alloc
+
+
+def _make_vc_sa(router: BaseRouter, grant):
+    """Inlined ``_switch_allocation`` over the ACTIVE bitmask with
+    pre-grouped (port-contiguous, flat-ascending) requests."""
+    v = router.num_vcs
+    all_ivcs = router._all_ivcs
+    queues = router._ivc_queues
+    ovc_credits = router._ovc_credits
+    stats = router.stats
+    allocator = router._switch_allocator
+    flat_port = tuple(flat // v for flat in range(NUM_PORTS * v))
+    flat_vc = tuple(flat % v for flat in range(NUM_PORTS * v))
+
+    def sa(cycle: int) -> None:
+        m = router._active_mask
+        groups = []
+        members_lists = []
+        resources_lists = []
+        last_port = -1
+        while m:
+            low = m & -m
+            m -= low
+            flat = low.bit_length() - 1
+            if not queues[flat]:
+                continue
+            ivc = all_ivcs[flat]
+            route = ivc.route
+            if ovc_credits[route * v + ivc.out_vc]._credits <= 0:
+                stats.credits_stalled += 1
+                continue
+            port = flat_port[flat]
+            if port == last_port:
+                members_lists[-1].append(flat_vc[flat])
+                resources_lists[-1].append(route)
+            else:
+                last_port = port
+                groups.append(port)
+                members_lists.append([flat_vc[flat]])
+                resources_lists.append([route])
+        if groups:
+            for won in allocator.allocate_grouped(
+                groups, members_lists, resources_lists
+            ):
+                grant(won.group, won.member, cycle)
+
+    return sa
+
+
+def _make_vc_va(router: BaseRouter):
+    """Inlined ``_vc_allocation`` + ``_collect_va_requests`` over the
+    VC_ALLOC bitmask and the precomputed candidate-VC table, with the
+    VC allocator's two separable stages fused in.
+
+    Each requestor group is one input VC, so stage 1 runs during
+    collection (group order is ascending flat order either way); the
+    winning candidate's resource is ``route * v + winner`` by
+    construction, so no member-to-resource lookup survives inlining.
+    """
+    v = router.num_vcs
+    all_ivcs = router._all_ivcs
+    ovc_flat = router._ovc_flat
+    allocator = router._vc_allocator
+    st1 = allocator._stage1
+    st2 = allocator._stage2
+    matrix = allocator._matrix
+    candidate_table = router._candidate_table
+    flat_pairs = tuple(divmod(flat, v) for flat in range(NUM_PORTS * v))
+
+    def va(cycle: int) -> None:
+        # Collection + stage 1: per VC_ALLOC head, arbitrate among the
+        # currently free candidate output VCs.
+        m = router._va_mask
+        sur_g = []
+        sur_m = []
+        sur_r = []
+        while m:
+            low = m & -m
+            m -= low
+            flat = low.bit_length() - 1
+            ivc = all_ivcs[flat]
+            if ivc.va_ready > cycle:
+                continue
+            route = ivc.route
+            base = route * v
+            members = None
+            for candidate in candidate_table[flat][route]:
+                if ovc_flat[base + candidate].held_by is None:
+                    if members is None:
+                        members = [candidate]
+                    else:
+                        members.append(candidate)
+            if members is None:
+                continue
+            arb = st1[flat]
+            if len(members) == 1:
+                w = members[0]
+                if matrix:
+                    arb._state = (arb._state | arb._col[w]) & arb._row_keep[w]
+                else:
+                    arb.arbitrate(members)
+            else:
+                w = arb.arbitrate(members)
+            sur_g.append(flat)
+            sur_m.append(w)
+            sur_r.append(base + w)
+
+        # Stage 2: per output VC, pick one head; the winner takes the
+        # VC and turns ACTIVE immediately.
+        count = len(sur_g)
+        if count == 1:
+            g = sur_g[0]
+            res = sur_r[0]
+            arb = st2[res]
+            if matrix:
+                arb._state = (arb._state | arb._col[g]) & arb._row_keep[g]
+            else:
+                arb.arbitrate((g,))
+            ivc = all_ivcs[g]
+            ovc_flat[res].held_by = flat_pairs[g]
+            ivc.out_vc = sur_m[0]
+            ivc.state = _ACTIVE
+            router._va_mask &= ~(1 << g)
+            router._active_mask |= 1 << g
+        elif count:
+            by_resource = {}
+            for k in range(count):
+                by_resource.setdefault(sur_r[k], []).append(k)
+            moved = 0
+            for res, idxs in by_resource.items():
+                arb = st2[res]
+                if len(idxs) == 1:
+                    k = idxs[0]
+                    g = sur_g[k]
+                    if matrix:
+                        arb._state = (
+                            arb._state | arb._col[g]
+                        ) & arb._row_keep[g]
+                    else:
+                        arb.arbitrate((g,))
+                else:
+                    g = arb.arbitrate([sur_g[k] for k in idxs])
+                    for k in idxs:
+                        if sur_g[k] == g:
+                            break
+                ivc = all_ivcs[g]
+                ovc_flat[res].held_by = flat_pairs[g]
+                ivc.out_vc = sur_m[k]
+                ivc.state = _ACTIVE
+                moved |= 1 << g
+            router._va_mask &= ~moved
+            router._active_mask |= moved
+
+    return va
+
+
+def _make_spec_alloc(router: BaseRouter):
+    """Inlined speculative ``_allocation_phase`` + ``_vc_allocation``
+    with both separable allocators fused in (conservative priority only
+    -- plan_for rejects the ``equal`` ablation).
+
+    The arbitration order and priority-state evolution are exactly
+    ``SpeculativeSwitchAllocator.allocate_grouped``'s: non-speculative
+    stage 1 per input port in request order, stage 2 per output port in
+    survivor order (grants applied as each stage-2 winner is decided --
+    the batched path's grant order), then the speculative stages with
+    non-speculatively taken outputs masked out before stage 1 and taken
+    inputs filtered at combine time.  Fusing the allocators in drops
+    the per-cycle ``Grant`` tuples, the taken-output set/sort, and the
+    busy re-filter list churn that dominate the batched calls.
+
+    VC allocation is fused into the same scan: the reference walks the
+    VC_ALLOC heads twice (speculative request collection, then VA
+    request collection) with identical candidate scans, and nothing
+    between the walks changes ``held_by`` or ``va_ready``.  The two
+    allocators' arbiter states are disjoint, so running VA stage 1
+    during the shared scan leaves every arbitration input unchanged.
+    """
+    v = router.num_vcs
+    all_ivcs = router._all_ivcs
+    queues = router._ivc_queues
+    ovc_flat = router._ovc_flat
+    ovc_credits = router._ovc_credits
+    stats = router.stats
+    credit_channels = router.credit_channels
+    allocator = router._spec_switch_allocator
+    ns1 = allocator._nonspec._stage1
+    ns2 = allocator._nonspec._stage2
+    sp1 = allocator._spec._stage1
+    sp2 = allocator._spec._stage2
+    va1 = router._vc_allocator._stage1
+    va2 = router._vc_allocator._stage2
+    matrix = allocator._nonspec._matrix
+    candidate_table = router._candidate_table
+    flat_port = tuple(flat // v for flat in range(NUM_PORTS * v))
+    flat_vc = tuple(flat % v for flat in range(NUM_PORTS * v))
+    flat_pairs = tuple(divmod(flat, v) for flat in range(NUM_PORTS * v))
+
+    def alloc(cycle: int) -> None:
+        pending = router.pending_st
+
+        # Non-speculative requests from ACTIVE VCs, flat-ascending
+        # (so per-port runs are contiguous), as parallel flat arrays.
+        m = router._active_mask
+        r_groups = []
+        r_members = []
+        r_resources = []
+        while m:
+            low = m & -m
+            m -= low
+            flat = low.bit_length() - 1
+            if not queues[flat]:
+                continue
+            ivc = all_ivcs[flat]
+            route = ivc.route
+            if ovc_credits[route * v + ivc.out_vc]._credits <= 0:
+                stats.credits_stalled += 1
+                continue
+            r_groups.append(flat_port[flat])
+            r_members.append(flat_vc[flat])
+            r_resources.append(route)
+
+        # Non-speculative stage 1: per input port, pick one VC.
+        sur_g = []
+        sur_m = []
+        sur_r = []
+        i = 0
+        n = len(r_groups)
+        while i < n:
+            g = r_groups[i]
+            j = i + 1
+            while j < n and r_groups[j] == g:
+                j += 1
+            arb = ns1[g]
+            if j - i == 1:
+                w = r_members[i]
+                if matrix:
+                    arb._state = (arb._state | arb._col[w]) & arb._row_keep[w]
+                else:
+                    arb.arbitrate((w,))
+                res = r_resources[i]
+            else:
+                mem = r_members[i:j]
+                w = arb.arbitrate(mem)
+                res = r_resources[i + mem.index(w)]
+            sur_g.append(g)
+            sur_m.append(w)
+            sur_r.append(res)
+            i = j
+
+        # Non-speculative stage 2: per output port, pick one input;
+        # apply the grant (pending ST + credit) as it is decided.
+        taken_in = 0
+        taken_out = 0
+        ns_count = len(sur_g)
+        if ns_count == 1:
+            g = sur_g[0]
+            res = sur_r[0]
+            arb = ns2[res]
+            if matrix:
+                arb._state = (arb._state | arb._col[g]) & arb._row_keep[g]
+            else:
+                arb.arbitrate((g,))
+            w = sur_m[0]
+            taken_in = 1 << g
+            taken_out = 1 << res
+            pending.append((g, w))
+            stats.sa_grants += 1
+            credit_channel = credit_channels[g]
+            if credit_channel is not None:
+                credit_channel.send(w, cycle)
+        elif ns_count:
+            by_resource = {}
+            for k in range(ns_count):
+                by_resource.setdefault(sur_r[k], []).append(k)
+            for res, idxs in by_resource.items():
+                arb = ns2[res]
+                if len(idxs) == 1:
+                    k = idxs[0]
+                    g = sur_g[k]
+                    if matrix:
+                        arb._state = (
+                            arb._state | arb._col[g]
+                        ) & arb._row_keep[g]
+                    else:
+                        arb.arbitrate((g,))
+                else:
+                    g = arb.arbitrate([sur_g[k] for k in idxs])
+                    for k in idxs:
+                        if sur_g[k] == g:
+                            break
+                w = sur_m[k]
+                taken_in |= 1 << g
+                taken_out |= 1 << res
+                pending.append((g, w))
+                stats.sa_grants += 1
+                credit_channel = credit_channels[g]
+                if credit_channel is not None:
+                    credit_channel.send(w, cycle)
+
+        # One scan of the VC_ALLOC heads serves both allocators: per
+        # eligible head, arbitrate VA stage 1 among its free candidate
+        # VCs, and (if its output was not taken non-speculatively --
+        # the batched busy filter) post its speculative switch request.
+        m = router._va_mask
+        va_g = []
+        va_m = []
+        va_r = []
+        r_groups = []
+        r_members = []
+        r_resources = []
+        while m:
+            low = m & -m
+            m -= low
+            flat = low.bit_length() - 1
+            ivc = all_ivcs[flat]
+            if ivc.va_ready > cycle:
+                continue
+            route = ivc.route
+            base = route * v
+            members = None
+            for candidate in candidate_table[flat][route]:
+                if ovc_flat[base + candidate].held_by is None:
+                    if members is None:
+                        members = [candidate]
+                    else:
+                        members.append(candidate)
+            if members is None:
+                continue
+            arb = va1[flat]
+            if len(members) == 1:
+                w = members[0]
+                if matrix:
+                    arb._state = (arb._state | arb._col[w]) & arb._row_keep[w]
+                else:
+                    arb.arbitrate(members)
+            else:
+                w = arb.arbitrate(members)
+            va_g.append(flat)
+            va_m.append(w)
+            va_r.append(base + w)
+            if taken_out >> route & 1:
+                continue
+            r_groups.append(flat_port[flat])
+            r_members.append(flat_vc[flat])
+            r_resources.append(route)
+
+        # Speculative stage 1.
+        sur_g = []
+        sur_m = []
+        sur_r = []
+        i = 0
+        sn = len(r_groups)
+        while i < sn:
+            g = r_groups[i]
+            j = i + 1
+            while j < sn and r_groups[j] == g:
+                j += 1
+            arb = sp1[g]
+            if j - i == 1:
+                w = r_members[i]
+                if matrix:
+                    arb._state = (arb._state | arb._col[w]) & arb._row_keep[w]
+                else:
+                    arb.arbitrate((w,))
+                res = r_resources[i]
+            else:
+                mem = r_members[i:j]
+                w = arb.arbitrate(mem)
+                res = r_resources[i + mem.index(w)]
+            sur_g.append(g)
+            sur_m.append(w)
+            sur_r.append(res)
+            i = j
+
+        # Speculative stage 2: winners are held until after VA -- the
+        # combiner needs to see whether each speculation won its VC.
+        sp_g = []
+        sp_m = []
+        sp_count = len(sur_g)
+        if sp_count == 1:
+            g = sur_g[0]
+            res = sur_r[0]
+            arb = sp2[res]
+            if matrix:
+                arb._state = (arb._state | arb._col[g]) & arb._row_keep[g]
+            else:
+                arb.arbitrate((g,))
+            sp_g.append(g)
+            sp_m.append(sur_m[0])
+        elif sp_count:
+            by_resource = {}
+            for k in range(sp_count):
+                by_resource.setdefault(sur_r[k], []).append(k)
+            for res, idxs in by_resource.items():
+                arb = sp2[res]
+                if len(idxs) == 1:
+                    k = idxs[0]
+                    g = sur_g[k]
+                    if matrix:
+                        arb._state = (
+                            arb._state | arb._col[g]
+                        ) & arb._row_keep[g]
+                    else:
+                        arb.arbitrate((g,))
+                else:
+                    g = arb.arbitrate([sur_g[k] for k in idxs])
+                    for k in idxs:
+                        if sur_g[k] == g:
+                            break
+                sp_g.append(g)
+                sp_m.append(sur_m[k])
+
+        # VC allocation stage 2: per output VC, pick one head; winners
+        # take their VC and turn ACTIVE before the combiner checks
+        # speculation outcomes, exactly as the reference's VA phase.
+        count = len(va_g)
+        if count == 1:
+            g = va_g[0]
+            res = va_r[0]
+            arb = va2[res]
+            if matrix:
+                arb._state = (arb._state | arb._col[g]) & arb._row_keep[g]
+            else:
+                arb.arbitrate((g,))
+            ivc = all_ivcs[g]
+            ovc_flat[res].held_by = flat_pairs[g]
+            ivc.out_vc = va_m[0]
+            ivc.state = _ACTIVE
+            router._va_mask &= ~(1 << g)
+            router._active_mask |= 1 << g
+        elif count:
+            by_resource = {}
+            for k in range(count):
+                by_resource.setdefault(va_r[k], []).append(k)
+            moved = 0
+            for res, idxs in by_resource.items():
+                arb = va2[res]
+                if len(idxs) == 1:
+                    k = idxs[0]
+                    g = va_g[k]
+                    if matrix:
+                        arb._state = (
+                            arb._state | arb._col[g]
+                        ) & arb._row_keep[g]
+                    else:
+                        arb.arbitrate((g,))
+                else:
+                    g = arb.arbitrate([va_g[k] for k in idxs])
+                    for k in idxs:
+                        if va_g[k] == g:
+                            break
+                ivc = all_ivcs[g]
+                ovc_flat[res].held_by = flat_pairs[g]
+                ivc.out_vc = va_m[k]
+                ivc.state = _ACTIVE
+                moved |= 1 << g
+            router._va_mask &= ~moved
+            router._active_mask |= moved
+
+        # Combine: non-speculative grants win absolutely -- an input
+        # port claimed non-speculatively drops its speculative grant
+        # before it is counted (the batched ``surviving`` filter).
+        for k in range(len(sp_g)):
+            g = sp_g[k]
+            if taken_in >> g & 1:
+                continue
+            stats.spec_grants += 1
+            w = sp_m[k]
+            ivc = all_ivcs[g * v + w]
+            if ivc.state is not _ACTIVE:
+                stats.spec_wasted += 1  # lost the VC allocation
+                continue
+            if ovc_credits[ivc.route * v + ivc.out_vc]._credits <= 0:
+                stats.spec_wasted += 1  # won a VC without a credit
+                continue
+            pending.append((g, w))
+            stats.sa_grants += 1
+            credit_channel = credit_channels[g]
+            if credit_channel is not None:
+                credit_channel.send(w, cycle)
+
+    return alloc
+
+
+# ----------------------------------------------------------------------
+# Family builders: compose the phase closures in each family's order.
+# ----------------------------------------------------------------------
+
+
+def _build_wormhole(router: BaseRouter):
+    grant = _make_grant(router)
+    st = _make_st(router)
+    alloc = _make_wormhole_alloc(router, grant, vct=False)
+    rc = _make_rc(router, vc_family=False, single_cycle=False)
+
+    def step(cycle: int) -> None:
+        st(cycle)
+        alloc(cycle)
+        rc(cycle)
+
+    return step
+
+
+def _build_vct(router: BaseRouter):
+    grant = _make_grant(router)
+    st = _make_st(router)
+    alloc = _make_wormhole_alloc(router, grant, vct=True)
+    rc = _make_rc(router, vc_family=False, single_cycle=False)
+
+    def step(cycle: int) -> None:
+        st(cycle)
+        alloc(cycle)
+        rc(cycle)
+
+    return step
+
+
+def _build_single_cycle_wormhole(router: BaseRouter):
+    grant = _make_grant(router)
+    st = _make_st(router)
+    alloc = _make_wormhole_alloc(router, grant, vct=False)
+    rc = _make_rc(router, vc_family=False, single_cycle=True)
+
+    def step(cycle: int) -> None:
+        # Reversed phase order: arrive, route, arbitrate and traverse
+        # within the same cycle.
+        rc(cycle)
+        alloc(cycle)
+        st(cycle)
+
+    return step
+
+
+def _build_vc(router: BaseRouter):
+    grant = _make_grant(router)
+    st = _make_st(router)
+    sa = _make_vc_sa(router, grant)
+    va = _make_vc_va(router)
+    rc = _make_rc(router, vc_family=True, single_cycle=False)
+
+    def step(cycle: int) -> None:
+        st(cycle)
+        sa(cycle)
+        va(cycle)
+        rc(cycle)
+
+    return step
+
+
+def _build_single_cycle_vc(router: BaseRouter):
+    grant = _make_grant(router)
+    st = _make_st(router)
+    sa = _make_vc_sa(router, grant)
+    va = _make_vc_va(router)
+    rc = _make_rc(router, vc_family=True, single_cycle=True)
+
+    def step(cycle: int) -> None:
+        rc(cycle)
+        va(cycle)
+        sa(cycle)
+        st(cycle)
+
+    return step
+
+
+def _build_spec_vc(router: BaseRouter):
+    st = _make_st(router)
+    alloc = _make_spec_alloc(router)
+    rc = _make_rc(router, vc_family=True, single_cycle=False)
+
+    def step(cycle: int) -> None:
+        st(cycle)
+        alloc(cycle)
+        rc(cycle)
+
+    return step
+
+
+_BUILDERS = {
+    "wormhole": (WormholeRouter, _build_wormhole),
+    "virtual_cut_through": (VirtualCutThroughRouter, _build_vct),
+    "single_cycle_wormhole": (
+        SingleCycleWormholeRouter, _build_single_cycle_wormhole,
+    ),
+    "virtual_channel": (VirtualChannelRouter, _build_vc),
+    "single_cycle_vc": (SingleCycleVCRouter, _build_single_cycle_vc),
+    "speculative_vc": (SpeculativeVCRouter, _build_spec_vc),
+}
+
+_PLAN_CACHE: Dict[Tuple, Optional[StepPlan]] = {}
+
+
+def plan_for(config) -> Optional[StepPlan]:
+    """The (interned) step plan for a config, or None if unsupported.
+
+    Unsupported -- the generic path runs instead:
+
+    * ``allocator_kind="maximum"``: no batched entry point, and its
+      rotation advances on every call (``_can_sleep`` is off anyway);
+    * ``routing_function`` o1turn/adaptive: route and candidate-VC
+      choices depend on the packet, so neither table precomputes;
+    * ``speculation_priority="equal"``: the ablation shares one
+      allocator between request classes, which the batched combiner
+      deliberately does not model.
+    """
+    key = specialization_key(config)
+    try:
+        return _PLAN_CACHE[key]
+    except KeyError:
+        pass
+    plan: Optional[StepPlan] = None
+    if (
+        config.allocator_kind == "separable"
+        and config.routing_function in ("xy", "yx")
+        and not (
+            config.router_kind.value == "speculative_vc"
+            and config.speculation_priority == "equal"
+        )
+    ):
+        router_class, builder = _BUILDERS[config.router_kind.value]
+        plan = StepPlan(key, router_class, builder, _CANONICAL[router_class])
+    _PLAN_CACHE[key] = plan
+    return plan
+
+
+def compile_step(router: BaseRouter):
+    """A specialized step closure for ``router``, or None.
+
+    Returns None (generic path) when the config has no plan, a tracer
+    is attached, or any step method differs from the canonical function
+    captured at import time (instance- or class-level monkeypatch).
+    """
+    plan = plan_for(router.config)
+    if plan is None:
+        return None
+    if type(router) is not plan.router_class:
+        return None
+    if router.tracer is not None:
+        return None
+    if not _uses_canonical(router, plan.canonical):
+        return None
+    if router._route_table is None:
+        return None
+    if isinstance(router, VirtualChannelRouter):
+        from ..allocators import SeparableAllocator
+
+        if router._candidate_table is None:
+            return None
+        # The fused VA stages evolve the separable allocator's arbiter
+        # state directly; any substitute must take the generic path.
+        if type(router._vc_allocator) is not SeparableAllocator:
+            return None
+        if isinstance(router, SpeculativeVCRouter):
+            from ..allocators import SpeculativeSwitchAllocator
+
+            # The speculation probe swaps in a recording proxy; only
+            # plain (sub-)allocators have the state layout the fused
+            # allocation in ``_make_spec_alloc`` evolves directly.
+            spec_allocator = router._spec_switch_allocator
+            if type(spec_allocator) is not SpeculativeSwitchAllocator:
+                return None
+            if type(spec_allocator._nonspec) is not SeparableAllocator:
+                return None
+            if type(spec_allocator._spec) is not SeparableAllocator:
+                return None
+    return plan.builder(router)

@@ -33,6 +33,27 @@ class VirtualChannelRouter(BaseRouter):
         #: Candidate-VC policy: unrestricted on a mesh, dateline classes
         #: on a torus, O1TURN classes under o1turn routing.
         self._vc_policy = make_vc_policy(config.routing_function, mesh, v)
+        #: Precomputed candidate-VC table for flit-independent policies
+        #: (AllVCs, DatelineVCs -- their ``allowed_vcs`` ignores the
+        #: head flit): ``_candidate_table[flat_ivc][route_port]`` is the
+        #: permitted output-VC tuple.  None for O1TURN / adaptive-escape
+        #: policies, which key off the packet.  Shared by the generic
+        #: and specialized paths.
+        from ..dateline import AllVCs, DatelineVCs
+
+        self._candidate_table = None
+        if type(self._vc_policy) in (AllVCs, DatelineVCs):
+            policy = self._vc_policy
+            self._candidate_table = [
+                tuple(
+                    tuple(policy.allowed_vcs(
+                        mesh, node, port, vc, route_port, None
+                    ))
+                    for route_port in range(NUM_PORTS)
+                )
+                for port in range(NUM_PORTS)
+                for vc in range(v)
+            ]
 
         # VC allocator (Figure 8b): first stage is a v:1 arbiter per
         # input VC choosing among its candidate output VCs; second stage
@@ -65,6 +86,9 @@ class VirtualChannelRouter(BaseRouter):
         # +1: allocation naturally happens the cycle after routing; the
         # extra cycles model a VC allocator straddling stage boundaries.
         ivc.va_ready = cycle + 1 + self.config.va_extra_cycles
+        bit = 1 << ivc.flat
+        self._routing_mask &= ~bit
+        self._va_mask |= bit
 
     #: Adaptive reroutes before a head falls back to the DOR port, where
     #: the escape VC guarantees progress.
@@ -121,6 +145,9 @@ class VirtualChannelRouter(BaseRouter):
             ivc.route = None
             ivc.reroute_count += 1
             self.stats.reroutes += 1
+            bit = 1 << ivc.flat
+            self._va_mask &= ~bit
+            self._routing_mask |= bit
 
     # ------------------------------------------------------------------
 
@@ -138,6 +165,9 @@ class VirtualChannelRouter(BaseRouter):
             ovc.held_by = (in_port, in_vc)
             ivc.out_vc = out_vc
             ivc.state = _ACTIVE
+            bit = 1 << ivc.flat
+            self._va_mask &= ~bit
+            self._active_mask |= bit
             if self.tracer is not None:
                 from ..trace import EventKind
 
@@ -154,6 +184,9 @@ class VirtualChannelRouter(BaseRouter):
         head = ivc.buffer.front()
         if head is None:
             raise AssertionError("candidate query on an empty VC")
+        table = self._candidate_table
+        if table is not None:
+            return table[ivc.flat][ivc.route]
         return tuple(
             self._vc_policy.allowed_vcs(
                 self.mesh, self.node, ivc.port, ivc.vc, ivc.route, head

@@ -5,10 +5,18 @@ map of the mesh; :func:`describe_router` dumps one router's VC states.
 Used interactively when a simulation behaves unexpectedly ("where is
 everything stuck?") -- and by the congestion examples to *show* hotspot
 formation rather than assert it.
+
+:func:`state_digest` condenses every router's microarchitectural state
+(VC states, routes, buffered flits, credits, held ports/VCs, the
+struct-of-arrays bitmasks, and channel in-flight contents) into one hex
+digest.  The high-load differential battery compares digests across
+steppers: two runs that agree on metrics but diverge in buffered state
+still fail.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import List
 
 from .network import Network
@@ -78,6 +86,60 @@ def describe_router(router: BaseRouter) -> str:
     if len(lines) == 1:
         lines.append("  (idle)")
     return "\n".join(lines)
+
+
+def state_digest(network: Network) -> str:
+    """Hex digest of the network's complete microarchitectural state.
+
+    Covers, per router: every input VC's state, route, output VC,
+    readiness cycles and buffered ``(packet_id, flit_index)`` sequence;
+    every output VC's holder and credit count; wormhole port holds;
+    pending switch traversals; and the struct-of-arrays state bitmasks
+    (so a mask that drifted from the per-VC states changes the digest
+    even before a probe would catch it).  Channel in-flight contents
+    (flits and credits, with arrival cycles) are included so two
+    networks agree only if their wires match too.  Excludes stepper
+    bookkeeping (sleep states, wheel buckets) -- the digest is for
+    comparing *physical* state across steppers.
+    """
+    parts: List[object] = [network.cycle]
+    for router in network.routers:
+        ivcs = []
+        for port_vcs in router.input_vcs:
+            for ivc in port_vcs:
+                ivcs.append((
+                    ivc.state.name, ivc.route, ivc.out_vc,
+                    ivc.routing_ready, ivc.va_ready,
+                    tuple(
+                        (f.packet.packet_id, f.index)
+                        for f in ivc.buffer
+                    ),
+                ))
+        ovcs = [
+            (ovc.held_by, ovc.credits.available)
+            for port_vcs in router.output_vcs
+            for ovc in port_vcs
+        ]
+        parts.append((
+            router.node,
+            tuple(ivcs),
+            tuple(ovcs),
+            tuple(getattr(router, "port_held_by", ())),
+            tuple(router.pending_st),
+            router._routing_mask,
+            router._va_mask,
+            router._active_mask,
+        ))
+        for channel in router.output_channels:
+            if channel is not None:
+                parts.append(tuple(
+                    (arrival, flit.packet.packet_id, flit.index)
+                    for arrival, flit in channel._in_flight
+                ))
+        for channel in router.credit_channels:
+            if channel is not None:
+                parts.append(tuple(channel._in_flight))
+    return hashlib.sha256(repr(parts).encode()).hexdigest()
 
 
 def busiest_routers(network: Network, count: int = 5) -> List[BaseRouter]:

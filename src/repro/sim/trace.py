@@ -64,6 +64,11 @@ class Tracer:
     def attach(cls, network, max_events: Optional[int] = None) -> "Tracer":
         """Create a tracer and hook it into every router and sink."""
         tracer = cls(max_events)
+        # Trace events are emitted by the generic-path methods; a
+        # compiled step function has those branches compiled out.
+        force = getattr(network, "force_generic_step", None)
+        if force is not None:
+            force("trace")
         for router in network.routers:
             router.tracer = tracer
         for sink in network.sinks:

@@ -292,10 +292,44 @@ class VCExclusivityProbe(Probe):
 
     def check(self, network, cycle: int) -> None:
         self.checks += 1
+        for router in network.routers:
+            self._check_masks(router, cycle)
         for router, ovcs, ivcs in self._vc_routers:
             self._check_vc(router, ovcs, ivcs, cycle)
         for router in self._wh_routers:
             self._check_wormhole(router, cycle)
+
+    def _check_masks(self, router, cycle: int) -> None:
+        """The struct-of-arrays state bitmasks agree with the per-VC
+        states.
+
+        The fast stepper's ``is_idle`` and the specialized step
+        functions trust the masks; a desynchronized bit would silently
+        skip (or double-process) a VC, so checked mode recomputes the
+        masks from the object states every checked cycle.
+        """
+        routing = va = active = 0
+        for ivc in router._all_ivcs:
+            state = ivc.state
+            if state is VCState.ROUTING:
+                routing |= 1 << ivc.flat
+            elif state is VCState.VC_ALLOC:
+                va |= 1 << ivc.flat
+            elif state is VCState.ACTIVE:
+                active |= 1 << ivc.flat
+        if (
+            routing != router._routing_mask
+            or va != router._va_mask
+            or active != router._active_mask
+        ):
+            self.fail(
+                cycle,
+                f"router {router.node}: state bitmasks out of sync with "
+                f"VC states: routing {router._routing_mask:#x} (expected "
+                f"{routing:#x}), va {router._va_mask:#x} (expected "
+                f"{va:#x}), active {router._active_mask:#x} (expected "
+                f"{active:#x})",
+            )
 
     def _check_vc(self, router, ovcs, ivcs, cycle: int) -> None:
         active = VCState.ACTIVE

@@ -58,6 +58,11 @@ class ValidationSuite:
     def attach(self, network) -> None:
         if self._attached:
             raise RuntimeError("suite is already attached to a network")
+        # Probes wrap generic-path methods (allocator proxies, sink
+        # wraps); compiled step functions would bypass them.
+        force = getattr(network, "force_generic_step", None)
+        if force is not None:
+            force("checked")
         for probe in self.probes:
             probe.bind(self)
             probe.attach(network)

@@ -51,6 +51,12 @@ class TelemetrySession:
     def attach(self, network) -> None:
         if self._attached:
             raise RuntimeError("session is already attached to a network")
+        # Collectors wrap generic-path methods (instance-level
+        # ``_traverse`` wrappers); compiled step functions would bypass
+        # them, so the network falls back to the generic path.
+        force = getattr(network, "force_generic_step", None)
+        if force is not None:
+            force("telemetry")
         self._start_cycle = network.cycle
         self._window_start = network.cycle
         self._last_cycle = network.cycle

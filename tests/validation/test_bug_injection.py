@@ -13,13 +13,17 @@ import pytest
 
 from repro.sim.allocators import SpeculativeSwitchAllocator
 from repro.sim.config import MeasurementConfig, RouterKind, SimConfig
+from repro.sim.credit import CreditCounter
 from repro.sim.engine import simulate
-from repro.sim.routers.base import BaseRouter
+from repro.sim.routers.base import BaseRouter, VCState
 from repro.sim.routers.wormhole import WormholeRouter
+from repro.sim.topology import NUM_PORTS
 from repro.sim.validation import (
+    FlitConservationProbe,
     InOrderDeliveryProbe,
     InvariantViolation,
     ValidationSuite,
+    VCExclusivityProbe,
     WatchdogProbe,
 )
 
@@ -158,6 +162,143 @@ class TestWatchdog:
         )
         result = simulate(config, meas, checked=suite)
         assert result.validation["ok"]
+
+
+class TestPackedStateCorruption:
+    """Corrupting the packed struct-of-arrays state mid-run must trip
+    the matching probe the same cycle.
+
+    The router state lives in flat parallel arrays (``_ovc_credits``,
+    the three state bitmasks, ``_ivc_queues``) that the specialized
+    steppers index directly.  A stray write to any of them is exactly
+    the failure mode a fast-path bug would produce, so each test
+    reaches into one packed structure after a router's phases run and
+    asserts checked mode catches the drift before it can masquerade as
+    ordinary backpressure.
+    """
+
+    #: Cycle after which the one-shot corruption arms -- past warmup,
+    #: so traffic is flowing and the corrupted state is live.
+    CORRUPT_AFTER = 400
+
+    #: Center node of the 4x4 mesh (x=1, y=1): every port has a real
+    #: neighbor, so corrupted state is on links the probes watch.
+    CENTER = 5
+
+    @classmethod
+    def _corrupt_once_after(cls, monkeypatch, corrupt):
+        """Wrap ``BaseRouter.cycle`` to apply ``corrupt`` exactly once.
+
+        ``corrupt(router, cycle)`` runs after the router's phases and
+        returns True once it found a victim and mutated it; the probe
+        sweep at the end of that same network cycle then sees the
+        corruption.  Returns the ``fired`` list for asserting the
+        injection actually happened.
+        """
+        real = BaseRouter.cycle
+        fired = []
+
+        def wrapped(self, cycle):
+            real(self, cycle)
+            if not fired and cycle >= cls.CORRUPT_AFTER \
+                    and corrupt(self, cycle):
+                fired.append((self.node, cycle))
+
+        monkeypatch.setattr(BaseRouter, "cycle", wrapped)
+        return fired
+
+    def test_packed_credit_decrement_trips_consistency_probe(
+        self, monkeypatch
+    ):
+        """Stealing one credit from the flat ``_ovc_credits`` array
+        breaks the per-link credit identity."""
+
+        def steal_credit(router, cycle):
+            if router.node != self.CENTER:
+                return False
+            # Flat index num_vcs == (EAST, vc 0); a real CreditCounter,
+            # unlike the LOCAL port's InfiniteCredits at 0..v-1.
+            counter = router._ovc_credits[router.num_vcs]
+            assert isinstance(counter, CreditCounter)
+            if counter._credits <= 0:
+                return False
+            counter._credits -= 1
+            return True
+
+        fired = self._corrupt_once_after(monkeypatch, steal_credit)
+        with pytest.raises(InvariantViolation) as excinfo:
+            simulate(
+                tiny_config(RouterKind.SPECULATIVE_VC), MEAS, checked=True
+            )
+        assert fired, "the injected credit theft never fired"
+        assert excinfo.value.violation.probe == "credit_consistency"
+
+    def test_flipped_state_bitmask_bit_trips_exclusivity_probe(
+        self, monkeypatch
+    ):
+        """Toggling one ``_active_mask`` bit desynchronises the packed
+        masks from the per-VC states, whichever way it flips."""
+
+        def flip_bit(router, cycle):
+            if router.node != self.CENTER:
+                return False
+            router._active_mask ^= 1  # LOCAL port, vc 0
+            return True
+
+        fired = self._corrupt_once_after(monkeypatch, flip_bit)
+        suite = ValidationSuite([VCExclusivityProbe()])
+        with pytest.raises(InvariantViolation) as excinfo:
+            simulate(
+                tiny_config(RouterKind.SPECULATIVE_VC), MEAS, checked=suite
+            )
+        assert fired, "the injected mask flip never fired"
+        violation = excinfo.value.violation
+        assert violation.probe == "vc_exclusivity"
+        assert "bitmasks out of sync" in violation.message
+
+    def test_corrupted_route_entry_trips_exclusivity_probe(
+        self, monkeypatch
+    ):
+        """Rewriting an active input VC's route orphans the output VC
+        it holds: the holder no longer points back at it."""
+
+        def rewrite_route(router, cycle):
+            for ivc in router._all_ivcs:
+                if ivc.state is VCState.ACTIVE and ivc.out_vc is not None:
+                    ivc.route = (ivc.route + 1) % NUM_PORTS
+                    return True
+            return False
+
+        fired = self._corrupt_once_after(monkeypatch, rewrite_route)
+        suite = ValidationSuite([VCExclusivityProbe()])
+        with pytest.raises(InvariantViolation) as excinfo:
+            simulate(
+                tiny_config(RouterKind.SPECULATIVE_VC), MEAS, checked=suite
+            )
+        assert fired, "the injected route rewrite never fired"
+        assert excinfo.value.violation.probe == "vc_exclusivity"
+
+    def test_silently_dropped_flit_trips_conservation_probe(
+        self, monkeypatch
+    ):
+        """Popping a flit out of a flat buffer queue without forwarding
+        it breaks the router's received/forwarded/buffered ledger."""
+
+        def drop_flit(router, cycle):
+            for queue in router._ivc_queues:
+                if queue:
+                    queue.popleft()
+                    return True
+            return False
+
+        fired = self._corrupt_once_after(monkeypatch, drop_flit)
+        suite = ValidationSuite([FlitConservationProbe()])
+        with pytest.raises(InvariantViolation) as excinfo:
+            simulate(
+                tiny_config(RouterKind.SPECULATIVE_VC), MEAS, checked=suite
+            )
+        assert fired, "the injected flit drop never fired"
+        assert excinfo.value.violation.probe == "flit_conservation"
 
 
 class TestInOrderDelivery:
