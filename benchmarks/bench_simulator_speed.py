@@ -47,17 +47,30 @@ REGRESSION_TOLERANCE = 0.3
 SPEEDUP_FLOOR = 1.5
 SPEEDUP_FLOOR_LOAD = 0.42
 
+#: Specialization-envelope variants benched at the near-saturation
+#: load: the batched maximum-matching allocator and memoized o1turn
+#: routing.  Their closures share less machinery with the default
+#: separable/xy fast path, so each carries its own absolute floor
+#: (lower than the default path's: maximum matching does strictly more
+#: work per cycle in both steppers).
+ENVELOPE_LOAD = 0.42
+ENVELOPE_SPEEDUP_FLOOR = 1.3
+ENVELOPE_VARIANTS = (
+    ("maximum", dict(allocator_kind="maximum")),
+    ("o1turn", dict(routing_function="o1turn")),
+)
 
-def warmed_network(kind, vcs, load=0.3, stepper="fast"):
+
+def warmed_network(kind, vcs, load=0.3, stepper="fast", **overrides):
     network = Network(SimConfig(
         router_kind=kind, num_vcs=vcs, mesh_radix=8, buffers_per_vc=4,
-        injection_fraction=load, seed=1, stepper=stepper,
+        injection_fraction=load, seed=1, stepper=stepper, **overrides,
     ))
     network.run(200)  # reach steady state before timing
     return network
 
 
-def _stepper_pair(load, cycles=600, rounds=12):
+def _stepper_pair(load, cycles=600, rounds=12, **overrides):
     """Best-of-``rounds`` (fast, reference) throughput, interleaved.
 
     Best-of rather than mean: scheduler noise on shared machines only
@@ -70,8 +83,12 @@ def _stepper_pair(load, cycles=600, rounds=12):
     few long ones for the same reason: the quiet windows best-of needs
     only have to fit one short round per stepper.
     """
-    fast_net = warmed_network(RouterKind.SPECULATIVE_VC, 2, load, "fast")
-    ref_net = warmed_network(RouterKind.SPECULATIVE_VC, 2, load, "reference")
+    fast_net = warmed_network(
+        RouterKind.SPECULATIVE_VC, 2, load, "fast", **overrides
+    )
+    ref_net = warmed_network(
+        RouterKind.SPECULATIVE_VC, 2, load, "reference", **overrides
+    )
     best_fast = 0.0
     best_ref = 0.0
     for round_index in range(rounds):
@@ -90,17 +107,38 @@ def _stepper_pair(load, cycles=600, rounds=12):
     return best_fast, best_ref
 
 
+def _point(load, fast, reference, variant=None):
+    point = {
+        "load": load,
+        "fast_cycles_per_sec": round(fast, 1),
+        "reference_cycles_per_sec": round(reference, 1),
+        "speedup_fast_vs_reference": round(fast / reference, 3),
+    }
+    if variant is not None:
+        point["variant"] = variant
+    return point
+
+
+def _point_key(point):
+    """(variant, load) identity -- baseline points have no variant."""
+    return (point.get("variant"), point["load"])
+
+
+def _point_label(point):
+    variant = point.get("variant")
+    prefix = f"{variant} " if variant else ""
+    return f"{prefix}load {point['load']}"
+
+
 def measure():
-    """Measure both steppers at each benchmark load."""
+    """Measure both steppers at each load, then the envelope variants."""
     points = []
     for load in BENCH_LOADS:
         fast, reference = _stepper_pair(load)
-        points.append({
-            "load": load,
-            "fast_cycles_per_sec": round(fast, 1),
-            "reference_cycles_per_sec": round(reference, 1),
-            "speedup_fast_vs_reference": round(fast / reference, 3),
-        })
+        points.append(_point(load, fast, reference))
+    for variant, overrides in ENVELOPE_VARIANTS:
+        fast, reference = _stepper_pair(ENVELOPE_LOAD, **overrides)
+        points.append(_point(ENVELOPE_LOAD, fast, reference, variant))
     return points
 
 
@@ -114,24 +152,31 @@ def check(points, committed):
     committed baseline cannot ratchet that bar down.
     """
     errors = []
-    committed_by_load = {p["load"]: p for p in committed["points"]}
+    committed_by_key = {_point_key(p): p for p in committed["points"]}
     for point in points:
         speedup = point["speedup_fast_vs_reference"]
-        if point["load"] == SPEEDUP_FLOOR_LOAD and speedup < SPEEDUP_FLOOR:
+        label = _point_label(point)
+        if "variant" in point:
+            absolute_floor, bar = ENVELOPE_SPEEDUP_FLOOR, "envelope"
+        elif point["load"] == SPEEDUP_FLOOR_LOAD:
+            absolute_floor, bar = SPEEDUP_FLOOR, "near-saturation"
+        else:
+            absolute_floor = None
+        if absolute_floor is not None and speedup < absolute_floor:
             errors.append(
-                f"load {point['load']}: fast/reference speedup "
+                f"{label}: fast/reference speedup "
                 f"{speedup:.3f} below the absolute floor "
-                f"{SPEEDUP_FLOOR:.2f} for the near-saturation load"
+                f"{absolute_floor:.2f} for the {bar} load"
             )
-        baseline = committed_by_load.get(point["load"])
+        baseline = committed_by_key.get(_point_key(point))
         if baseline is None:
-            errors.append(f"load {point['load']}: no committed baseline")
+            errors.append(f"{label}: no committed baseline")
             continue
         floor = (baseline["speedup_fast_vs_reference"]
                  * (1.0 - REGRESSION_TOLERANCE))
         if speedup < floor:
             errors.append(
-                f"load {point['load']}: fast/reference speedup "
+                f"{label}: fast/reference speedup "
                 f"{speedup:.3f} below floor "
                 f"{floor:.3f} (committed "
                 f"{baseline['speedup_fast_vs_reference']:.3f} - 30%)"
@@ -161,7 +206,7 @@ def main(argv=None):
     points = measure()
     for point in points:
         print(
-            f"load {point['load']:<4}: fast "
+            f"{_point_label(point):<18}: fast "
             f"{point['fast_cycles_per_sec']:8.1f} c/s, reference "
             f"{point['reference_cycles_per_sec']:8.1f} c/s, speedup "
             f"{point['speedup_fast_vs_reference']:.2f}x"
@@ -184,7 +229,9 @@ def main(argv=None):
         payload = {
             "benchmark": "8x8 speculative-VC mesh, 2 VCs, seed 1, "
                          "steady-state cycles/sec (best of 12 x 600 cycles, "
-                         "fast/reference rounds interleaved)",
+                         "fast/reference rounds interleaved); variant points "
+                         "swap in the maximum-matching allocator or o1turn "
+                         "routing at the near-saturation load",
             "points": points,
         }
         # The seed-baseline section is frozen evidence measured once
@@ -201,16 +248,18 @@ if __name__ == "__main__":
 
 
 @pytest.mark.parametrize(
-    "kind,vcs",
+    "kind,vcs,overrides",
     [
-        (RouterKind.WORMHOLE, 1),
-        (RouterKind.VIRTUAL_CHANNEL, 2),
-        (RouterKind.SPECULATIVE_VC, 2),
+        (RouterKind.WORMHOLE, 1, {}),
+        (RouterKind.VIRTUAL_CHANNEL, 2, {}),
+        (RouterKind.SPECULATIVE_VC, 2, {}),
+        (RouterKind.SPECULATIVE_VC, 2, dict(allocator_kind="maximum")),
+        (RouterKind.SPECULATIVE_VC, 2, dict(routing_function="o1turn")),
     ],
-    ids=["wormhole", "vc", "spec_vc"],
+    ids=["wormhole", "vc", "spec_vc", "spec_vc_maximum", "spec_vc_o1turn"],
 )
-def test_cycle_throughput(benchmark, kind, vcs):
-    network = warmed_network(kind, vcs)
+def test_cycle_throughput(benchmark, kind, vcs, overrides):
+    network = warmed_network(kind, vcs, **overrides)
 
     def run_block():
         network.run(CYCLES)

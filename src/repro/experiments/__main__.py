@@ -256,7 +256,8 @@ def main(argv=None) -> int:
                 f"[{experiment.backend.name}: "
                 f"{scheduler.chunks_completed} chunks, "
                 f"{scheduler.steals} steals, "
-                f"{stats.mean_worker_utilization:.0%} worker utilization]"
+                f"{stats.mean_worker_utilization:.0%} worker utilization] "
+                f"[{stats.describe_specialization()}]"
             )
     return 0
 

@@ -128,6 +128,12 @@ class ExperimentStats:
     deduplicated: int = 0
     wall_seconds: float = 0.0
     scheduler: SchedulerStats = field(default_factory=SchedulerStats)
+    #: Specialization envelope, summed over executed points: routers
+    #: that ran a compiled step closure versus the generic reference
+    #: path, and how many points fell back for each reason.
+    routers_specialized: int = 0
+    routers_generic: int = 0
+    generic_step_reasons: Dict[str, int] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -146,6 +152,33 @@ class ExperimentStats:
             return 0.0
         return sum(utilization.values()) / len(utilization)
 
+    def record_counters(self, counters) -> None:
+        """Fold one executed point's :class:`RunCounters` envelope in."""
+        self.routers_specialized += counters.routers_specialized
+        self.routers_generic += counters.routers_generic
+        reason = counters.generic_step_reason
+        if reason is not None:
+            self.generic_step_reasons[reason] = (
+                self.generic_step_reasons.get(reason, 0) + 1
+            )
+
+    def describe_specialization(self) -> str:
+        """One-phrase envelope summary for the CLI ``[runtime]`` line."""
+        total = self.routers_specialized + self.routers_generic
+        if not total:
+            return "no router-step data"
+        if not self.routers_generic:
+            return f"{self.routers_specialized} routers specialized"
+        reasons = ", ".join(
+            f"{reason}: {count}"
+            for reason, count in sorted(self.generic_step_reasons.items())
+        )
+        summary = (
+            f"{self.routers_specialized} routers specialized / "
+            f"{self.routers_generic} generic"
+        )
+        return f"{summary} ({reasons})" if reasons else summary
+
     def to_registry(self) -> MetricRegistry:
         """This record as telemetry metrics (counters/gauges/histogram)."""
         registry = MetricRegistry()
@@ -159,6 +192,16 @@ class ExperimentStats:
         registry.counter("experiment_points_deduplicated").inc(
             self.deduplicated
         )
+        registry.counter("experiment_routers_specialized").inc(
+            self.routers_specialized
+        )
+        registry.counter("experiment_routers_generic").inc(
+            self.routers_generic
+        )
+        for reason, count in sorted(self.generic_step_reasons.items()):
+            registry.counter(
+                "experiment_generic_step_points", reason=reason
+            ).inc(count)
         scheduler = self.scheduler
         registry.counter("scheduler_chunks_completed").inc(
             scheduler.chunks_completed
@@ -426,6 +469,8 @@ class Experiment:
         def on_result(job: Job, result: RunResult) -> None:
             arrived = time.perf_counter()
             results[job.key] = result
+            if result.counters is not None:
+                self.stats.record_counters(result.counters)
             if use_cache:
                 self.cache.put(
                     job.key, result,

@@ -331,11 +331,6 @@ class SpeculativeSwitchAllocator:
         self._spec = make_allocator(
             allocator_kind, num_ports, vcs_per_port, num_ports, arbiter_kind
         )
-        # Separable sub-allocators are pure on an empty request set, so
-        # the empty side of a cycle can skip its allocate call; the
-        # maximum-matching allocator rotates state every call and must
-        # always be invoked.
-        self._pure_on_empty = allocator_kind != "maximum"
 
     def allocate(
         self,
@@ -345,12 +340,14 @@ class SpeculativeSwitchAllocator:
         """Returns ``(nonspec_grants, surviving_spec_grants)``."""
         if self.priority == "equal":
             return self._allocate_equal(nonspec_requests, spec_requests)
-        skip_empty = self._pure_on_empty
-        if nonspec_requests or not skip_empty:
+        # Both sub-allocator kinds are pure on an empty request set
+        # (the maximum matcher's rotation only advances on nonempty
+        # input), so an empty side skips its allocate call outright.
+        if nonspec_requests:
             nonspec_grants = self._nonspec.allocate(nonspec_requests)
         else:
             nonspec_grants = []
-        if not spec_requests and skip_empty:
+        if not spec_requests:
             return nonspec_grants, []
         taken_outputs = {g.resource for g in nonspec_grants}
         taken_inputs = {g.group for g in nonspec_grants}
@@ -369,24 +366,30 @@ class SpeculativeSwitchAllocator:
         spec_members: Sequence[Sequence[int]],
         spec_resources: Sequence[Sequence[int]],
     ) -> Tuple[List[Grant], List[Grant]]:
-        """Batched :meth:`allocate` (conservative priority only).
+        """Batched :meth:`allocate`, both priorities.
 
-        Same contract as ``SeparableAllocator.allocate_grouped``; the
-        ``"equal"`` ablation keeps the ``Request`` path -- specialized
-        steppers are not compiled for it.
+        Same contract as ``SeparableAllocator.allocate_grouped``.  The
+        ``"equal"`` ablation merges both request streams into one
+        grouped call on the primary allocator (groups in
+        first-appearance order over the nonspec-then-spec
+        concatenation, each group's members nonspec first), exactly
+        mirroring :meth:`_allocate_equal`'s concatenated ``Request``
+        list; grants are classified back by (group, member, resource)
+        key -- an input VC is in exactly one state per cycle, so the
+        key sets are disjoint.
         """
         if self.priority == "equal":
-            raise AssertionError(
-                "allocate_grouped only supports conservative priority"
+            return self._allocate_equal_grouped(
+                nonspec_groups, nonspec_members, nonspec_resources,
+                spec_groups, spec_members, spec_resources,
             )
-        skip_empty = self._pure_on_empty
-        if nonspec_groups or not skip_empty:
+        if nonspec_groups:
             nonspec_grants = self._nonspec.allocate_grouped(
                 nonspec_groups, nonspec_members, nonspec_resources
             )
         else:
             nonspec_grants = []
-        if not spec_groups and skip_empty:
+        if not spec_groups:
             return nonspec_grants, []
         taken_outputs = {g.resource for g in nonspec_grants}
         taken_inputs = {g.group for g in nonspec_grants}
@@ -408,6 +411,57 @@ class SpeculativeSwitchAllocator:
         spec_keys = {(r.group, r.member, r.resource) for r in spec_requests}
         grants = self._nonspec.allocate(
             list(nonspec_requests) + list(spec_requests)
+        )
+        nonspec_grants = [
+            g for g in grants
+            if (g.group, g.member, g.resource) not in spec_keys
+        ]
+        spec_grants = [
+            g for g in grants
+            if (g.group, g.member, g.resource) in spec_keys
+        ]
+        return nonspec_grants, spec_grants
+
+    def _allocate_equal_grouped(
+        self,
+        nonspec_groups: Sequence[int],
+        nonspec_members: Sequence[Sequence[int]],
+        nonspec_resources: Sequence[Sequence[int]],
+        spec_groups: Sequence[int],
+        spec_members: Sequence[Sequence[int]],
+        spec_resources: Sequence[Sequence[int]],
+    ) -> Tuple[List[Grant], List[Grant]]:
+        """Grouped form of :meth:`_allocate_equal`: one merged call."""
+        merged_groups: List[int] = []
+        merged_members: List[List[int]] = []
+        merged_resources: List[List[int]] = []
+        index_of: Dict[int, int] = {}
+        for group, members, resources in zip(
+            nonspec_groups, nonspec_members, nonspec_resources
+        ):
+            index_of[group] = len(merged_groups)
+            merged_groups.append(group)
+            merged_members.append(list(members))
+            merged_resources.append(list(resources))
+        spec_keys = set()
+        for group, members, resources in zip(
+            spec_groups, spec_members, spec_resources
+        ):
+            index = index_of.get(group)
+            if index is None:
+                index_of[group] = len(merged_groups)
+                merged_groups.append(group)
+                merged_members.append(list(members))
+                merged_resources.append(list(resources))
+            else:
+                merged_members[index].extend(members)
+                merged_resources[index].extend(resources)
+            for member, resource in zip(members, resources):
+                spec_keys.add((group, member, resource))
+        if not merged_groups:
+            return [], []
+        grants = self._nonspec.allocate_grouped(
+            merged_groups, merged_members, merged_resources
         )
         nonspec_grants = [
             g for g in grants

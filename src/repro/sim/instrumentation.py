@@ -56,6 +56,14 @@ class RunCounters:
     #: Wall-clock seconds per phase ("warmup" / "sample" / "drain"),
     #: plus "total".  Not part of equality: timing is not reproducible.
     wall_seconds: Dict[str, float] = field(default_factory=dict, compare=False)
+    #: Specialization envelope: how many routers ran the compiled fast
+    #: step versus the generic one, and why the generic path was taken
+    #: (``None`` when every router specialized).  Excluded from
+    #: equality -- checked/generic reruns of the same point must still
+    #: compare equal to the fast run they validate.
+    routers_specialized: int = field(default=0, compare=False)
+    routers_generic: int = field(default=0, compare=False)
+    generic_step_reason: Optional[str] = field(default=None, compare=False)
 
     @property
     def total_cycles(self) -> int:
@@ -102,6 +110,9 @@ class RunCounters:
             "spec_wasted": self.spec_wasted,
             "credits_stalled": self.credits_stalled,
             "wall_seconds": dict(self.wall_seconds),
+            "routers_specialized": self.routers_specialized,
+            "routers_generic": self.routers_generic,
+            "generic_step_reason": self.generic_step_reason,
         }
 
     @classmethod
@@ -207,4 +218,7 @@ def collect_counters(network, warmup_cycles: int, sample_cycles: int,
         spec_wasted=sum(s.spec_wasted for s in stats),
         credits_stalled=sum(s.credits_stalled for s in stats),
         wall_seconds=dict(wall_seconds or {}),
+        routers_specialized=network.routers_specialized,
+        routers_generic=len(network.routers) - network.routers_specialized,
+        generic_step_reason=network.generic_step_reason,
     )

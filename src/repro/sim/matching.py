@@ -9,11 +9,28 @@ resources -- so the ablation benchmarks can quantify that sacrifice.
 The matcher is deliberately hardware-naive (it would never fit a clock
 cycle; that is the paper's point), but it is fair: requestors are
 considered in a rotating order so no group or member is starved.
+
+The augmenting-path search runs over int bitmasks: each group's
+adjacency is one int (bit ``r`` set iff the group may use resource
+``r``), and the visited set of a search is a single int, so the inner
+loop is bit arithmetic instead of set/dict churn.  Both entry points --
+:meth:`MaximumMatchingAllocator.allocate` (the ``Request``-object
+executable spec) and :meth:`MaximumMatchingAllocator.allocate_grouped`
+(the batched form the config-specialized steppers feed directly from
+the struct-of-arrays router state) -- reduce to the same
+``(adjacency, chooser)`` masks and share one matcher, so their grants
+and rotation-state evolution are bit-identical by construction.
+
+An empty request set is a pure no-op (no rotation advance), which is
+what lets maximum-matching routers participate in activity-tracked
+sleeping: an idle router skips its allocate calls entirely, and the
+allocator state a later wake observes is the same as if the empty calls
+had been made.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence
 
 from .allocators import Grant, Request
 
@@ -23,8 +40,8 @@ class MaximumMatchingAllocator:
 
     Drop-in replacement for
     :class:`repro.sim.allocators.SeparableAllocator` (same ``allocate``
-    signature and matching constraints: at most one grant per group and
-    per resource).
+    and ``allocate_grouped`` signatures and matching constraints: at
+    most one grant per group and per resource).
     """
 
     def __init__(
@@ -45,55 +62,129 @@ class MaximumMatchingAllocator:
         self, requests: Sequence[Request], busy_resources: Sequence[int] = ()
     ) -> List[Grant]:
         self._validate(requests)
-        busy = set(busy_resources)
+        if not requests:
+            return []
+        busy = 0
+        for resource in busy_resources:
+            busy |= 1 << resource
+        pivot = self._rotation % self.members_per_group
+        mpg = self.members_per_group
+        nr = self.num_resources
 
-        # Adjacency: group -> resources it may use (via any member).
-        edges: Dict[int, List[int]] = {}
-        chooser: Dict[Tuple[int, int], Request] = {}
+        # Adjacency: group -> bitmask of resources it may use (via any
+        # member); chooser remembers, per (group, resource) edge, which
+        # member claims it -- rotating member preference so none starves.
+        adjacency: Dict[int, int] = {}
+        chooser: Dict[int, int] = {}
         for request in requests:
-            if request.resource in busy:
+            resource = request.resource
+            if busy >> resource & 1:
                 continue
-            edges.setdefault(request.group, []).append(request.resource)
-            key = (request.group, request.resource)
-            # Rotate member preference so no member starves.
-            if key not in chooser or self._prefers(request, chooser[key]):
-                chooser[key] = request
+            group = request.group
+            adjacency[group] = adjacency.get(group, 0) | (1 << resource)
+            key = group * nr + resource
+            member = request.member
+            held = chooser.get(key)
+            if held is None or (member - pivot) % mpg < (held - pivot) % mpg:
+                chooser[key] = member
+        return self._match(adjacency, chooser)
+
+    def allocate_grouped(
+        self,
+        groups: Sequence[int],
+        members_lists: Sequence[Sequence[int]],
+        resources_lists: Sequence[Sequence[int]],
+        busy_resources: Sequence[int] = (),
+    ) -> List[Grant]:
+        """Batched :meth:`allocate` for pre-grouped requests.
+
+        Same contract as
+        :meth:`repro.sim.allocators.SeparableAllocator.allocate_grouped`:
+        ``groups`` in first-appearance order, ``members_lists[i]`` /
+        ``resources_lists[i]`` aligned per group.  Skips ``Request``
+        construction and ``_validate`` and builds the adjacency
+        bitmasks directly, then runs the shared matcher -- grants and
+        rotation state evolve exactly as an equivalent
+        :meth:`allocate` call.  Used by the config-specialized
+        steppers; the generic phases keep the ``Request`` path as the
+        executable spec.
+        """
+        if not groups:
+            return []
+        busy = 0
+        for resource in busy_resources:
+            busy |= 1 << resource
+        pivot = self._rotation % self.members_per_group
+        mpg = self.members_per_group
+        nr = self.num_resources
+
+        adjacency: Dict[int, int] = {}
+        chooser: Dict[int, int] = {}
+        for group, members, resources in zip(
+            groups, members_lists, resources_lists
+        ):
+            mask = adjacency.get(group, 0)
+            for member, resource in zip(members, resources):
+                if busy >> resource & 1:
+                    continue
+                mask |= 1 << resource
+                key = group * nr + resource
+                held = chooser.get(key)
+                if held is None or (member - pivot) % mpg < (held - pivot) % mpg:
+                    chooser[key] = member
+            if mask:
+                adjacency[group] = mask
+        return self._match(adjacency, chooser)
+
+    def _match(
+        self, adjacency: Dict[int, int], chooser: Dict[int, int]
+    ) -> List[Grant]:
+        """Augmenting-path maximum matching over adjacency bitmasks.
+
+        Called with the busy-filtered adjacency of a *nonempty* raw
+        request set; advances the rotation exactly once per such call
+        (even when filtering emptied the adjacency), matching the
+        historical per-allocation rotation cadence.
+        """
+        rotation = self._rotation
+        self._rotation = rotation + 1
+        if not adjacency:
+            return []
 
         # Hopcroft-Karp would be overkill at p=5; classic augmenting-path
         # matching in rotating group order is exact and fair.
-        match_of_resource: Dict[int, int] = {}
-        groups = sorted(edges)
-        if groups:
-            offset = self._rotation % len(groups)
-            groups = groups[offset:] + groups[:offset]
-        self._rotation += 1
+        groups = sorted(adjacency)
+        offset = rotation % len(groups)
+        groups = groups[offset:] + groups[:offset]
 
-        def augment(group: int, visited: Set[int]) -> bool:
-            for resource in edges[group]:
-                if resource in visited:
+        match_group: Dict[int, int] = {}  # resource *bit* -> group
+        visited = 0
+
+        def augment(group: int) -> bool:
+            nonlocal visited
+            mask = adjacency[group]
+            while mask:
+                low = mask & -mask
+                mask -= low
+                if visited & low:
                     continue
-                visited.add(resource)
-                holder = match_of_resource.get(resource)
-                if holder is None or augment(holder, visited):
-                    match_of_resource[resource] = group
+                visited |= low
+                holder = match_group.get(low)
+                if holder is None or augment(holder):
+                    match_group[low] = group
                     return True
             return False
 
         for group in groups:
-            augment(group, set())
+            visited = 0
+            augment(group)
 
+        nr = self.num_resources
         grants = []
-        for resource, group in sorted(match_of_resource.items()):
-            request = chooser[(group, resource)]
-            grants.append(Grant(group, request.member, resource))
+        for bit, group in sorted(match_group.items()):
+            resource = bit.bit_length() - 1
+            grants.append(Grant(group, chooser[group * nr + resource], resource))
         return grants
-
-    def _prefers(self, new: Request, old: Request) -> bool:
-        """Rotating member preference within a (group, resource) pair."""
-        pivot = self._rotation % self.members_per_group
-        new_rank = (new.member - pivot) % self.members_per_group
-        old_rank = (old.member - pivot) % self.members_per_group
-        return new_rank < old_rank
 
     def _validate(self, requests: Sequence[Request]) -> None:
         for r in requests:

@@ -38,6 +38,7 @@ per-cycle polling would (``PacketSource.offer_horizon``).  The
 
 from __future__ import annotations
 
+import itertools
 import random
 from collections import deque
 from typing import Callable, Deque, List, Optional, Tuple
@@ -266,6 +267,10 @@ class Network:
                 f"injection fraction {config.injection_fraction} needs "
                 f"{rate:.2f} packets/node/cycle, beyond channel bandwidth"
             )
+        # One id sequence per network, shared by all sources, so packet
+        # ids are a pure function of the run regardless of what else ran
+        # in the process (o1turn's hash split reads the id).
+        self._packet_ids = itertools.count()
         self.generators = [
             PacketSource(
                 node=node,
@@ -276,6 +281,7 @@ class Network:
                 pattern=pattern,
                 process=config.injection_process,
                 burst_length=config.burst_length,
+                ids=self._packet_ids,
             )
             for node in self.mesh.nodes()
         ]
@@ -326,6 +332,9 @@ class Network:
         #: Why the routers run the generic ``cycle`` path instead of a
         #: compiled step function; None while specialization is live.
         self.generic_step_reason: Optional[str] = None
+        #: Routers currently bound to a compiled step closure (the rest
+        #: run the generic path); surfaced on ``RunCounters``.
+        self.routers_specialized: int = 0
         if config.stepper == "fast":
             self._specialize_routers()
         else:
@@ -343,8 +352,13 @@ class Network:
         if plan_for(self.config) is None:
             self.generic_step_reason = "unsupported-config"
             return
+        count = 0
         for router in self.routers:
-            router._step_fn = compile_step(router)
+            step_fn = compile_step(router)
+            router._step_fn = step_fn
+            if step_fn is not None:
+                count += 1
+        self.routers_specialized = count
 
     def force_generic_step(self, reason: str) -> None:
         """Drop every compiled step function; the generic path runs.
@@ -356,6 +370,7 @@ class Network:
         would bypass.
         """
         self.generic_step_reason = reason
+        self.routers_specialized = 0
         for router in self.routers:
             router._step_fn = None
 

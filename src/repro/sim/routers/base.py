@@ -28,6 +28,7 @@ from ..buffers import FlitBuffer
 from ..channel import PipelinedChannel
 from ..config import SimConfig
 from ..credit import CreditCounter, InfiniteCredits
+from ..dateline import o1turn_choice
 from ..flit import Flit
 from ..topology import LOCAL, Mesh, NUM_PORTS
 
@@ -177,10 +178,11 @@ class BaseRouter:
         #: :meth:`cycle` would be a no-op.
         self.active = True
         #: Whether skipping this router's phases while idle is exact.
-        #: Separable allocators are pure on an empty request set, so
-        #: idle cycles are provably no-ops; subclasses clear this when
-        #: an allocator mutates state even with no requests (the
-        #: maximum-matching allocator advances its rotation every call).
+        #: Every built-in allocator is pure on an empty request set
+        #: (the maximum matcher's rotation advances only on nonempty
+        #: input), so idle cycles are provably no-ops; the flag remains
+        #: for future router kinds whose allocation mutates state even
+        #: with no requests.
         self._can_sleep = True
         self.output_vcs: List[List[OutputVC]] = [
             [
@@ -235,6 +237,13 @@ class BaseRouter:
                 fn(mesh, node, destination)
                 for destination in range(mesh.num_nodes)
             )
+        #: Packet-dependent route memos (o1turn / adaptive), built
+        #: lazily on first use and interned on the step plan
+        #: (:mod:`repro.sim.routers.specialized`).  Shared by the
+        #: generic and specialized paths -- like ``_route_table``,
+        #: corruption is observable under checked mode.
+        self._o1turn_route_tables: Optional[Tuple] = None
+        self._adaptive_route_table: Optional[Tuple] = None
 
     # ------------------------------------------------------------------
     # Wiring (called by the network).
@@ -419,14 +428,36 @@ class BaseRouter:
         """Route a head; subclasses may use per-VC state (adaptivity)."""
         return self._route(flit)
 
+    def _ensure_o1turn_tables(self) -> Tuple:
+        """The node's memoized (xy, yx) route-table pair (o1turn)."""
+        tables = self._o1turn_route_tables
+        if tables is None:
+            from .specialized import o1turn_route_tables
+
+            tables = self._o1turn_route_tables = o1turn_route_tables(self)
+        return tables
+
+    def _ensure_adaptive_table(self) -> Tuple:
+        """The node's memoized (productive ports, DOR port) table."""
+        table = self._adaptive_route_table
+        if table is None:
+            from .specialized import adaptive_route_table
+
+            table = self._adaptive_route_table = adaptive_route_table(self)
+        return table
+
     def _route(self, flit: Flit) -> int:
         table = self._route_table
         if table is not None:
             return table[flit.destination]
         if self._routing_name == "o1turn":
-            from ..routing import o1turn_route_for_packet
-
-            return o1turn_route_for_packet(self.mesh, self.node, flit.packet)
+            packet = flit.packet
+            tables = self._o1turn_route_tables
+            if tables is None:
+                tables = self._ensure_o1turn_tables()
+            if o1turn_choice(packet) == "yx":
+                return tables[1][packet.destination]
+            return tables[0][packet.destination]
         return self._routing_fn(self.mesh, self.node, flit.destination)
 
     def _after_routing(self, ivc: InputVC, cycle: int) -> None:

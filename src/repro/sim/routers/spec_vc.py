@@ -61,7 +61,7 @@ class SpeculativeVCRouter(VirtualChannelRouter):
                         Request(group=ivc.port, member=ivc.vc, resource=ivc.route)
                     )
 
-        if nonspec_requests or spec_requests or not self._can_sleep:
+        if nonspec_requests or spec_requests:
             nonspec_grants, spec_grants = self._spec_switch_allocator.allocate(
                 nonspec_requests, spec_requests
             )

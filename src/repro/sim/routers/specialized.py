@@ -13,17 +13,32 @@ sends in the same order -- which the high-load differential battery in
 ``tests/sim/test_fast_stepper.py`` and ``oracle_fast_vs_reference``
 enforce.
 
+Every built-in config compiles.  Beyond the separable/xy envelope:
+
+* the maximum-matching allocator is driven through its batched
+  ``allocate_grouped`` entry point (bitmask augmenting-path kernel, no
+  ``Request`` objects);
+* o1turn and adaptive routing use per-node route memos -- (xy, yx)
+  table pair keyed on the packet's committed order, and a
+  (productive ports, DOR port) table -- built lazily and interned on
+  the plan (:func:`o1turn_route_tables` / :func:`adaptive_route_table`)
+  and shared with the generic path, so checked mode observes memo
+  corruption;
+* the ``equal`` speculation ablation gets its own fused combiner
+  (:func:`_make_spec_alloc_equal`): both request classes share the
+  primary allocator's arbiter state, exactly as
+  ``SpeculativeSwitchAllocator._allocate_equal``.
+
 The generic path remains the executable spec and the fallback:
 
-* configs outside the supported envelope (maximum-matching allocator,
-  packet-dependent routing functions, the ``equal`` speculation
-  ablation) never compile -- :func:`plan_for` returns ``None``;
 * attaching probes, telemetry or a tracer calls
   ``Network.force_generic_step``, clearing every compiled step so
   wrap-based instrumentation keeps intercepting the generic methods;
 * a router whose step methods were monkeypatched (instance or class
   level) refuses to specialize -- :func:`compile_step` verifies each
-  method against the canonical function captured at import time.
+  method against the canonical function captured at import time;
+* so does a router whose allocators were proxied/subclassed (the
+  validation probes wrap the allocator instances).
 
 Plans (not closures) are cached per :func:`specialization_key`; the
 closures themselves capture per-router state and are built fresh for
@@ -34,8 +49,10 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from ..topology import NUM_PORTS
-from .base import _ACTIVE, _VC_ALLOC, BaseRouter
+from ..dateline import class_partition, o1turn_choice
+from ..routing import dimension_order_route, productive_ports, yx_route
+from ..topology import LOCAL, NUM_PORTS
+from .base import _ACTIVE, _ROUTING, _VC_ALLOC, BaseRouter
 from .single_cycle import SingleCycleVCRouter, SingleCycleWormholeRouter
 from .spec_vc import SpeculativeVCRouter
 from .vc import VirtualChannelRouter
@@ -49,15 +66,22 @@ class StepPlan:
     Plans are interned per :func:`specialization_key`: two configs with
     the same key share the plan object; configs with different keys
     never do (the specialization-cache tests assert both directions).
+
+    ``cache`` interns per-node derived data shared by every router
+    compiled from this plan -- today the packet-dependent route memos
+    (o1turn xy/yx table pairs, adaptive productive-port tables), keyed
+    ``(kind, node)``.  Networks with the same specialization key share
+    the memos instead of recomputing them per router construction.
     """
 
-    __slots__ = ("key", "router_class", "builder", "canonical")
+    __slots__ = ("key", "router_class", "builder", "canonical", "cache")
 
     def __init__(self, key, router_class, builder, canonical) -> None:
         self.key = key
         self.router_class = router_class
         self.builder = builder
         self.canonical = canonical
+        self.cache: Dict[Tuple, Tuple] = {}
 
 
 def specialization_key(config) -> Tuple:
@@ -102,6 +126,7 @@ _VC_STEP_METHODS = _BASE_STEP_METHODS + (
     "_sa_eligible",
     "_collect_va_requests",
     "_candidate_vcs",
+    "_reiterate_blocked_heads",
 )
 
 
@@ -132,6 +157,101 @@ def _uses_canonical(router: BaseRouter, canonical) -> bool:
         if getattr(cls, name, None) is not func:
             return False
     return True
+
+
+# ----------------------------------------------------------------------
+# Packet-dependent route memos.  o1turn/adaptive routing cannot use the
+# static per-destination table in ``BaseRouter._route_table`` (the
+# choice depends on the packet), but the packet-independent parts can
+# be precomputed per node: the xy and yx route tables (o1turn picks one
+# per packet) and the (productive ports, DOR port) pairs adaptive
+# routing scores against live congestion.  Tables are built lazily on
+# first use and interned on the step plan; the *generic* route methods
+# consult the same memos (via ``BaseRouter._ensure_o1turn_tables`` /
+# ``VirtualChannelRouter._ensure_adaptive_table``), which keeps the two
+# paths bit-identical by construction and makes memo corruption
+# observable under checked mode.
+# ----------------------------------------------------------------------
+
+
+def o1turn_route_tables(router: BaseRouter) -> Tuple[Tuple, Tuple]:
+    """``(xy_table, yx_table)`` for this node, interned on the plan."""
+    plan = plan_for(router.config)
+    key = ("o1turn", router.node)
+    if plan is not None:
+        tables = plan.cache.get(key)
+        if tables is not None:
+            return tables
+    mesh = router.mesh
+    node = router.node
+    tables = (
+        tuple(
+            dimension_order_route(mesh, node, destination)
+            for destination in range(mesh.num_nodes)
+        ),
+        tuple(
+            yx_route(mesh, node, destination)
+            for destination in range(mesh.num_nodes)
+        ),
+    )
+    if plan is not None:
+        plan.cache[key] = tables
+    return tables
+
+
+def adaptive_route_table(router: BaseRouter) -> Tuple:
+    """Per-destination ``(productive ports, DOR port)`` pairs for this
+    node, interned on the plan.  ``ports[0]`` is the DOR port whenever
+    two ports are productive (X is corrected first in both orders)."""
+    plan = plan_for(router.config)
+    key = ("adaptive", router.node)
+    if plan is not None:
+        table = plan.cache.get(key)
+        if table is not None:
+            return table
+    mesh = router.mesh
+    node = router.node
+    table = tuple(
+        (
+            tuple(productive_ports(mesh, node, destination)),
+            dimension_order_route(mesh, node, destination),
+        )
+        for destination in range(mesh.num_nodes)
+    )
+    if plan is not None:
+        plan.cache[key] = table
+    return table
+
+
+def _make_candidates(router: BaseRouter):
+    """Candidate-VC resolver ``cand(route, head)`` for packet-dependent
+    policies (O1TurnVCs / AdaptiveEscapeVCs), or None when the static
+    ``_candidate_table`` covers the policy.  Returns exactly
+    ``tuple(policy.allowed_vcs(...))`` for every reachable input."""
+    if router._candidate_table is not None:
+        return None
+    v = router.num_vcs
+    if router.config.routing_function == "o1turn":
+        class0, class1 = class_partition(v)
+        all_vcs = class0 + class1
+
+        def cand(route, head):
+            if route == LOCAL:
+                return all_vcs
+            return class1 if o1turn_choice(head.packet) == "yx" else class0
+
+        return cand
+
+    table = adaptive_route_table(router)
+    full = tuple(range(v))
+    adaptive_vcs = tuple(range(1, v))
+
+    def cand(route, head):
+        if route == table[head.destination][1]:
+            return full
+        return adaptive_vcs
+
+    return cand
 
 
 # ----------------------------------------------------------------------
@@ -255,6 +375,163 @@ def _make_rc(router: BaseRouter, *, vc_family: bool, single_cycle: bool):
     return rc
 
 
+def _make_rc_o1turn(router: BaseRouter, *, single_cycle: bool):
+    """``_rc_phase`` for o1turn routing: the packet's committed
+    dimension order picks between the memoized xy and yx tables
+    (o1turn is VC-family-only, so heads always go to VC_ALLOC)."""
+    all_ivcs = router._all_ivcs
+    queues = router._ivc_queues
+    stats = router.stats
+    va_delay = 0 if single_cycle else 1 + router.config.va_extra_cycles
+    xy_table, yx_table = router._ensure_o1turn_tables()
+
+    def rc(cycle: int) -> None:
+        m = router._routing_mask
+        routed = 0
+        moved = 0
+        while m:
+            low = m & -m
+            m -= low
+            flat = low.bit_length() - 1
+            ivc = all_ivcs[flat]
+            if ivc.routing_ready > cycle:
+                continue
+            packet = queues[flat][0].packet
+            table = yx_table if o1turn_choice(packet) == "yx" else xy_table
+            ivc.route = table[packet.destination]
+            ivc.state = _VC_ALLOC
+            ivc.va_ready = cycle + va_delay
+            routed += 1
+            moved |= low
+        if routed:
+            stats.packets_routed += routed
+            router._routing_mask &= ~moved
+            router._va_mask |= moved
+
+    return rc
+
+
+def _make_rc_adaptive(router: BaseRouter, *, single_cycle: bool):
+    """``_rc_phase`` + ``VirtualChannelRouter._route_vc`` for minimal
+    adaptive routing: the (productive ports, DOR port) pair comes from
+    the memo; the congestion score (free *and* credited permitted VCs
+    per port) is computed inline over the flat output-VC arrays.  When
+    two ports are productive, ``ports[0]`` is the DOR port (escape VC
+    permitted); the tie-break ``max(ports, key=(freedom, p == dor))``
+    reduces to "the non-DOR port wins only on a strictly higher score"
+    since ``max`` keeps the first maximum."""
+    v = router.num_vcs
+    all_ivcs = router._all_ivcs
+    queues = router._ivc_queues
+    ovc_flat = router._ovc_flat
+    ovc_credits = router._ovc_credits
+    stats = router.stats
+    va_delay = 0 if single_cycle else 1 + router.config.va_extra_cycles
+    table = router._ensure_adaptive_table()
+    fallback = type(router).ADAPTIVE_REROUTE_FALLBACK
+
+    def rc(cycle: int) -> None:
+        m = router._routing_mask
+        routed = 0
+        moved = 0
+        while m:
+            low = m & -m
+            m -= low
+            flat = low.bit_length() - 1
+            ivc = all_ivcs[flat]
+            if ivc.routing_ready > cycle:
+                continue
+            ports, dor_port = table[queues[flat][0].destination]
+            if len(ports) == 1 or ivc.reroute_count >= fallback:
+                route = dor_port
+            else:
+                base = ports[0] * v
+                f0 = 0
+                for c in range(v):
+                    if (
+                        ovc_flat[base + c].held_by is None
+                        and ovc_credits[base + c]._credits > 0
+                    ):
+                        f0 += 1
+                base = ports[1] * v
+                f1 = 0
+                for c in range(1, v):
+                    if (
+                        ovc_flat[base + c].held_by is None
+                        and ovc_credits[base + c]._credits > 0
+                    ):
+                        f1 += 1
+                route = ports[1] if f1 > f0 else ports[0]
+            ivc.route = route
+            ivc.state = _VC_ALLOC
+            ivc.va_ready = cycle + va_delay
+            routed += 1
+            moved |= low
+        if routed:
+            stats.packets_routed += routed
+            router._routing_mask &= ~moved
+            router._va_mask |= moved
+
+    return rc
+
+
+def _make_vc_rc(router: BaseRouter, *, single_cycle: bool):
+    """RC builder dispatch for the VC family, by routing function."""
+    name = router.config.routing_function
+    if name == "o1turn":
+        return _make_rc_o1turn(router, single_cycle=single_cycle)
+    if name == "adaptive":
+        return _make_rc_adaptive(router, single_cycle=single_cycle)
+    return _make_rc(router, vc_family=True, single_cycle=single_cycle)
+
+
+def _make_reiterate(router: BaseRouter):
+    """Inlined ``_reiterate_blocked_heads`` (adaptive routing on the
+    plain 4-stage VC router only -- the speculative router's allocation
+    phase never reiterates, and the single-cycle router's phase order
+    has no reiterate step).  No ``va_ready`` gate, exactly like the
+    generic method: a head still waiting out the VA delay may reroute."""
+    v = router.num_vcs
+    all_ivcs = router._all_ivcs
+    queues = router._ivc_queues
+    ovc_flat = router._ovc_flat
+    stats = router.stats
+    table = router._ensure_adaptive_table()
+
+    def reiterate(cycle: int) -> None:
+        m = router._va_mask
+        moved = 0
+        while m:
+            low = m & -m
+            m -= low
+            flat = low.bit_length() - 1
+            ivc = all_ivcs[flat]
+            route = ivc.route
+            if route is None:
+                continue
+            base = route * v
+            dor_port = table[queues[flat][0].destination][1]
+            start = 0 if route == dor_port else 1
+            free = False
+            for c in range(start, v):
+                if ovc_flat[base + c].held_by is None:
+                    free = True
+                    break
+            if free:
+                continue
+            ivc.state = _ROUTING
+            ivc.routing_ready = cycle + 1
+            ivc.route = None
+            ivc.reroute_count += 1
+            stats.reroutes += 1
+            moved |= low
+        if moved:
+            router._va_mask &= ~moved
+            router._routing_mask |= moved
+
+    return reiterate
+
+
 def _make_wormhole_alloc(router: BaseRouter, grant, *, vct: bool):
     """Inlined wormhole/VCT ``_allocation_phase``.
 
@@ -363,7 +640,7 @@ def _make_vc_sa(router: BaseRouter, grant):
     return sa
 
 
-def _make_vc_va(router: BaseRouter):
+def _make_vc_va(router: BaseRouter, cand=None):
     """Inlined ``_vc_allocation`` + ``_collect_va_requests`` over the
     VC_ALLOC bitmask and the precomputed candidate-VC table, with the
     VC allocator's two separable stages fused in.
@@ -372,9 +649,13 @@ def _make_vc_va(router: BaseRouter):
     collection (group order is ascending flat order either way); the
     winning candidate's resource is ``route * v + winner`` by
     construction, so no member-to-resource lookup survives inlining.
+
+    ``cand`` (from :func:`_make_candidates`) resolves candidate VCs for
+    packet-dependent policies; None means the static table applies.
     """
     v = router.num_vcs
     all_ivcs = router._all_ivcs
+    queues = router._ivc_queues
     ovc_flat = router._ovc_flat
     allocator = router._vc_allocator
     st1 = allocator._stage1
@@ -399,8 +680,12 @@ def _make_vc_va(router: BaseRouter):
                 continue
             route = ivc.route
             base = route * v
+            if candidate_table is not None:
+                cands = candidate_table[flat][route]
+            else:
+                cands = cand(route, queues[flat][0])
             members = None
-            for candidate in candidate_table[flat][route]:
+            for candidate in cands:
                 if ovc_flat[base + candidate].held_by is None:
                     if members is None:
                         members = [candidate]
@@ -470,10 +755,74 @@ def _make_vc_va(router: BaseRouter):
     return va
 
 
-def _make_spec_alloc(router: BaseRouter):
+def _make_vc_va_grouped(router: BaseRouter, cand=None):
+    """``_vc_allocation`` for the maximum-matching VC allocator: build
+    the matcher's ``(adjacency, chooser)`` bitmasks directly over the
+    VC_ALLOC heads (one group per head, one adjacency bit per free
+    candidate VC, flat-ascending -- exactly the generic
+    ``_collect_va_requests`` order) and run the shared ``_match``
+    kernel.  These are the same masks ``allocate_grouped`` would have
+    derived -- each head->candidate edge is unique, so the chooser
+    never needs the rotating rank comparison -- minus the grouped-list
+    round trip.  Grants apply in return order, as the generic loop
+    does."""
+    v = router.num_vcs
+    all_ivcs = router._all_ivcs
+    queues = router._ivc_queues
+    ovc_flat = router._ovc_flat
+    allocator = router._vc_allocator
+    match = allocator._match
+    nr = allocator.num_resources
+    candidate_table = router._candidate_table
+    flat_pairs = tuple(divmod(flat, v) for flat in range(NUM_PORTS * v))
+
+    def va(cycle: int) -> None:
+        m = router._va_mask
+        adjacency = {}
+        chooser = {}
+        while m:
+            low = m & -m
+            m -= low
+            flat = low.bit_length() - 1
+            ivc = all_ivcs[flat]
+            if ivc.va_ready > cycle:
+                continue
+            route = ivc.route
+            base = route * v
+            if candidate_table is not None:
+                cands = candidate_table[flat][route]
+            else:
+                cands = cand(route, queues[flat][0])
+            mask = 0
+            key_base = flat * nr
+            for candidate in cands:
+                res = base + candidate
+                if ovc_flat[res].held_by is None:
+                    mask |= 1 << res
+                    chooser[key_base + res] = candidate
+            if mask:
+                adjacency[flat] = mask
+        if not adjacency:
+            return
+        moved = 0
+        for won in match(adjacency, chooser):
+            flat = won.group
+            ivc = all_ivcs[flat]
+            ovc_flat[won.resource].held_by = flat_pairs[flat]
+            ivc.out_vc = won.member
+            ivc.state = _ACTIVE
+            moved |= 1 << flat
+        router._va_mask &= ~moved
+        router._active_mask |= moved
+
+    return va
+
+
+def _make_spec_alloc(router: BaseRouter, cand=None):
     """Inlined speculative ``_allocation_phase`` + ``_vc_allocation``
-    with both separable allocators fused in (conservative priority only
-    -- plan_for rejects the ``equal`` ablation).
+    with both separable allocators fused in (conservative priority;
+    the ``equal`` ablation has its own fused combiner, and the
+    maximum-matching allocator the batched-kernel variant).
 
     The arbitration order and priority-state evolution are exactly
     ``SpeculativeSwitchAllocator.allocate_grouped``'s: non-speculative
@@ -634,8 +983,12 @@ def _make_spec_alloc(router: BaseRouter):
                 continue
             route = ivc.route
             base = route * v
+            if candidate_table is not None:
+                cands = candidate_table[flat][route]
+            else:
+                cands = cand(route, queues[flat][0])
             members = None
-            for candidate in candidate_table[flat][route]:
+            for candidate in cands:
                 if ovc_flat[base + candidate].held_by is None:
                     if members is None:
                         members = [candidate]
@@ -799,6 +1152,405 @@ def _make_spec_alloc(router: BaseRouter):
     return alloc
 
 
+def _make_spec_alloc_equal(router: BaseRouter, cand=None):
+    """Speculative ``_allocation_phase`` for the ``equal``-priority
+    ablation (separable allocator kind): speculative and
+    non-speculative stages share one arbiter state.
+
+    Mirrors ``SpeculativeSwitchAllocator._allocate_equal`` exactly: the
+    two request streams merge into one grouped call on the *primary*
+    separable allocator (groups in first-appearance order over the
+    nonspec-then-spec concatenation, each port's members nonspec
+    first), and grants are classified back by requestor -- an input VC
+    is in exactly one state per cycle, so a flat-index bitmask of the
+    speculative bidders is an exact key.  Non-speculative grants apply
+    before VC allocation runs; speculative grants go through the usual
+    combiner checks (won the VC?  credit available?) afterwards, as in
+    the generic phase.
+    """
+    v = router.num_vcs
+    all_ivcs = router._all_ivcs
+    queues = router._ivc_queues
+    ovc_flat = router._ovc_flat
+    ovc_credits = router._ovc_credits
+    stats = router.stats
+    credit_channels = router.credit_channels
+    # Equal priority funnels every request through the primary
+    # allocator; the secondary's arbiter state never evolves.
+    allocator = router._spec_switch_allocator._nonspec
+    va = _make_vc_va(router, cand)
+    candidate_table = router._candidate_table
+    flat_port = tuple(flat // v for flat in range(NUM_PORTS * v))
+    flat_vc = tuple(flat % v for flat in range(NUM_PORTS * v))
+
+    def alloc(cycle: int) -> None:
+        pending = router.pending_st
+
+        # Non-speculative requests from ACTIVE VCs, one grouped list
+        # per input port (flat-ascending keeps ports contiguous).
+        port_index = [-1] * NUM_PORTS
+        groups = []
+        members_lists = []
+        resources_lists = []
+        m = router._active_mask
+        while m:
+            low = m & -m
+            m -= low
+            flat = low.bit_length() - 1
+            if not queues[flat]:
+                continue
+            ivc = all_ivcs[flat]
+            route = ivc.route
+            if ovc_credits[route * v + ivc.out_vc]._credits <= 0:
+                stats.credits_stalled += 1
+                continue
+            g = flat_port[flat]
+            idx = port_index[g]
+            if idx < 0:
+                port_index[g] = len(groups)
+                groups.append(g)
+                members_lists.append([flat_vc[flat]])
+                resources_lists.append([route])
+            else:
+                members_lists[idx].append(flat_vc[flat])
+                resources_lists[idx].append(route)
+
+        # Speculative requests from eligible VC_ALLOC heads append to
+        # the same merged structure (nonspec-first within each port).
+        spec_flat_mask = 0
+        m = router._va_mask
+        while m:
+            low = m & -m
+            m -= low
+            flat = low.bit_length() - 1
+            ivc = all_ivcs[flat]
+            if ivc.va_ready > cycle:
+                continue
+            route = ivc.route
+            base = route * v
+            if candidate_table is not None:
+                cands = candidate_table[flat][route]
+            else:
+                cands = cand(route, queues[flat][0])
+            for candidate in cands:
+                if ovc_flat[base + candidate].held_by is None:
+                    break
+            else:
+                continue  # no free candidate: no speculative bid
+            g = flat_port[flat]
+            idx = port_index[g]
+            if idx < 0:
+                port_index[g] = len(groups)
+                groups.append(g)
+                members_lists.append([flat_vc[flat]])
+                resources_lists.append([route])
+            else:
+                members_lists[idx].append(flat_vc[flat])
+                resources_lists[idx].append(route)
+            spec_flat_mask |= 1 << flat
+
+        # One shared-state allocation; non-speculative winners take the
+        # switch immediately, speculative winners wait for the combiner.
+        sp_g = []
+        sp_m = []
+        if groups:
+            for won in allocator.allocate_grouped(
+                groups, members_lists, resources_lists
+            ):
+                g = won.group
+                w = won.member
+                if spec_flat_mask >> (g * v + w) & 1:
+                    sp_g.append(g)
+                    sp_m.append(w)
+                    continue
+                pending.append((g, w))
+                stats.sa_grants += 1
+                credit_channel = credit_channels[g]
+                if credit_channel is not None:
+                    credit_channel.send(w, cycle)
+
+        # VC allocation runs in parallel with switch allocation.
+        va(cycle)
+
+        # Combine: a speculative grant is useful only with a VC + credit.
+        for k in range(len(sp_g)):
+            g = sp_g[k]
+            w = sp_m[k]
+            stats.spec_grants += 1
+            ivc = all_ivcs[g * v + w]
+            if ivc.state is not _ACTIVE or ivc.out_vc is None:
+                stats.spec_wasted += 1  # lost the VC allocation
+                continue
+            if ovc_credits[ivc.route * v + ivc.out_vc]._credits <= 0:
+                stats.spec_wasted += 1  # won a VC without a credit
+                continue
+            pending.append((g, w))
+            stats.sa_grants += 1
+            credit_channel = credit_channels[g]
+            if credit_channel is not None:
+                credit_channel.send(w, cycle)
+
+    return alloc
+
+
+def _make_spec_alloc_grouped(router: BaseRouter, cand=None):
+    """Speculative ``_allocation_phase`` for the maximum-matching
+    allocator kind.
+
+    Conservative priority builds the matcher's ``(adjacency,
+    chooser)`` bitmasks directly during the mask scans and runs both
+    ``_match`` kernels inline -- the same masks and rotation cadence
+    ``SpeculativeSwitchAllocator.allocate_grouped`` produces (scan
+    order is flat-ascending, i.e. the grouped lists' first-appearance
+    order; the busy filter drops non-speculatively taken outputs from
+    the speculative adjacency *after* the chooser is built, which is
+    equivalent because busy edges are never granted and a group whose
+    mask empties is removed before the rotation-ordered group walk).
+    The ``equal`` ablation keeps the grouped-list call -- the merged
+    single allocation on the shared allocator is priority semantics,
+    not list plumbing, so it stays in one place.  VC allocation goes
+    through the batched matcher either way."""
+    v = router.num_vcs
+    all_ivcs = router._all_ivcs
+    queues = router._ivc_queues
+    ovc_flat = router._ovc_flat
+    ovc_credits = router._ovc_credits
+    stats = router.stats
+    credit_channels = router.credit_channels
+    allocator = router._spec_switch_allocator
+    va = _make_vc_va_grouped(router, cand)
+    candidate_table = router._candidate_table
+    flat_port = tuple(flat // v for flat in range(NUM_PORTS * v))
+    flat_vc = tuple(flat % v for flat in range(NUM_PORTS * v))
+
+    if allocator.priority != "equal":
+        nonspec = allocator._nonspec
+        spec = allocator._spec
+        ns_match = nonspec._match
+        sp_match = spec._match
+        mpg = nonspec.members_per_group
+        nr = nonspec.num_resources
+
+        def alloc(cycle: int) -> None:
+            pending = router.pending_st
+
+            # Non-speculative adjacency from the ACTIVE mask.
+            ns_adj = {}
+            ns_choose = {}
+            pivot = nonspec._rotation % mpg
+            m = router._active_mask
+            while m:
+                low = m & -m
+                m -= low
+                flat = low.bit_length() - 1
+                if not queues[flat]:
+                    continue
+                ivc = all_ivcs[flat]
+                route = ivc.route
+                if ovc_credits[route * v + ivc.out_vc]._credits <= 0:
+                    stats.credits_stalled += 1
+                    continue
+                port = flat_port[flat]
+                w = flat_vc[flat]
+                ns_adj[port] = ns_adj.get(port, 0) | (1 << route)
+                key = port * nr + route
+                held = ns_choose.get(key)
+                if held is None or (w - pivot) % mpg < (held - pivot) % mpg:
+                    ns_choose[key] = w
+
+            # Speculative adjacency from the eligible VC_ALLOC heads
+            # (a head bids iff some permitted candidate VC is free).
+            sp_adj = {}
+            sp_choose = {}
+            sp_pivot = spec._rotation % mpg
+            m = router._va_mask
+            while m:
+                low = m & -m
+                m -= low
+                flat = low.bit_length() - 1
+                ivc = all_ivcs[flat]
+                if ivc.va_ready > cycle:
+                    continue
+                route = ivc.route
+                base = route * v
+                if candidate_table is not None:
+                    cands = candidate_table[flat][route]
+                else:
+                    cands = cand(route, queues[flat][0])
+                for candidate in cands:
+                    if ovc_flat[base + candidate].held_by is None:
+                        break
+                else:
+                    continue
+                port = flat_port[flat]
+                w = flat_vc[flat]
+                sp_adj[port] = sp_adj.get(port, 0) | (1 << route)
+                key = port * nr + route
+                held = sp_choose.get(key)
+                if (held is None
+                        or (w - sp_pivot) % mpg < (held - sp_pivot) % mpg):
+                    sp_choose[key] = w
+
+            if ns_adj:
+                ns_grants = ns_match(ns_adj, ns_choose)
+            else:
+                ns_grants = ()
+            taken_out = 0
+            taken_in = 0
+            for grant in ns_grants:
+                g = grant.group
+                w = grant.member
+                taken_out |= 1 << grant.resource
+                taken_in |= 1 << g
+                pending.append((g, w))
+                stats.sa_grants += 1
+                credit_channel = credit_channels[g]
+                if credit_channel is not None:
+                    credit_channel.send(w, cycle)
+
+            sp_grants = ()
+            if sp_adj:
+                if taken_out:
+                    for port in list(sp_adj):
+                        masked = sp_adj[port] & ~taken_out
+                        if masked:
+                            sp_adj[port] = masked
+                        else:
+                            del sp_adj[port]
+                sp_grants = sp_match(sp_adj, sp_choose)
+
+            # VC allocation runs in parallel with switch allocation.
+            va(cycle)
+
+            # Combine: a surviving speculative grant is useful only
+            # with a VC + credit.
+            for grant in sp_grants:
+                g = grant.group
+                if taken_in >> g & 1:
+                    continue
+                w = grant.member
+                stats.spec_grants += 1
+                ivc = all_ivcs[g * v + w]
+                if ivc.state is not _ACTIVE or ivc.out_vc is None:
+                    stats.spec_wasted += 1  # lost the VC allocation
+                    continue
+                if ovc_credits[ivc.route * v + ivc.out_vc]._credits <= 0:
+                    stats.spec_wasted += 1  # won a VC without a credit
+                    continue
+                pending.append((g, w))
+                stats.sa_grants += 1
+                credit_channel = credit_channels[g]
+                if credit_channel is not None:
+                    credit_channel.send(w, cycle)
+
+        return alloc
+
+    def alloc(cycle: int) -> None:
+        pending = router.pending_st
+
+        # Non-speculative grouped lists from the ACTIVE mask.
+        ns_groups = []
+        ns_members = []
+        ns_resources = []
+        last_port = -1
+        m = router._active_mask
+        while m:
+            low = m & -m
+            m -= low
+            flat = low.bit_length() - 1
+            if not queues[flat]:
+                continue
+            ivc = all_ivcs[flat]
+            route = ivc.route
+            if ovc_credits[route * v + ivc.out_vc]._credits <= 0:
+                stats.credits_stalled += 1
+                continue
+            port = flat_port[flat]
+            if port == last_port:
+                ns_members[-1].append(flat_vc[flat])
+                ns_resources[-1].append(route)
+            else:
+                last_port = port
+                ns_groups.append(port)
+                ns_members.append([flat_vc[flat]])
+                ns_resources.append([route])
+
+        # Speculative grouped lists from the eligible VC_ALLOC heads
+        # (a head bids iff some permitted candidate VC is free).
+        sp_groups = []
+        sp_members = []
+        sp_resources = []
+        last_port = -1
+        m = router._va_mask
+        while m:
+            low = m & -m
+            m -= low
+            flat = low.bit_length() - 1
+            ivc = all_ivcs[flat]
+            if ivc.va_ready > cycle:
+                continue
+            route = ivc.route
+            base = route * v
+            if candidate_table is not None:
+                cands = candidate_table[flat][route]
+            else:
+                cands = cand(route, queues[flat][0])
+            for candidate in cands:
+                if ovc_flat[base + candidate].held_by is None:
+                    break
+            else:
+                continue
+            port = flat_port[flat]
+            if port == last_port:
+                sp_members[-1].append(flat_vc[flat])
+                sp_resources[-1].append(route)
+            else:
+                last_port = port
+                sp_groups.append(port)
+                sp_members.append([flat_vc[flat]])
+                sp_resources.append([route])
+
+        if ns_groups or sp_groups:
+            ns_grants, sp_grants = allocator.allocate_grouped(
+                ns_groups, ns_members, ns_resources,
+                sp_groups, sp_members, sp_resources,
+            )
+        else:
+            ns_grants, sp_grants = (), ()
+
+        for grant in ns_grants:
+            g = grant.group
+            w = grant.member
+            pending.append((g, w))
+            stats.sa_grants += 1
+            credit_channel = credit_channels[g]
+            if credit_channel is not None:
+                credit_channel.send(w, cycle)
+
+        # VC allocation runs in parallel with switch allocation.
+        va(cycle)
+
+        # Combine: a speculative grant is useful only with a VC + credit.
+        for grant in sp_grants:
+            g = grant.group
+            w = grant.member
+            stats.spec_grants += 1
+            ivc = all_ivcs[g * v + w]
+            if ivc.state is not _ACTIVE or ivc.out_vc is None:
+                stats.spec_wasted += 1  # lost the VC allocation
+                continue
+            if ovc_credits[ivc.route * v + ivc.out_vc]._credits <= 0:
+                stats.spec_wasted += 1  # won a VC without a credit
+                continue
+            pending.append((g, w))
+            stats.sa_grants += 1
+            credit_channel = credit_channels[g]
+            if credit_channel is not None:
+                credit_channel.send(w, cycle)
+
+    return alloc
+
+
 # ----------------------------------------------------------------------
 # Family builders: compose the phase closures in each family's order.
 # ----------------------------------------------------------------------
@@ -848,12 +1600,32 @@ def _build_single_cycle_wormhole(router: BaseRouter):
     return step
 
 
+def _make_va_builder(router: BaseRouter):
+    """VA closure for the config's allocator kind (fused separable
+    stages, or grouped lists into the batched bitmask matcher)."""
+    cand = _make_candidates(router)
+    if router.config.allocator_kind == "separable":
+        return _make_vc_va(router, cand)
+    return _make_vc_va_grouped(router, cand)
+
+
 def _build_vc(router: BaseRouter):
     grant = _make_grant(router)
     st = _make_st(router)
     sa = _make_vc_sa(router, grant)
-    va = _make_vc_va(router)
-    rc = _make_rc(router, vc_family=True, single_cycle=False)
+    va = _make_va_builder(router)
+    rc = _make_vc_rc(router, single_cycle=False)
+    if router.config.routing_function == "adaptive":
+        reiterate = _make_reiterate(router)
+
+        def step(cycle: int) -> None:
+            st(cycle)
+            sa(cycle)
+            va(cycle)
+            reiterate(cycle)
+            rc(cycle)
+
+        return step
 
     def step(cycle: int) -> None:
         st(cycle)
@@ -868,8 +1640,8 @@ def _build_single_cycle_vc(router: BaseRouter):
     grant = _make_grant(router)
     st = _make_st(router)
     sa = _make_vc_sa(router, grant)
-    va = _make_vc_va(router)
-    rc = _make_rc(router, vc_family=True, single_cycle=True)
+    va = _make_va_builder(router)
+    rc = _make_vc_rc(router, single_cycle=True)
 
     def step(cycle: int) -> None:
         rc(cycle)
@@ -882,8 +1654,15 @@ def _build_single_cycle_vc(router: BaseRouter):
 
 def _build_spec_vc(router: BaseRouter):
     st = _make_st(router)
-    alloc = _make_spec_alloc(router)
-    rc = _make_rc(router, vc_family=True, single_cycle=False)
+    cand = _make_candidates(router)
+    config = router.config
+    if config.allocator_kind != "separable":
+        alloc = _make_spec_alloc_grouped(router, cand)
+    elif config.speculation_priority == "equal":
+        alloc = _make_spec_alloc_equal(router, cand)
+    else:
+        alloc = _make_spec_alloc(router, cand)
+    rc = _make_vc_rc(router, single_cycle=False)
 
     def step(cycle: int) -> None:
         st(cycle)
@@ -908,17 +1687,16 @@ _PLAN_CACHE: Dict[Tuple, Optional[StepPlan]] = {}
 
 
 def plan_for(config) -> Optional[StepPlan]:
-    """The (interned) step plan for a config, or None if unsupported.
+    """The (interned) step plan for a config.
 
-    Unsupported -- the generic path runs instead:
-
-    * ``allocator_kind="maximum"``: no batched entry point, and its
-      rotation advances on every call (``_can_sleep`` is off anyway);
-    * ``routing_function`` o1turn/adaptive: route and candidate-VC
-      choices depend on the packet, so neither table precomputes;
-    * ``speculation_priority="equal"``: the ablation shares one
-      allocator between request classes, which the batched combiner
-      deliberately does not model.
+    Every built-in config compiles: the allocator dimension picks
+    between the fused separable stages and the batched bitmask matcher,
+    the routing dimension between static route/candidate tables and the
+    per-node packet-dependent memos, and the speculation-priority
+    dimension between the conservative and shared-arbiter (equal)
+    combiners.  The Optional return survives as a guard: a config
+    validated by an out-of-tree caller with dimensions this module does
+    not know falls back to the generic path via :func:`compile_step`.
     """
     key = specialization_key(config)
     try:
@@ -926,15 +1704,9 @@ def plan_for(config) -> Optional[StepPlan]:
     except KeyError:
         pass
     plan: Optional[StepPlan] = None
-    if (
-        config.allocator_kind == "separable"
-        and config.routing_function in ("xy", "yx")
-        and not (
-            config.router_kind.value == "speculative_vc"
-            and config.speculation_priority == "equal"
-        )
-    ):
-        router_class, builder = _BUILDERS[config.router_kind.value]
+    builders = _BUILDERS.get(config.router_kind.value)
+    if builders is not None:
+        router_class, builder = builders
         plan = StepPlan(key, router_class, builder, _CANONICAL[router_class])
     _PLAN_CACHE[key] = plan
     return plan
@@ -956,28 +1728,37 @@ def compile_step(router: BaseRouter):
         return None
     if not _uses_canonical(router, plan.canonical):
         return None
-    if router._route_table is None:
+    config = router.config
+    routing = config.routing_function
+    if routing in ("xy", "yx") and router._route_table is None:
         return None
     if isinstance(router, VirtualChannelRouter):
         from ..allocators import SeparableAllocator
+        from ..matching import MaximumMatchingAllocator
 
-        if router._candidate_table is None:
+        # The closures evolve the allocators' internal state directly
+        # (fused separable stages, or the grouped bitmask entry point);
+        # any substitute -- a recording proxy, a test subclass -- must
+        # take the generic path.
+        allocator_class = (
+            SeparableAllocator
+            if config.allocator_kind == "separable"
+            else MaximumMatchingAllocator
+        )
+        if routing in ("xy", "yx") and router._candidate_table is None:
             return None
-        # The fused VA stages evolve the separable allocator's arbiter
-        # state directly; any substitute must take the generic path.
-        if type(router._vc_allocator) is not SeparableAllocator:
+        if type(router._vc_allocator) is not allocator_class:
+            return None
+        if type(router._switch_allocator) is not allocator_class:
             return None
         if isinstance(router, SpeculativeVCRouter):
             from ..allocators import SpeculativeSwitchAllocator
 
-            # The speculation probe swaps in a recording proxy; only
-            # plain (sub-)allocators have the state layout the fused
-            # allocation in ``_make_spec_alloc`` evolves directly.
             spec_allocator = router._spec_switch_allocator
             if type(spec_allocator) is not SpeculativeSwitchAllocator:
                 return None
-            if type(spec_allocator._nonspec) is not SeparableAllocator:
+            if type(spec_allocator._nonspec) is not allocator_class:
                 return None
-            if type(spec_allocator._spec) is not SeparableAllocator:
+            if type(spec_allocator._spec) is not allocator_class:
                 return None
     return plan.builder(router)

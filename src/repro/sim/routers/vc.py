@@ -74,11 +74,6 @@ class VirtualChannelRouter(BaseRouter):
             num_resources=NUM_PORTS,
             arbiter_kind=config.arbiter_kind,
         )
-        # The maximum-matching allocator advances its tie-break rotation
-        # on *every* allocate call, including empty ones: skipping idle
-        # cycles (or empty allocate calls) would change later matchings.
-        self._can_sleep = config.allocator_kind != "maximum"
-
     # ------------------------------------------------------------------
 
     def _after_routing(self, ivc: InputVC, cycle: int) -> None:
@@ -97,10 +92,10 @@ class VirtualChannelRouter(BaseRouter):
     def _route_vc(self, ivc: InputVC, flit) -> int:
         if self._routing_name != "adaptive":
             return self._route(flit)
-        from ..routing import dimension_order_route, productive_ports
-
-        ports = productive_ports(self.mesh, self.node, flit.destination)
-        dor_port = dimension_order_route(self.mesh, self.node, flit.destination)
+        table = self._adaptive_route_table
+        if table is None:
+            table = self._ensure_adaptive_table()
+        ports, dor_port = table[flit.destination]
         if len(ports) == 1 or ivc.reroute_count >= self.ADAPTIVE_REROUTE_FALLBACK:
             return dor_port
 
@@ -153,8 +148,8 @@ class VirtualChannelRouter(BaseRouter):
 
     def _vc_allocation(self, cycle: int) -> None:
         requests = self._collect_va_requests(cycle)
-        if not requests and self._can_sleep:
-            return  # separable allocators are pure on empty inputs
+        if not requests:
+            return  # every allocator kind is pure on empty inputs
         for grant in self._vc_allocator.allocate(requests):
             in_port, in_vc = divmod(grant.group, self.num_vcs)
             out_port, out_vc = divmod(grant.resource, self.num_vcs)
@@ -224,7 +219,7 @@ class VirtualChannelRouter(BaseRouter):
                 requests.append(
                     Request(group=ivc.port, member=ivc.vc, resource=ivc.route)
                 )
-        if not requests and self._can_sleep:
+        if not requests:
             return
         for grant in self._switch_allocator.allocate(requests):
             self._grant_switch(grant.group, grant.member, cycle)

@@ -23,6 +23,10 @@ from .topology import EAST, LOCAL, Mesh, NORTH, SOUTH, WEST
 #: A routing function maps (mesh, current node, destination) -> output port.
 RoutingFunction = Callable[[Mesh, int, int], int]
 
+# Imported at module bottom (dateline imports this module's route
+# functions lazily, so the cycle resolves); hoisted out of
+# o1turn_route_for_packet to keep the import machinery off the hot path.
+
 
 def _x_step(topo: Mesh, x: int, dx: int) -> int:
     """Port for one productive X hop (shortest way around on a torus)."""
@@ -105,8 +109,6 @@ def productive_ports(mesh: Mesh, node: int, destination: int) -> list:
 
 def o1turn_route_for_packet(mesh: Mesh, node: int, packet) -> int:
     """Route one packet under its committed O1TURN dimension order."""
-    from .dateline import o1turn_choice
-
     if o1turn_choice(packet) == "yx":
         return yx_route(mesh, node, packet.destination)
     return dimension_order_route(mesh, node, packet.destination)
@@ -132,3 +134,6 @@ def make_routing_function(name: str) -> RoutingFunction:
 
         return _needs_router_state
     raise ValueError(f"unknown routing function {name!r}")
+
+
+from .dateline import o1turn_choice  # noqa: E402  (see note above)

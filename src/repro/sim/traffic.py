@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Iterator, Optional
 
 from .flit import Packet
 from .topology import Mesh
@@ -101,6 +101,12 @@ class PacketSource:
     process: str = "constant"
     #: Mean burst length for the "bursty" (on/off Markov) process.
     burst_length: float = 8.0
+    #: Per-network packet-id sequence.  The network passes one shared
+    #: ``itertools.count()`` to all of its sources so packet ids are a
+    #: pure function of the run (ids from the process-global fallback
+    #: depend on what else ran in the process, which would make
+    #: id-sensitive paths such as o1turn's hash split irreproducible).
+    ids: Optional[Iterator[int]] = None
     _accumulator: float = field(init=False)
     _bursting: bool = field(init=False, default=False)
 
@@ -127,6 +133,14 @@ class PacketSource:
         if not self._offers_packet():
             return None
         destination = self.pattern(self.mesh, self.node, self.rng)
+        if self.ids is not None:
+            return Packet(
+                source=self.node,
+                destination=destination,
+                length=self.packet_length,
+                creation_cycle=cycle,
+                packet_id=next(self.ids),
+            )
         return Packet(
             source=self.node,
             destination=destination,

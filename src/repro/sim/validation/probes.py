@@ -512,7 +512,10 @@ class SpeculationLegalityProbe(Probe):
 
 
 class InOrderDeliveryProbe(Probe):
-    """Every packet's flits eject in index order, at exactly one sink."""
+    """Every packet's flits eject in index order, at exactly one sink --
+    the sink at the packet's destination.  The destination check is what
+    catches a corrupted route table or memo: a misrouted packet that
+    ejects cleanly anywhere else is flagged the cycle it arrives."""
 
     name = "in_order_delivery"
 
@@ -543,6 +546,12 @@ class InOrderDeliveryProbe(Probe):
         self.checks += 1
         packet = flit.packet
         pid = packet.packet_id
+        if sink.node != packet.destination:
+            self.fail(
+                cycle,
+                f"packet {pid} (destination {packet.destination}) ejected "
+                f"at node {sink.node}",
+            )
         claimed = self._sink_of.setdefault(pid, sink.node)
         if claimed != sink.node:
             self.fail(

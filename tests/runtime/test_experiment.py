@@ -108,6 +108,27 @@ class TestCaching:
         assert exp.cache is store
 
 
+class TestSpecializationStats:
+    def test_envelope_aggregates_over_executed_points(self):
+        exp = Experiment(FAST)
+        exp.run_many([config(), config(0.2)])
+        # Two 4x4-mesh points, every router on the compiled fast path.
+        assert exp.stats.routers_specialized == 32
+        assert exp.stats.routers_generic == 0
+        assert exp.stats.generic_step_reasons == {}
+        assert "32 routers specialized" in exp.stats.describe_specialization()
+
+    def test_checked_points_report_their_fallback_reason(self):
+        exp = Experiment(FAST, checked=True)
+        exp.run_one(config())
+        assert exp.stats.routers_specialized == 0
+        assert exp.stats.routers_generic == 16
+        assert exp.stats.generic_step_reasons == {"checked": 1}
+        text = exp.stats.describe_specialization()
+        assert "16 generic" in text
+        assert "checked: 1" in text
+
+
 class TestSweep:
     def test_matches_legacy_sweep_shim(self):
         from repro.experiments.sweep import sweep

@@ -88,9 +88,10 @@ class TestBitIdentity:
         assert fast_del == ref_del
 
     def test_maximum_matching_allocator_identical(self):
-        """The maximum-matching allocator mutates state on *empty*
-        allocations, so its routers must never be put to sleep; verify
-        the stepper honours that."""
+        """The maximum-matching allocator is pure on empty request
+        sets (its rotation only advances on nonempty input), so its
+        routers sleep and wake like any other; the batched bitmask
+        kernel must stay bit-identical through that."""
         config = SimConfig(
             router_kind=RouterKind.SPECULATIVE_VC,
             mesh_radix=4, num_vcs=2, buffers_per_vc=4,
@@ -199,15 +200,90 @@ class TestHighLoadBattery:
         assert fast == reference
         assert fast["ejected"] > 0
 
+    # The specialization-envelope grid: every config dimension that
+    # previously fell back to the generic path, driven across the VC
+    # family (the dimensions are VC-family concepts; wormhole kinds
+    # have no VC/spec allocators to vary).
+    ENVELOPE = [
+        ("maximum", dict(allocator_kind="maximum")),
+        ("o1turn", dict(routing_function="o1turn")),
+        ("adaptive", dict(routing_function="adaptive")),
+    ]
+
+    @pytest.mark.parametrize("kind", [
+        RouterKind.SPECULATIVE_VC,
+        RouterKind.VIRTUAL_CHANNEL,
+        RouterKind.SINGLE_CYCLE_VC,
+    ])
+    @pytest.mark.parametrize("override",
+                             [o for _, o in ENVELOPE],
+                             ids=[name for name, _ in ENVELOPE])
+    @pytest.mark.parametrize("load", [0.42, 0.5])
+    def test_envelope_configs_under_load_mesh(self, kind, override, load):
+        config = SimConfig(
+            router_kind=kind,
+            mesh_radix=4,
+            num_vcs=2,
+            buffers_per_vc=5,
+            injection_fraction=load,
+            seed=11,
+            **override,
+        )
+        fast, reference = run_network_pair(config, 800)
+        assert fast == reference
+        assert fast["ejected"] > 0
+
+    @pytest.mark.parametrize("override", [
+        dict(speculation_priority="equal"),
+        dict(speculation_priority="equal", allocator_kind="maximum"),
+    ], ids=["equal", "equal-maximum"])
+    @pytest.mark.parametrize("load", [0.42, 0.5])
+    def test_equal_priority_under_load_mesh(self, override, load):
+        config = SimConfig(
+            router_kind=RouterKind.SPECULATIVE_VC,
+            mesh_radix=4, num_vcs=2, buffers_per_vc=5,
+            injection_fraction=load, seed=11,
+            **override,
+        )
+        fast, reference = run_network_pair(config, 800)
+        assert fast == reference
+        assert fast["ejected"] > 0
+
+    @pytest.mark.parametrize("override", [
+        dict(allocator_kind="maximum"),
+        dict(speculation_priority="equal"),
+    ], ids=["maximum", "equal"])
+    def test_envelope_configs_torus(self, override):
+        # o1turn/adaptive are mesh-only; the allocator and priority
+        # dimensions also hold on a torus (dateline VC classes).
+        config = SimConfig(
+            router_kind=RouterKind.SPECULATIVE_VC,
+            mesh_radix=4, num_vcs=2, buffers_per_vc=5,
+            injection_fraction=0.5, seed=17, topology="torus",
+            **override,
+        )
+        fast, reference = run_network_pair(config, 800)
+        assert fast == reference
+        assert fast["ejected"] > 0
+
     def test_seeded_random_saturation_configs(self):
         """Randomized corner of the battery: seeded draws over router
-        kind, topology, VC count, buffer depth, routing function and
-        load in [0.3, 0.5], so coverage extends past the hand-picked
-        grid without losing reproducibility."""
+        kind, topology, VC count, buffer depth, routing function,
+        allocator kind and load in [0.3, 0.5], so coverage extends past
+        the hand-picked grid without losing reproducibility."""
         rng = random.Random(0xC0FFEE)
         kinds = list(RouterKind)
-        for case in range(8):
+        for case in range(10):
             kind = rng.choice(kinds)
+            # Tori demand VC routers (dateline deadlock avoidance);
+            # o1turn/adaptive demand VC routers on a mesh.
+            topology = rng.choice(
+                ("mesh", "torus") if kind.uses_vcs else ("mesh",)
+            )
+            if kind.uses_vcs and topology == "mesh":
+                routing = rng.choice(("xy", "yx", "o1turn", "adaptive"))
+            else:
+                routing = rng.choice(("xy", "yx"))
             config = SimConfig(
                 router_kind=kind,
                 mesh_radix=4,
@@ -215,11 +291,11 @@ class TestHighLoadBattery:
                 buffers_per_vc=rng.choice((5, 6, 8)),
                 injection_fraction=round(rng.uniform(0.3, 0.5), 3),
                 seed=rng.randrange(1_000_000),
-                # Tori demand VC routers (dateline deadlock avoidance).
-                topology=rng.choice(
-                    ("mesh", "torus") if kind.uses_vcs else ("mesh",)
+                topology=topology,
+                routing_function=routing,
+                allocator_kind=rng.choice(
+                    ("separable", "separable", "maximum")
                 ),
-                routing_function=rng.choice(("xy", "yx")),
             )
             fast, reference = run_network_pair(config, 600)
             assert fast == reference, f"case {case}: {config}"
@@ -357,6 +433,39 @@ class TestActivityTracking:
             == [packet.packet_id]
         assert network.drained()
         assert all(not router.active for router in network.routers)
+
+    def test_maximum_matching_routers_sleep_and_wake(self):
+        """The maximum matcher is pure on empty request sets, so its
+        routers participate in activity-tracked sleeping; waking one up
+        must leave it bit-identical to the reference stepper, which
+        never slept (the allocator state a wake observes is the same as
+        if the skipped empty allocate calls had been made)."""
+        config = SimConfig(
+            router_kind=RouterKind.SPECULATIVE_VC, mesh_radix=4,
+            num_vcs=2, buffers_per_vc=4, injection_fraction=0.0,
+            seed=1, allocator_kind="maximum",
+        )
+        results = []
+        for stepper in ("fast", "reference"):
+            flit_module._packet_ids = itertools.count()
+            network = Network(replace(config, stepper=stepper))
+            for _ in range(30):
+                network.step()
+            if stepper == "fast":
+                assert all(not router.active for router in network.routers)
+            packet = Packet(source=0, destination=15, length=5,
+                            creation_cycle=network.cycle)
+            network.sources[0].enqueue(packet)
+            for _ in range(200):
+                network.step()
+            assert network.drained()
+            results.append((
+                [p.packet_id for p in network.sinks[15].delivered],
+                state_digest(network),
+            ))
+        fast, reference = results
+        assert fast == reference
+        assert fast[0] == [0]
 
     def test_counters_match_physical_scan(self):
         config = SimConfig(

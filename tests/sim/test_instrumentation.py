@@ -82,3 +82,30 @@ class TestCounters:
         text = run().counters.describe()
         assert "warmup" in text
         assert "flits forwarded" in text
+
+    def test_specialization_envelope_counters(self):
+        fast = run(kind=RouterKind.SPECULATIVE_VC, num_vcs=2,
+                   buffers_per_vc=4).counters
+        assert fast.routers_specialized == 4  # 2x2 mesh
+        assert fast.routers_generic == 0
+        assert fast.generic_step_reason is None
+        generic = run(kind=RouterKind.SPECULATIVE_VC, num_vcs=2,
+                      buffers_per_vc=4, stepper="reference").counters
+        assert generic.routers_specialized == 0
+        assert generic.routers_generic == 4
+        assert generic.generic_step_reason == "reference-stepper"
+        # compare=False: the envelope never splits result equality.
+        assert fast == generic
+        assert RunCounters.from_dict(generic.to_dict()) == generic
+
+    def test_from_dict_tolerates_pre_envelope_dicts(self):
+        # Cached results written before the envelope fields existed
+        # must still load; the fields fall back to their defaults.
+        data = run().counters.to_dict()
+        for legacy_missing in (
+            "routers_specialized", "routers_generic", "generic_step_reason"
+        ):
+            del data[legacy_missing]
+        restored = RunCounters.from_dict(data)
+        assert restored.routers_specialized == 0
+        assert restored.generic_step_reason is None

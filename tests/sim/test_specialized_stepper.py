@@ -76,20 +76,60 @@ class TestPlanCache:
         ],
         ids=lambda o: next(iter(o.values())),
     )
-    def test_unsupported_configs_have_no_plan(self, override):
-        assert plan_for(spec_config(**override)) is None
+    def test_envelope_dimensions_have_distinct_plans(self, override):
+        # Every built-in config dimension compiles; each gets its own
+        # interned plan (the closures differ per dimension).
+        base = spec_config()
+        varied = spec_config(**override)
+        assert specialization_key(base) != specialization_key(varied)
+        plan = plan_for(varied)
+        assert plan is not None
+        assert plan is not plan_for(base)
+        assert plan is plan_for(replace(varied, seed=41))
 
     def test_plan_lookup_is_repeatable(self):
         config = spec_config()
         assert plan_for(config) is plan_for(replace(config, seed=7))
-        assert plan_for(spec_config(allocator_kind="maximum")) is None
+        maximum = spec_config(allocator_kind="maximum")
+        assert plan_for(maximum) is plan_for(replace(maximum, seed=7))
+
+    @pytest.mark.parametrize("routing", ["o1turn", "adaptive"])
+    def test_route_memos_intern_on_the_plan(self, routing):
+        # The packet-dependent route memos are computed lazily per node
+        # and interned on the plan cache: two networks with the same
+        # config share the same table objects.
+        config = spec_config(routing_function=routing)
+        plan = plan_for(config)
+        assert plan is not None
+        first = Network(config)
+        cache_size = len(plan.cache)
+        assert cache_size == len(first.routers)
+        second = Network(replace(config, seed=23))
+        assert len(plan.cache) == cache_size  # no recompute
+        for a, b in zip(first.routers, second.routers):
+            if routing == "o1turn":
+                assert a._ensure_o1turn_tables() is b._ensure_o1turn_tables()
+            else:
+                assert a._ensure_adaptive_table() is b._ensure_adaptive_table()
 
 
 class TestNetworkBinding:
-    def test_fast_stepper_compiles_every_router(self):
-        network = Network(spec_config())
+    @pytest.mark.parametrize(
+        "override",
+        [
+            dict(),
+            dict(allocator_kind="maximum"),
+            dict(routing_function="o1turn"),
+            dict(routing_function="adaptive"),
+            dict(speculation_priority="equal"),
+        ],
+        ids=lambda o: next(iter(o.values()), "default"),
+    )
+    def test_fast_stepper_compiles_every_router(self, override):
+        network = Network(spec_config(**override))
         assert network.generic_step_reason is None
         assert all(r._step_fn is not None for r in network.routers)
+        assert network.routers_specialized == len(network.routers)
         # Each router gets its own closure over its own state arrays.
         fns = {id(r._step_fn) for r in network.routers}
         assert len(fns) == len(network.routers)
@@ -98,11 +138,18 @@ class TestNetworkBinding:
         network = Network(spec_config(stepper="reference"))
         assert network.generic_step_reason == "reference-stepper"
         assert all(r._step_fn is None for r in network.routers)
+        assert network.routers_specialized == 0
 
-    def test_unsupported_config_falls_back(self):
-        network = Network(spec_config(allocator_kind="maximum"))
+    def test_unsupported_config_falls_back(self, monkeypatch):
+        # No built-in config is outside the envelope any more; emulate
+        # an out-of-tree config dimension by blanking the plan lookup.
+        from repro.sim.routers import specialized
+
+        monkeypatch.setattr(specialized, "plan_for", lambda config: None)
+        network = Network(spec_config())
         assert network.generic_step_reason == "unsupported-config"
         assert all(r._step_fn is None for r in network.routers)
+        assert network.routers_specialized == 0
 
     def test_checked_attach_drops_compiled_steps(self):
         network = Network(spec_config())
@@ -177,5 +224,24 @@ class TestCompileGuards:
         router._spec_switch_allocator._nonspec = RecordingAllocator(
             nonspec.num_groups, nonspec.members_per_group,
             nonspec.num_resources,
+        )
+        assert compile_step(router) is None
+
+    def test_maximum_allocator_subclass_refuses_compile(self):
+        # Same exact-type discipline for the batched bitmask matcher:
+        # a proxy subclass must push the router onto the generic path.
+        from repro.sim.matching import MaximumMatchingAllocator
+
+        network = Network(spec_config(allocator_kind="maximum"))
+        router = network.routers[5]
+        assert compile_step(router) is not None
+
+        class RecordingMatcher(MaximumMatchingAllocator):
+            pass
+
+        original = router._vc_allocator
+        router._vc_allocator = RecordingMatcher(
+            original.num_groups, original.members_per_group,
+            original.num_resources,
         )
         assert compile_step(router) is None

@@ -185,6 +185,22 @@ class TestPacketSource:
         assert packet.length == 5
         assert packet.creation_cycle == 17
 
+    def test_ids_sequence_numbers_packets(self):
+        import itertools
+
+        source = PacketSource(
+            node=0, mesh=k8, rate_packets_per_cycle=1.0, packet_length=5,
+            rng=random.Random(0), ids=itertools.count(100),
+        )
+        packets = [source.maybe_generate(c) for c in range(3)]
+        assert [p.packet_id for p in packets] == [100, 101, 102]
+
+    def test_without_ids_falls_back_to_global_counter(self):
+        source = self.make_source(1.0)
+        first = source.maybe_generate(0)
+        second = source.maybe_generate(1)
+        assert second.packet_id == first.packet_id + 1
+
     def test_invalid_rate(self):
         with pytest.raises(ValueError):
             self.make_source(1.5)

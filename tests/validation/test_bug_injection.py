@@ -301,6 +301,125 @@ class TestPackedStateCorruption:
         assert excinfo.value.violation.probe == "flit_conservation"
 
 
+class TestRouteMemoCorruption:
+    """Corrupting a packet-dependent route memo must be observable.
+
+    The o1turn/adaptive route tables are computed lazily, interned on
+    the step plan, and -- critically -- consulted by the *generic* route
+    methods too.  Checked mode forces the generic path, so a corrupted
+    memo steers real packets: the first head it misroutes ejects at the
+    wrong sink and the delivery probe flags it the cycle it arrives.
+    If the generic path ever stopped reading the shared memo, the
+    injected corruption would become invisible and these tests would
+    fail on ``fired``/``raises`` -- guarding the bit-identity coupling
+    between the specialized and generic paths.
+    """
+
+    CORRUPT_AFTER = TestPackedStateCorruption.CORRUPT_AFTER
+    CENTER = TestPackedStateCorruption.CENTER
+
+    def test_corrupted_o1turn_memo_trips_delivery_probe(self, monkeypatch):
+        from repro.sim.topology import LOCAL
+
+        def corrupt(router, cycle):
+            if router.node != self.CENTER:
+                return False
+            tables = router._o1turn_route_tables
+            if tables is None:
+                return False  # not consulted yet; try again next cycle
+            everything_local = tuple(LOCAL for _ in tables[0])
+            router._o1turn_route_tables = (
+                everything_local, everything_local,
+            )
+            return True
+
+        fired = TestPackedStateCorruption._corrupt_once_after(
+            monkeypatch, corrupt
+        )
+        with pytest.raises(InvariantViolation) as excinfo:
+            simulate(
+                tiny_config(
+                    RouterKind.SPECULATIVE_VC, routing_function="o1turn"
+                ),
+                MEAS, checked=True,
+            )
+        assert fired, "the injected memo corruption never fired"
+        violation = excinfo.value.violation
+        assert violation.probe == "in_order_delivery"
+        assert f"ejected at node {self.CENTER}" in violation.message
+
+    def test_corrupted_adaptive_memo_trips_delivery_probe(self, monkeypatch):
+        from repro.sim.topology import LOCAL
+
+        def corrupt(router, cycle):
+            if router.node != self.CENTER:
+                return False
+            table = router._adaptive_route_table
+            if table is None:
+                return False
+            router._adaptive_route_table = tuple(
+                ((LOCAL,), LOCAL) for _ in table
+            )
+            return True
+
+        fired = TestPackedStateCorruption._corrupt_once_after(
+            monkeypatch, corrupt
+        )
+        with pytest.raises(InvariantViolation) as excinfo:
+            simulate(
+                tiny_config(
+                    RouterKind.SPECULATIVE_VC, routing_function="adaptive"
+                ),
+                MEAS, checked=True,
+            )
+        assert fired, "the injected memo corruption never fired"
+        violation = excinfo.value.violation
+        assert violation.probe == "in_order_delivery"
+        assert f"ejected at node {self.CENTER}" in violation.message
+
+
+class TestMatchingAdjacencyCorruption:
+    def test_flipped_adjacency_bit_trips_legality_probe(self, monkeypatch):
+        """Pointing one group's adjacency bitmask at a resource nobody
+        requested makes the maximum matcher emit a grant answering no
+        request; the legality probe flags it the same cycle, at the
+        allocate() boundary -- before the router can act on it."""
+        from repro.sim.matching import MaximumMatchingAllocator
+
+        real = MaximumMatchingAllocator._match
+        fired = []
+
+        def corrupting(self, adjacency, chooser):
+            # Target the speculative switch sub-allocators (p resources);
+            # leave the (p*v)-resource VC allocator alone.
+            if self.num_resources == NUM_PORTS and adjacency:
+                requested = 0
+                for mask in adjacency.values():
+                    requested |= mask
+                group = sorted(adjacency)[0]
+                for resource in range(self.num_resources):
+                    if not requested >> resource & 1:
+                        adjacency[group] = 1 << resource
+                        chooser[group * self.num_resources + resource] = 0
+                        fired.append((group, resource))
+                        break
+            return real(self, adjacency, chooser)
+
+        monkeypatch.setattr(MaximumMatchingAllocator, "_match", corrupting)
+        with pytest.raises(InvariantViolation) as excinfo:
+            simulate(
+                tiny_config(
+                    RouterKind.SPECULATIVE_VC, allocator_kind="maximum",
+                    injection_fraction=0.4,
+                ),
+                MEAS, checked=True,
+            )
+        assert fired, "the injected adjacency flip never fired"
+        violation = excinfo.value.violation
+        assert violation.probe == "speculation_legality"
+        assert "answers no submitted request" in violation.message
+
+
 class TestInOrderDelivery:
     @staticmethod
     def _bound_probe():
@@ -310,11 +429,20 @@ class TestInOrderDelivery:
         return probe, suite
 
     @staticmethod
-    def _flit(pid, index, length):
-        packet = SimpleNamespace(packet_id=pid, length=length)
+    def _flit(pid, index, length, destination=3):
+        packet = SimpleNamespace(
+            packet_id=pid, length=length, destination=destination
+        )
         return SimpleNamespace(
             packet=packet, index=index, is_tail=index == length - 1
         )
+
+    def test_wrong_destination_is_flagged(self):
+        probe, suite = self._bound_probe()
+        sink = SimpleNamespace(node=9)
+        probe._observe(sink, self._flit(7, 0, 3, destination=3), cycle=10)
+        assert not suite.ok
+        assert "destination 3" in suite.violations[0].message
 
     def test_out_of_order_flit_is_flagged(self):
         probe, suite = self._bound_probe()
