@@ -1,0 +1,214 @@
+"""Benchmark: surrogate serving speed and accuracy vs the simulator.
+
+The surrogate's reason to exist is answering design-space queries
+*without* the cycle kernel, so the gated quantities are
+
+* per-query latency of a calibrated :func:`repro.surrogate.estimate`,
+* its speedup over :func:`repro.sim.engine.simulate` at the paper's
+  near-saturation load 0.42, and
+* the max relative latency error the calibration observes against the
+  simulated mini-corpus it was fitted on.
+
+Run as a script to measure and maintain ``BENCH_surrogate.json``::
+
+    PYTHONPATH=src python benchmarks/bench_surrogate.py            # report
+    PYTHONPATH=src python benchmarks/bench_surrogate.py --update   # rewrite JSON
+    PYTHONPATH=src python benchmarks/bench_surrogate.py --check    # CI gate
+
+``--check`` gates on absolute bars, not the committed baseline: the
+surrogate must stay >= 100x faster than simulation at load 0.42 and
+within the subsystem's 15% pre-saturation error envelope.  (The
+speedup is ~10^4-10^5 in practice; a relative-regression gate would
+only add noise.)  The committed JSON is the tracking record.
+"""
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.runtime.experiment import Experiment
+from repro.sim.config import MeasurementConfig, RouterKind, SimConfig
+from repro.sim.engine import simulate
+from repro.surrogate import (
+    calibrate,
+    cross_validate,
+    default_saturation,
+    estimate,
+    observations_from_results,
+)
+
+BENCH_JSON = Path(__file__).resolve().parent / "BENCH_surrogate.json"
+
+#: The gate load: the paper's near-saturation operating point for the
+#: baseline routers, and the load the perf-smoke job queries.
+GATE_LOAD = 0.42
+
+#: Absolute floor on surrogate-vs-simulation speedup at the gate load.
+SPEEDUP_FLOOR = 100.0
+
+#: The subsystem's pre-saturation error envelope (docs/SURROGATE.md).
+ERROR_CEILING = 0.15
+
+#: Mini-corpus measurement scale: the cross-validation battery's
+#: reduced fidelity -- seconds of simulation, error well inside the
+#: envelope.
+MEASUREMENT = MeasurementConfig(
+    warmup_cycles=300, sample_packets=200,
+    max_cycles=12_000, drain_cycles=4_000,
+)
+
+#: Two calibration classes: the wormhole baseline and the speculative
+#: VC router the gate load targets.
+CORPUS_KINDS = (
+    (RouterKind.WORMHOLE, 1),
+    (RouterKind.SPECULATIVE_VC, 2),
+)
+CORPUS_FRACTIONS = (0.1, 0.3, 0.5, 0.7, 0.85)
+
+QUERY_ROUNDS = 5
+QUERIES_PER_ROUND = 2_000
+
+
+def _config(kind, vcs, load):
+    return SimConfig(
+        router_kind=kind, num_vcs=vcs, mesh_radix=4, buffers_per_vc=8,
+        injection_fraction=load, seed=7,
+    )
+
+
+def _mini_corpus():
+    """Simulate the mini-corpus and fit the surrogate against it."""
+    experiment = Experiment(MEASUREMENT, backend="serial", cache=False)
+    pairs = []
+    for kind, vcs in CORPUS_KINDS:
+        base = _config(kind, vcs, 0.1)
+        saturation = default_saturation(base)
+        points = [
+            replace(base, injection_fraction=round(saturation * f, 4))
+            for f in CORPUS_FRACTIONS
+        ]
+        pairs.extend(zip(points, experiment.map(points)))
+    observations = observations_from_results(pairs)
+    calibration = calibrate(observations)
+    report = cross_validate(calibration, observations)
+    return calibration, report
+
+
+def _time_surrogate(config, coefficients):
+    """Best-of-rounds seconds per calibrated estimate() call."""
+    best = float("inf")
+    for _ in range(QUERY_ROUNDS):
+        t0 = time.perf_counter()
+        for _ in range(QUERIES_PER_ROUND):
+            estimate(config, GATE_LOAD, coefficients)
+        elapsed = time.perf_counter() - t0
+        best = min(best, elapsed / QUERIES_PER_ROUND)
+    return best
+
+
+def _time_simulation(config):
+    """Best-of-2 seconds for one cycle-accurate run at the gate load."""
+    best = float("inf")
+    for _ in range(2):
+        t0 = time.perf_counter()
+        simulate(config, MEASUREMENT)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure():
+    calibration, report = _mini_corpus()
+    gate_config = _config(RouterKind.SPECULATIVE_VC, 2, GATE_LOAD)
+    coefficients = calibration.for_config(gate_config)
+    query_seconds = _time_surrogate(gate_config, coefficients)
+    simulate_seconds = _time_simulation(gate_config)
+    return {
+        "load": GATE_LOAD,
+        "surrogate_us_per_query": round(query_seconds * 1e6, 3),
+        "simulate_seconds": round(simulate_seconds, 4),
+        "speedup_vs_simulation": round(simulate_seconds / query_seconds, 1),
+        "max_observed_rel_error": round(report["max_rel_error"], 4),
+        "mean_observed_rel_error": round(report["mean_rel_error"], 4),
+        "calibration_classes": report["classes"] and len(report["classes"]),
+        "calibration_points": report["points"],
+    }
+
+
+def check(point):
+    """Absolute-bar errors: speedup floor and the error envelope."""
+    errors = []
+    if point["speedup_vs_simulation"] < SPEEDUP_FLOOR:
+        errors.append(
+            f"surrogate speedup {point['speedup_vs_simulation']:.1f}x "
+            f"below the {SPEEDUP_FLOOR:.0f}x floor at load {GATE_LOAD}"
+        )
+    if point["max_observed_rel_error"] > ERROR_CEILING:
+        errors.append(
+            f"max observed relative error "
+            f"{point['max_observed_rel_error']:.1%} exceeds the "
+            f"{ERROR_CEILING:.0%} envelope"
+        )
+    return errors
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Surrogate serving benchmark (speed + accuracy gates)"
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help=f"rewrite {BENCH_JSON.name} with fresh measurements",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help=f"fail unless the surrogate is >={SPEEDUP_FLOOR:.0f}x "
+             f"faster than simulation at load {GATE_LOAD} and within "
+             f"the {ERROR_CEILING:.0%} error envelope",
+    )
+    args = parser.parse_args(argv)
+
+    point = measure()
+    print(
+        f"surrogate query : {point['surrogate_us_per_query']:8.1f} us\n"
+        f"simulation run  : {point['simulate_seconds'] * 1e6:8.0f} us "
+        f"({point['simulate_seconds']:.3f} s)\n"
+        f"speedup         : {point['speedup_vs_simulation']:8.1f} x "
+        f"at load {point['load']}\n"
+        f"max rel error   : {point['max_observed_rel_error']:8.1%} over "
+        f"{point['calibration_points']} corpus points"
+    )
+
+    if args.check:
+        errors = check(point)
+        if errors:
+            for error in errors:
+                print(f"PERF REGRESSION: {error}", file=sys.stderr)
+            return 1
+        print(
+            f"perf check ok: {point['speedup_vs_simulation']:.0f}x >= "
+            f"{SPEEDUP_FLOOR:.0f}x and "
+            f"{point['max_observed_rel_error']:.1%} <= "
+            f"{ERROR_CEILING:.0%}"
+        )
+        return 0
+
+    if args.update:
+        payload = {
+            "benchmark": "calibrated estimate() vs simulate() on a 4x4 "
+                         "speculative-VC mesh at load 0.42; mini-corpus "
+                         "(wormhole + spec VC, 5 loads each) at the "
+                         "cross-validation battery's measurement scale; "
+                         "query latency best of "
+                         f"{QUERY_ROUNDS} x {QUERIES_PER_ROUND} calls",
+            "point": point,
+        }
+        BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {BENCH_JSON}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,4 @@
-"""DET: determinism rules for the simulator and delay model.
+"""DET: determinism rules for the simulator, delay model and surrogate.
 
 Bit-identical reruns -- the property every differential oracle
 (fast-vs-reference, telemetry-on-vs-off, cached-vs-uncached) asserts --
@@ -7,8 +7,9 @@ instances and that nothing order-unstable feeds simulated results.
 
 * ``DET001`` -- a module-level RNG call (``random.random()``,
   ``from random import randint``) inside ``repro.sim`` /
-  ``repro.delaymodel``: the process-global RNG is shared, unseeded by
-  default, and invisible to the result cache's content key.
+  ``repro.delaymodel`` / ``repro.surrogate``: the process-global RNG
+  is shared, unseeded by default, and invisible to the result cache's
+  content key.
 * ``DET002`` -- a wall-clock / entropy source (``time.time``,
   ``datetime.now``, ``os.urandom``, ``uuid.uuid4``, ...) in the same
   scope.  Wall-clock *instrumentation* that provably never reaches
@@ -66,7 +67,7 @@ class DeterminismChecker(Checker):
     )
 
     def check_file(self, source: SourceFile, index) -> Iterable[Finding]:
-        deterministic = source.in_domain("sim", "delaymodel")
+        deterministic = source.in_domain("sim", "delaymodel", "surrogate")
         hot = source.in_domain("hot")
         if not deterministic and not hot:
             return

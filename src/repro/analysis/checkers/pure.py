@@ -1,11 +1,14 @@
-"""PURE: the delay model stays a pure function library.
+"""PURE: the analytical libraries stay pure function libraries.
 
 ``repro.delaymodel`` is the analytical half of the reproduction: given a
 router configuration it *computes* Table 1 delays, pipeline structures,
-and derived figures.  Everything downstream (the optimizer, the figure
-generators, the result cache's assumption that config -> result is a
-function) relies on those computations having no hidden inputs or
-outputs.  Three rules keep it that way:
+and derived figures; ``repro.surrogate`` layers the queueing estimator
+and its calibration on top and promises the same contract (the hybrid
+serving path answers queries straight from these functions, so a hidden
+input would silently skew every answer).  Everything downstream (the
+optimizer, the figure generators, the result cache's assumption that
+config -> result is a function) relies on those computations having no
+hidden inputs or outputs.  Three rules keep it that way:
 
 * ``PURE001`` -- a ``global`` declaration inside a function: rebinding
   module state from call sites makes results order-dependent;
@@ -52,13 +55,13 @@ _SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
 class PurityChecker(Checker):
     name = "pure"
     rules = (
-        Rule("PURE001", "global declaration inside delay-model function"),
-        Rule("PURE002", "I/O performed by delay-model code"),
-        Rule("PURE003", "in-place mutation of delay-model module state"),
+        Rule("PURE001", "global declaration inside pure-model function"),
+        Rule("PURE002", "I/O performed by pure-model code"),
+        Rule("PURE003", "in-place mutation of pure-model module state"),
     )
 
     def check_file(self, source: SourceFile, index) -> Iterable[Finding]:
-        if not source.in_domain("delaymodel"):
+        if not source.in_domain("delaymodel", "surrogate"):
             return
         module_names = _module_level_names(source.tree)
         for func in _functions(source.tree):

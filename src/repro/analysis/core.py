@@ -247,6 +247,8 @@ def _derive_domains(relpath: str) -> Set[str]:
         domains.add("sim")
     if "delaymodel" in parts:
         domains.add("delaymodel")
+    if "surrogate" in parts:
+        domains.add("surrogate")
     if "routers" in parts or any(name.endswith(h) for h in HOT_BASENAMES):
         if "sim" in parts:
             domains.add("hot")

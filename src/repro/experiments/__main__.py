@@ -8,6 +8,7 @@ Usage::
     python -m repro.experiments --checked       # validation smoke run
     python -m repro.experiments report --telemetry         # observability
     python -m repro.experiments analyze --check            # invariant lint
+    python -m repro.experiments estimate --load 0.3        # surrogate query
 """
 
 from __future__ import annotations
@@ -160,6 +161,11 @@ def main(argv=None) -> int:
         from ..analysis.__main__ import main as analysis_main
 
         return analysis_main(argv[1:])
+    if argv and argv[0] == "estimate":
+        # Hybrid surrogate-first serving (docs/SURROGATE.md).
+        from .estimate import estimate_command
+
+        return estimate_command(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Reproduce the tables and figures of Peh & Dally (HPCA 2001).",
@@ -252,6 +258,7 @@ def main(argv=None) -> int:
                 f"\n[runtime] {stats.points_requested} points, "
                 f"{stats.points_executed} executed, "
                 f"{stats.cache_hits} from cache, "
+                f"[{stats.describe_sources()}] "
                 f"{stats.wall_seconds:.1f}s "
                 f"[{experiment.backend.name}: "
                 f"{scheduler.chunks_completed} chunks, "

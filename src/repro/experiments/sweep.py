@@ -77,7 +77,11 @@ def run_with_seeds(
 
 
 def find_saturation(
-    curve: SweepResult, latency_multiple: float = SATURATION_LATENCY_MULTIPLE
+    curve: SweepResult,
+    latency_multiple: float = SATURATION_LATENCY_MULTIPLE,
+    *,
+    config: Optional[SimConfig] = None,
+    calibration=None,
 ) -> float:
     """Saturation load: the highest load still on the flat part of the curve.
 
@@ -85,13 +89,33 @@ def find_saturation(
     point already saturated (no finite zero-load latency exists to
     anchor the knee), reports a saturation load of 0.0 instead of
     raising.
+
+    Surrogate-seeded mode (off unless ``config`` is passed): when the
+    measured curve is degenerate, fall back to the analytical
+    surrogate's predicted saturation for ``config`` (with
+    ``calibration`` coefficients when given) instead of reporting 0.0.
+    This is what lets ``sweep``/``capacity`` callers pre-prune
+    deeply-saturated load grids before measuring anything -- the
+    default path (no ``config``) is bit-identical to before.
     """
-    if not curve.points:
-        return 0.0
-    zero_load = curve.zero_load_latency()
-    if not math.isfinite(zero_load):
-        return 0.0
-    return curve.saturation_fraction(latency_multiple * zero_load)
+    measured: Optional[float] = None
+    if curve.points:
+        zero_load = curve.zero_load_latency()
+        if math.isfinite(zero_load):
+            measured = curve.saturation_fraction(
+                latency_multiple * zero_load
+            )
+    if measured is not None:
+        return measured
+    if config is not None:
+        from ..surrogate import DEFAULT_COEFFICIENTS, predicted_saturation
+
+        coefficients = (
+            calibration.for_config(config) if calibration is not None
+            else DEFAULT_COEFFICIENTS
+        )
+        return predicted_saturation(config, coefficients, latency_multiple)
+    return 0.0
 
 
 def compare_curves(curves: List[SweepResult]) -> str:

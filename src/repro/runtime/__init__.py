@@ -16,6 +16,10 @@ over it, completed points stream into the cache as they land, and an
 interrupted sweep resumes from its manifest (see ``docs/RUNTIME.md``).
 The pre-redesign ``run_one`` / ``run_sweep`` / ``run_grid`` surface
 remains as deprecated shims.
+
+:class:`Estimator` layers the hybrid serving path on top: surrogate or
+cache answers instantly, cycle-accurate refinement in the background
+(see ``docs/SURROGATE.md``).
 """
 
 from ..sim.instrumentation import (
@@ -40,6 +44,7 @@ from .cache import (
     default_cache_dir,
     sweep_key,
 )
+from .estimator import EstimateAnswer, Estimator
 from .experiment import (
     DEFAULT_LOADS,
     Experiment,
@@ -53,6 +58,8 @@ __all__ = [
     "BackendUnavailable",
     "Chunk",
     "DEFAULT_LOADS",
+    "EstimateAnswer",
+    "Estimator",
     "ExecutionBackend",
     "Experiment",
     "ExperimentStats",

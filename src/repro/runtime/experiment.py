@@ -134,6 +134,10 @@ class ExperimentStats:
     routers_specialized: int = 0
     routers_generic: int = 0
     generic_step_reasons: Dict[str, int] = field(default_factory=dict)
+    #: Provenance tally over returned results: how many answers were
+    #: freshly "simulated" vs replayed from "cached" (pre-provenance
+    #: cache entries count under "unknown").
+    sources: Dict[str, int] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -151,6 +155,20 @@ class ExperimentStats:
         if not utilization:
             return 0.0
         return sum(utilization.values()) / len(utilization)
+
+    def record_source(self, source: Optional[str]) -> None:
+        """Tally one returned result's provenance stamp."""
+        key = source or "unknown"
+        self.sources[key] = self.sources.get(key, 0) + 1
+
+    def describe_sources(self) -> str:
+        """One-phrase provenance summary for the CLI ``[runtime]`` line."""
+        if not self.sources:
+            return "no results"
+        return ", ".join(
+            f"{count} {source}"
+            for source, count in sorted(self.sources.items())
+        )
 
     def record_counters(self, counters) -> None:
         """Fold one executed point's :class:`RunCounters` envelope in."""
@@ -201,6 +219,10 @@ class ExperimentStats:
         for reason, count in sorted(self.generic_step_reasons.items()):
             registry.counter(
                 "experiment_generic_step_points", reason=reason
+            ).inc(count)
+        for source, count in sorted(self.sources.items()):
+            registry.counter(
+                "experiment_result_source", source=source
             ).inc(count)
         scheduler = self.scheduler
         registry.counter("scheduler_chunks_completed").inc(
@@ -422,7 +444,9 @@ class Experiment:
             for key in dict.fromkeys(keys):
                 hit = self.cache.get(key)
                 if hit is not None:
-                    results[key] = hit
+                    # Provenance: the engine stamps fresh results
+                    # "simulated"; a replayed entry answers as "cached".
+                    results[key] = replace(hit, source="cached")
                     cached_keys.add(key)
             if plan.manifest:
                 manifest = self.cache.manifest(keys, label=plan.label)
@@ -510,7 +534,10 @@ class Experiment:
                     cached=key in cached_keys,
                 )
         self.progress.on_batch_done(total)
-        return [results[key] for key in keys]
+        ordered = [results[key] for key in keys]
+        for result in ordered:
+            self.stats.record_source(result.source)
+        return ordered
 
     # ------------------------------------------------------------------
     # The public façade: thin wrappers over map().
@@ -527,6 +554,8 @@ class Experiment:
         label: str,
         loads: Iterable[float] = DEFAULT_LOADS,
         stop_after_saturation: bool = True,
+        surrogate_prune: bool = False,
+        calibration=None,
         plan: Optional[Plan] = None,
     ) -> SweepResult:
         """One latency-throughput curve over ``loads``.
@@ -536,10 +565,18 @@ class Experiment:
         execution early (the points beyond are strictly more expensive
         and add no information); on batched backends all points run and
         the tail is dropped, so every backend returns identical curves.
+
+        ``surrogate_prune`` additionally drops grid loads more than one
+        step past the analytical surrogate's predicted saturation
+        before anything executes, so batched backends never pay for the
+        deep-saturation tail either.  Off by default; when off, results
+        are bit-identical to the unpruned path.
         """
         return self.sweeps(
             [(label, config)], loads=loads,
-            stop_after_saturation=stop_after_saturation, plan=plan,
+            stop_after_saturation=stop_after_saturation,
+            surrogate_prune=surrogate_prune, calibration=calibration,
+            plan=plan,
         )[0]
 
     def sweeps(
@@ -548,26 +585,40 @@ class Experiment:
         *,
         loads: Iterable[float] = DEFAULT_LOADS,
         stop_after_saturation: bool = True,
+        surrogate_prune: bool = False,
+        calibration=None,
         plan: Optional[Plan] = None,
     ) -> List[SweepResult]:
         """Several curves over a shared load grid, batched together.
 
         This is the figure-reproduction shape: with a parallel backend
         attached, every point of every curve fans out as one batch.
+        ``surrogate_prune`` pre-prunes each curve's grid at the
+        surrogate's predicted saturation (see :meth:`sweep`), using
+        ``calibration`` coefficients when given.
         """
         load_grid = sorted(loads)
+        grids = {
+            index: (
+                _surrogate_pruned_loads(load_grid, config, calibration)
+                if surrogate_prune else load_grid
+            )
+            for index, (_, config) in enumerate(labeled_configs)
+        }
         serial = isinstance(self.backend, SerialBackend)
         if not serial or not stop_after_saturation:
             flat = [
                 replace(config, injection_fraction=load)
-                for _, config in labeled_configs
-                for load in load_grid
+                for index, (_, config) in enumerate(labeled_configs)
+                for load in grids[index]
             ]
             flat_results = self.map(flat, plan=plan)
             result = []
-            for curve_index, (label, _) in enumerate(labeled_configs):
-                start = curve_index * len(load_grid)
-                points = flat_results[start:start + len(load_grid)]
+            start = 0
+            for index, (label, _) in enumerate(labeled_configs):
+                count = len(grids[index])
+                points = flat_results[start:start + count]
+                start += count
                 result.append(SweepResult(
                     label=label,
                     points=_truncate_after_saturation(
@@ -577,9 +628,9 @@ class Experiment:
             return result
 
         result = []
-        for label, config in labeled_configs:
+        for index, (label, config) in enumerate(labeled_configs):
             curve = SweepResult(label=label)
-            for load in load_grid:
+            for load in grids[index]:
                 point = self.map(
                     [replace(config, injection_fraction=load)], plan=plan
                 )[0]
@@ -721,3 +772,29 @@ def _truncate_after_saturation(
         if point.saturated:
             break
     return kept
+
+
+def _surrogate_pruned_loads(
+    load_grid: List[float], config: SimConfig, calibration
+) -> List[float]:
+    """Drop grid loads more than one step past the surrogate's knee.
+
+    Keeps every load up to the analytical predicted saturation plus the
+    first grid point beyond it (so the measured curve still shows the
+    turn), and drops the deep-saturation tail -- the points that cost
+    the most wall-clock and contribute nothing but ``inf`` latencies.
+    The whole grid survives when the knee sits at or past its top.
+    """
+    from ..surrogate import DEFAULT_COEFFICIENTS, predicted_saturation
+
+    coefficients = (
+        calibration.for_config(config) if calibration is not None
+        else DEFAULT_COEFFICIENTS
+    )
+    knee = predicted_saturation(config, coefficients)
+    pruned: List[float] = []
+    for load in load_grid:
+        pruned.append(load)
+        if load > knee:
+            break
+    return pruned

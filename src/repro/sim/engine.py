@@ -151,6 +151,7 @@ class Simulator:
             counters=counters,
             validation=validation,
             telemetry=telemetry,
+            source="simulated",
         )
 
     # ------------------------------------------------------------------

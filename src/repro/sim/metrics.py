@@ -94,6 +94,13 @@ class RunResult:
     #: equality for the same reason: observation never changes what a
     #: run measured (the ``telemetry_on_vs_off`` oracle enforces it).
     telemetry: Optional[TelemetrySummary] = field(default=None, compare=False)
+    #: Where this result came from: "simulated" (the engine just ran
+    #: it) or "cached" (replayed from the content-addressed store).
+    #: Provenance, not measurement -- excluded from equality so the
+    #: cached_vs_uncached differential oracle still holds, and
+    #: defaulted so cache entries written before the field existed
+    #: deserialize cleanly (their source reads as None/unknown).
+    source: Optional[str] = field(default=None, compare=False)
 
     @property
     def average_latency(self) -> float:
@@ -116,6 +123,7 @@ class RunResult:
             "counters": self.counters.to_dict() if self.counters else None,
             "validation": self.validation,
             "telemetry": self.telemetry.to_dict() if self.telemetry else None,
+            "source": self.source,
         }
 
     @classmethod

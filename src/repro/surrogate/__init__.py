@@ -1,0 +1,72 @@
+"""Analytical queueing surrogate for the cycle-accurate simulator.
+
+Three layers (see ``docs/SURROGATE.md``):
+
+* :mod:`~repro.surrogate.model` -- the pure estimator: SimConfig +
+  offered load -> predicted latency, per-hop breakdown, throughput,
+  predicted saturation.  Service times come from the delay model's
+  pipeline depths; contention is M/G/1-shaped with a handful of free
+  coefficients.
+* :mod:`~repro.surrogate.calibration` -- deterministic fits of those
+  coefficients against measured sweeps, with per-class residual error.
+* :mod:`~repro.surrogate.corpus` -- the canonical set of simulated
+  points the fits consume, gathered through (and replayed from) the
+  content-addressed result cache.
+
+The hybrid serving path that fronts all of this lives in
+:class:`repro.runtime.Estimator`.
+"""
+
+from .calibration import (
+    Calibration,
+    CalibrationRecord,
+    Observation,
+    calibrate,
+    cross_validate,
+    observations_from_results,
+)
+from .corpus import (
+    calibrate_from_cache,
+    corpus_configs,
+    corpus_loads,
+    corpus_points,
+    gather,
+)
+from .model import (
+    DEFAULT_COEFFICIENTS,
+    HopBreakdown,
+    ServiceTime,
+    SurrogateCoefficients,
+    SurrogateEstimate,
+    class_key,
+    default_saturation,
+    estimate,
+    estimate_curve,
+    predicted_saturation,
+    service_time,
+)
+
+__all__ = [
+    "Calibration",
+    "CalibrationRecord",
+    "DEFAULT_COEFFICIENTS",
+    "HopBreakdown",
+    "Observation",
+    "ServiceTime",
+    "SurrogateCoefficients",
+    "SurrogateEstimate",
+    "calibrate",
+    "calibrate_from_cache",
+    "class_key",
+    "corpus_configs",
+    "corpus_loads",
+    "corpus_points",
+    "cross_validate",
+    "default_saturation",
+    "estimate",
+    "estimate_curve",
+    "gather",
+    "observations_from_results",
+    "predicted_saturation",
+    "service_time",
+]

@@ -1,0 +1,366 @@
+"""Fit the surrogate's free coefficients against simulated sweeps.
+
+The estimator in :mod:`repro.surrogate.model` has an exact
+service-time core and three free contention knobs per configuration
+class (zero-load offset, contention scale, saturation load).  This
+module fits those knobs against measured ``(load, latency)`` points --
+typically replayed out of the content-addressed result cache by
+:mod:`repro.surrogate.corpus` -- and records the residual relative
+error per class, which becomes the ``error_estimate`` stamped on every
+hybrid-path answer.
+
+The fit is deliberately boring and fully deterministic: a small grid
+over saturation-load candidates crossed with a closed-form
+relative-error least-squares solve for the contention scale, anchored
+so the lowest-load point is reproduced exactly, choosing the candidate
+that minimizes the *maximum* relative error over the pre-saturation
+points.  No RNG, no iterative optimizer, no I/O: the same observations
+always produce the same calibration (the DET/PURE analysis rules hold
+for this module).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..sim.config import SimConfig
+from ..sim.metrics import RunResult
+from .model import (
+    DEFAULT_COEFFICIENTS,
+    SATURATION_LATENCY_MULTIPLE,
+    SurrogateCoefficients,
+    class_key,
+    default_saturation,
+    estimate,
+    predicted_saturation,
+    service_time,
+)
+
+__all__ = [
+    "Observation",
+    "CalibrationRecord",
+    "Calibration",
+    "calibrate",
+    "observations_from_results",
+]
+
+#: Fractions of the saturation load that the highest *pre-saturation*
+#: measured point is hypothesised to sit at.  Each fraction yields one
+#: saturation-load candidate; the fit keeps whichever minimizes the
+#: worst-case relative error.
+_SATURATION_FRACTIONS = tuple(f / 100.0 for f in range(50, 100, 5))
+
+#: Fewer measured points than this and the class keeps the default
+#: coefficients (a one-point "fit" would be noise).
+_MIN_POINTS = 2
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One measured point: a config, its offered load, its latency."""
+
+    config: SimConfig
+    load: float
+    latency_cycles: float
+
+    def __post_init__(self) -> None:
+        if self.load < 0:
+            raise ValueError(f"load must be >= 0, got {self.load}")
+        if self.latency_cycles <= 0:
+            raise ValueError(
+                f"latency must be positive, got {self.latency_cycles}"
+            )
+
+
+def observations_from_results(
+    pairs: Iterable[Tuple[SimConfig, RunResult]],
+) -> List[Observation]:
+    """Adapt ``(config, RunResult)`` pairs into calibration points.
+
+    Saturated points (the sample never drained, latency is infinite)
+    are dropped rather than poisoning the fit.
+    """
+    observations = []
+    for config, result in pairs:
+        if result.latency is None or result.average_latency <= 0:
+            continue
+        observations.append(Observation(
+            config=config,
+            load=config.injection_fraction,
+            latency_cycles=result.average_latency,
+        ))
+    return observations
+
+
+@dataclass(frozen=True)
+class CalibrationRecord:
+    """Fit outcome for one configuration class."""
+
+    class_key: str
+    coefficients: SurrogateCoefficients
+    #: Number of measured points the fit consumed (pre-saturation).
+    points: int
+    #: Worst relative latency error over the pre-saturation points.
+    max_rel_error: float
+    #: Mean relative latency error over the pre-saturation points.
+    mean_rel_error: float
+    #: Saturation knee read off the measured curve (3x zero-load),
+    #: or None when every point stayed below the knee.
+    measured_saturation: Optional[float]
+    #: The fitted model's analytic knee for the same class.
+    predicted_saturation: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "class_key": self.class_key,
+            "coefficients": self.coefficients.to_dict(),
+            "points": self.points,
+            "max_rel_error": self.max_rel_error,
+            "mean_rel_error": self.mean_rel_error,
+            "measured_saturation": self.measured_saturation,
+            "predicted_saturation": self.predicted_saturation,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CalibrationRecord":
+        return cls(
+            class_key=data["class_key"],
+            coefficients=SurrogateCoefficients.from_dict(
+                dict(data["coefficients"])
+            ),
+            points=data["points"],
+            max_rel_error=data["max_rel_error"],
+            mean_rel_error=data["mean_rel_error"],
+            measured_saturation=data["measured_saturation"],
+            predicted_saturation=data["predicted_saturation"],
+        )
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """A set of per-class fits, keyed by :func:`~.model.class_key`."""
+
+    records: Mapping[str, CalibrationRecord] = field(default_factory=dict)
+
+    def record_for(self, config: SimConfig) -> Optional[CalibrationRecord]:
+        return self.records.get(class_key(config))
+
+    def for_config(self, config: SimConfig) -> SurrogateCoefficients:
+        """Fitted coefficients for ``config``'s class, or the defaults."""
+        record = self.record_for(config)
+        if record is None:
+            return DEFAULT_COEFFICIENTS
+        return record.coefficients
+
+    def error_estimate(self, config: SimConfig) -> Optional[float]:
+        """Residual max relative error for ``config``'s class.
+
+        ``None`` means the class was never calibrated -- callers should
+        treat the estimate as unvalidated rather than exact.
+        """
+        record = self.record_for(config)
+        if record is None:
+            return None
+        return record.max_rel_error
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "records": {
+                key: record.to_dict()
+                for key, record in sorted(self.records.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Calibration":
+        return cls(records={
+            key: CalibrationRecord.from_dict(record)
+            for key, record in data.get("records", {}).items()
+        })
+
+    def describe(self) -> str:
+        if not self.records:
+            return "calibration: empty (default coefficients everywhere)"
+        worst = max(r.max_rel_error for r in self.records.values())
+        mean = sum(
+            r.mean_rel_error for r in self.records.values()
+        ) / len(self.records)
+        return (
+            f"calibration: {len(self.records)} classes, "
+            f"worst max-rel-error {worst:.1%}, mean {mean:.1%}"
+        )
+
+
+def _measured_knee(
+    points: Sequence[Observation],
+    latency_multiple: float,
+) -> Tuple[List[Observation], Optional[float]]:
+    """Split ``points`` at the measured saturation knee.
+
+    Returns the pre-saturation points (latency within
+    ``latency_multiple`` of the lowest-load latency, the same
+    convention ``repro.experiments.sweep.find_saturation`` applies to a
+    measured curve) and the knee load itself (None if no point
+    crossed it).
+    """
+    ordered = sorted(points, key=lambda obs: obs.load)
+    zero_load = ordered[0].latency_cycles
+    limit = latency_multiple * zero_load
+    pre = [obs for obs in ordered if obs.latency_cycles <= limit]
+    knee = pre[-1].load if len(pre) < len(ordered) else None
+    return pre, knee
+
+
+def _contention_basis(config: SimConfig, load: float, saturation: float) -> float:
+    """Unit-scale contention term at ``load`` given a saturation load."""
+    service = service_time(config)
+    utilization = load / saturation
+    if utilization >= 1.0:
+        return math.inf
+    return (
+        (service.average_hops + 1.0)
+        * service.packet_service_cycles
+        * utilization
+        / (2.0 * (1.0 - utilization))
+    )
+
+
+def _fit_class(
+    key: str,
+    points: Sequence[Observation],
+    latency_multiple: float,
+) -> Optional[CalibrationRecord]:
+    """Deterministic per-class fit; None when too few usable points."""
+    pre, knee = _measured_knee(points, latency_multiple)
+    if len(pre) < _MIN_POINTS:
+        return None
+    config = pre[0].config
+    base_zero = estimate(
+        config, 0.0,
+        SurrogateCoefficients(zero_load_offset=0.0),
+    ).zero_load_cycles
+    anchor = pre[0]
+    max_load = pre[-1].load
+
+    best: Optional[Tuple[float, SurrogateCoefficients]] = None
+    for fraction in _SATURATION_FRACTIONS:
+        saturation = max_load / fraction
+        bases = [
+            _contention_basis(config, obs.load, saturation) for obs in pre
+        ]
+        anchor_base = bases[0]
+        # Anchor the lowest-load point exactly
+        # (offset = y0 - base_zero - scale * x0), which reduces the fit
+        # to one unknown: minimize the relative-error-weighted residual
+        # of (y_i - y_0) = scale * (x_i - x_0).
+        numerator = sum(
+            (obs.latency_cycles - anchor.latency_cycles)
+            * (x - anchor_base) / obs.latency_cycles**2
+            for obs, x in zip(pre, bases)
+        )
+        denominator = sum(
+            (x - anchor_base) ** 2 / obs.latency_cycles**2
+            for obs, x in zip(pre, bases)
+        )
+        scale = max(0.0, numerator / denominator) if denominator > 0 else 0.0
+        offset = anchor.latency_cycles - base_zero - scale * anchor_base
+        candidate = SurrogateCoefficients(
+            zero_load_offset=offset,
+            contention_scale=scale,
+            saturation_load=saturation,
+        )
+        worst = max(
+            abs(estimate(config, obs.load, candidate).latency_cycles
+                - obs.latency_cycles) / obs.latency_cycles
+            for obs in pre
+        )
+        if best is None or worst < best[0]:
+            best = (worst, candidate)
+
+    assert best is not None
+    worst, coefficients = best
+    errors = [
+        abs(estimate(config, obs.load, coefficients).latency_cycles
+            - obs.latency_cycles) / obs.latency_cycles
+        for obs in pre
+    ]
+    return CalibrationRecord(
+        class_key=key,
+        coefficients=coefficients,
+        points=len(pre),
+        max_rel_error=worst,
+        mean_rel_error=sum(errors) / len(errors),
+        measured_saturation=knee,
+        predicted_saturation=predicted_saturation(
+            config, coefficients, latency_multiple
+        ),
+    )
+
+
+def calibrate(
+    observations: Iterable[Observation],
+    latency_multiple: float = SATURATION_LATENCY_MULTIPLE,
+) -> Calibration:
+    """Fit per-class coefficients from measured points.
+
+    Observations are grouped by :func:`~.model.class_key` (same config
+    up to load/seed); each class with at least two pre-saturation
+    points gets a fitted :class:`CalibrationRecord`.  Classes that
+    cannot be fitted are simply absent -- :meth:`Calibration.for_config`
+    falls back to the defaults for them.
+    """
+    by_class: Dict[str, List[Observation]] = {}
+    for obs in observations:
+        by_class.setdefault(class_key(obs.config), []).append(obs)
+
+    records: Dict[str, CalibrationRecord] = {}
+    for key in sorted(by_class):
+        record = _fit_class(key, by_class[key], latency_multiple)
+        if record is not None:
+            records[key] = record
+    return Calibration(records=records)
+
+
+def cross_validate(
+    calibration: Calibration,
+    observations: Iterable[Observation],
+    latency_multiple: float = SATURATION_LATENCY_MULTIPLE,
+) -> Dict[str, Any]:
+    """Score a calibration against (held-out or training) observations.
+
+    Returns per-class and overall max/mean relative errors over the
+    pre-saturation portion of each class's points -- the number the
+    cross-validation test battery bounds at 15%.
+    """
+    by_class: Dict[str, List[Observation]] = {}
+    for obs in observations:
+        by_class.setdefault(class_key(obs.config), []).append(obs)
+
+    per_class: Dict[str, Dict[str, float]] = {}
+    all_errors: List[float] = []
+    for key in sorted(by_class):
+        pre, _ = _measured_knee(by_class[key], latency_multiple)
+        if not pre:
+            continue
+        coefficients = calibration.for_config(pre[0].config)
+        errors = [
+            abs(estimate(obs.config, obs.load, coefficients).latency_cycles
+                - obs.latency_cycles) / obs.latency_cycles
+            for obs in pre
+        ]
+        per_class[key] = {
+            "points": len(errors),
+            "max_rel_error": max(errors),
+            "mean_rel_error": sum(errors) / len(errors),
+        }
+        all_errors.extend(errors)
+    return {
+        "classes": per_class,
+        "points": len(all_errors),
+        "max_rel_error": max(all_errors) if all_errors else 0.0,
+        "mean_rel_error": (
+            sum(all_errors) / len(all_errors) if all_errors else 0.0
+        ),
+    }

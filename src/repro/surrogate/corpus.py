@@ -1,0 +1,142 @@
+"""The calibration corpus: which simulated points anchor the surrogate.
+
+Calibration needs measured ``(config, load, latency)`` points.  This
+module defines the canonical corpus -- every router kind on the mesh,
+plus the VC-based kinds on the torus, each over a small pre-saturation
+load grid -- and gathers it through :class:`~repro.runtime.Experiment`,
+so an experiment with a cache attached replays the corpus out of the
+content-addressed store instead of re-simulating it.  Running the
+gather twice against the same cache is pure replay: zero simulator
+invocations, identical calibration.
+
+Like the rest of the package this module does no I/O of its own and
+holds no state; persistence of fitted calibrations is the caller's
+business (the ``estimate`` CLI serializes ``Calibration.to_dict()``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..sim.config import RouterKind, SimConfig
+from ..sim.metrics import RunResult
+from .calibration import Calibration, calibrate, observations_from_results
+from .model import default_saturation
+
+__all__ = [
+    "corpus_configs",
+    "corpus_loads",
+    "corpus_points",
+    "gather",
+    "calibrate_from_cache",
+]
+
+#: Load grid, as fractions of the class's default saturation guess:
+#: dense enough below the knee to pin the contention curve, with the
+#: top point close to it so the saturation-load fit is anchored.
+_LOAD_FRACTIONS = (0.1, 0.3, 0.5, 0.65, 0.8, 0.9)
+
+#: Router kinds exercised on the torus as well as the mesh.  The
+#: VC-based kinds are where topology changes routing freedom most;
+#: non-VC kinds calibrate on the mesh alone.
+_TORUS_KINDS = (RouterKind.VIRTUAL_CHANNEL, RouterKind.SPECULATIVE_VC)
+
+
+def corpus_configs(
+    *,
+    mesh_radix: int = 4,
+    num_vcs: int = 2,
+    seed: int = 42,
+) -> List[SimConfig]:
+    """The canonical calibration corpus: one config per class.
+
+    Every router kind on the mesh; the VC kinds additionally on the
+    torus.  ``injection_fraction`` is a placeholder -- the gather step
+    sweeps it over :func:`corpus_loads`.
+    """
+    configs = []
+    for kind in RouterKind:
+        configs.append(SimConfig(
+            router_kind=kind,
+            mesh_radix=mesh_radix,
+            num_vcs=num_vcs if kind.uses_vcs else 1,
+            injection_fraction=0.1,
+            seed=seed,
+        ))
+    for kind in _TORUS_KINDS:
+        configs.append(SimConfig(
+            router_kind=kind,
+            mesh_radix=mesh_radix,
+            num_vcs=num_vcs,
+            injection_fraction=0.1,
+            seed=seed,
+            topology="torus",
+        ))
+    return configs
+
+
+def corpus_loads(config: SimConfig) -> List[float]:
+    """The load grid for one corpus config, scaled to its class.
+
+    Fractions of the uncalibrated saturation guess, rounded so the
+    grid (and therefore every cache key) is stable across platforms.
+    """
+    saturation = default_saturation(config)
+    return [
+        round(saturation * fraction, 4) for fraction in _LOAD_FRACTIONS
+    ]
+
+
+def corpus_points(
+    configs: Optional[Sequence[SimConfig]] = None,
+    loads: Optional[Iterable[float]] = None,
+) -> List[SimConfig]:
+    """Flatten the corpus into individual simulation points.
+
+    ``loads=None`` uses each config's own class-scaled grid; passing an
+    explicit iterable applies that grid to every config.
+    """
+    if configs is None:
+        configs = corpus_configs()
+    fixed = sorted(loads) if loads is not None else None
+    points = []
+    for config in configs:
+        grid = fixed if fixed is not None else corpus_loads(config)
+        for load in grid:
+            points.append(replace(config, injection_fraction=load))
+    return points
+
+
+def gather(
+    experiment,
+    configs: Optional[Sequence[SimConfig]] = None,
+    loads: Optional[Iterable[float]] = None,
+) -> List[Tuple[SimConfig, RunResult]]:
+    """Run (or replay from cache) the corpus through an Experiment.
+
+    Returns ``(config, result)`` pairs in corpus order.  With a cache
+    attached, previously simulated points come back as hits and only
+    the missing ones execute.
+    """
+    points = corpus_points(configs, loads)
+    results = experiment.map(points)
+    return list(zip(points, results))
+
+
+def calibrate_from_cache(
+    experiment,
+    configs: Optional[Sequence[SimConfig]] = None,
+    loads: Optional[Iterable[float]] = None,
+) -> Tuple[Calibration, List[Tuple[SimConfig, RunResult]]]:
+    """Gather the corpus and fit a calibration in one step.
+
+    The name says where the data comes from in steady state: an
+    experiment with the shared result cache attached answers the whole
+    corpus from disk, and the fit is a pure function of those cached
+    sweeps.  Returns the calibration plus the underlying pairs so
+    callers can cross-validate or report per-point errors.
+    """
+    pairs = gather(experiment, configs, loads)
+    calibration = calibrate(observations_from_results(pairs))
+    return calibration, pairs

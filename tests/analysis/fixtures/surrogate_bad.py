@@ -1,0 +1,37 @@
+# repro: scope[surrogate]
+"""Seeded DET/PURE bad examples under the surrogate domain.
+
+The surrogate package promises the same contract as the delay model:
+deterministic, pure functions of (config, load).  This fixture holds
+one violation of each rule class the domain inherits.
+"""
+
+import random
+import time
+
+_FITS = {}
+
+
+def noisy_estimate(load):
+    jitter = random.random()  # DET001: process-global RNG
+    return load * (1.0 + jitter)
+
+
+def timed_estimate(load):
+    started = time.perf_counter()  # DET002: wall clock in model code
+    return load + started
+
+
+def count_fit():
+    global _TOTAL  # PURE001: global rebinding
+    _TOTAL = 1
+    return _TOTAL
+
+
+def memo_fit(key, value):
+    _FITS[key] = value  # PURE003: module dict write
+    return _FITS
+
+
+def dump_fit(record):
+    print(record)  # PURE002: I/O in model code

@@ -61,3 +61,19 @@ def test_sole_requestor_set_membership_allowed(tmp_path):
         snippet, checkers=[DeterminismChecker()], root=tmp_path
     )
     assert result.ok, [str(f) for f in result.new_findings]
+
+
+def test_surrogate_scope_inherits_determinism_rules():
+    # The surrogate domain is deterministic code: RNG and wall-clock
+    # sources fire exactly as they would under sim/delaymodel.
+    result = _det_only("surrogate_bad.py")
+    rules = rules_of(result)
+    assert rules.count("DET001") == 1  # random.random()
+    assert rules.count("DET002") == 1  # time.perf_counter()
+
+
+def test_real_surrogate_is_deterministic():
+    from .conftest import REPO_ROOT
+
+    result = _det_only(REPO_ROOT / "src/repro/surrogate")
+    assert result.ok, [str(f) for f in result.new_findings]

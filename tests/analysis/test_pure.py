@@ -43,3 +43,22 @@ def test_real_delaymodel_is_pure():
         REPO_ROOT / "src/repro/delaymodel", root=REPO_ROOT
     )
     assert result.ok, [str(f) for f in result.new_findings]
+
+
+def test_surrogate_scope_inherits_purity_rules():
+    # The surrogate domain (path-derived or via scope[surrogate])
+    # carries the same purity contract as the delay model.
+    result = _pure_only("surrogate_bad.py")
+    rules = rules_of(result)
+    assert rules.count("PURE001") == 1  # global _TOTAL
+    assert rules.count("PURE002") == 1  # print
+    assert rules.count("PURE003") == 1  # _FITS[...] =
+
+
+def test_real_surrogate_is_pure():
+    from .conftest import REPO_ROOT
+
+    result = _pure_only(
+        REPO_ROOT / "src/repro/surrogate", root=REPO_ROOT
+    )
+    assert result.ok, [str(f) for f in result.new_findings]

@@ -120,3 +120,127 @@ class TestFindSaturationDegenerate:
         assert find_saturation(curve) == 0.0
         # compare_curves must render, not raise, on such a curve
         assert "saturation ~0%" in compare_curves([curve])
+
+
+class TestFindSaturationSurrogateSeeded:
+    """The surrogate-seeded fallback for degenerate measured curves."""
+
+    def saturated_point(self):
+        from repro.sim.metrics import RunResult
+
+        return RunResult(
+            injection_fraction=0.9, latency=None, accepted_fraction=0.4,
+            saturated=True, cycles_simulated=1_500, sample_packets=10,
+        )
+
+    def test_degenerate_curve_falls_back_to_surrogate(self):
+        from repro.sim.metrics import SweepResult
+        from repro.surrogate import predicted_saturation
+
+        curve = SweepResult(label="sat", points=[self.saturated_point()])
+        seeded = find_saturation(curve, config=base_config())
+        assert seeded == pytest.approx(
+            predicted_saturation(base_config())
+        )
+        assert seeded > 0.0
+
+    def test_empty_curve_falls_back_too(self):
+        from repro.sim.metrics import SweepResult
+
+        seeded = find_saturation(
+            SweepResult(label="empty"), config=base_config()
+        )
+        assert seeded > 0.0
+
+    def test_measured_curve_wins_over_surrogate(self):
+        # A usable measured curve is never overridden by the model.
+        curve = sweep(
+            base_config(), "wh", loads=(0.05, 0.3), measurement=FAST
+        )
+        assert find_saturation(curve, config=base_config()) == \
+            find_saturation(curve)
+
+    def test_default_path_bit_identical(self):
+        # Without config= the fallback never engages: same answer as
+        # before the flag existed.
+        from repro.sim.metrics import SweepResult
+
+        assert find_saturation(SweepResult(label="empty")) == 0.0
+        curve = SweepResult(label="sat", points=[self.saturated_point()])
+        assert find_saturation(curve) == 0.0
+
+    def test_calibrated_coefficients_steer_the_fallback(self):
+        from repro.sim.metrics import SweepResult
+        from repro.surrogate import (
+            Observation, SurrogateCoefficients, calibrate, estimate,
+        )
+
+        truth = SurrogateCoefficients(
+            contention_scale=1.2, saturation_load=0.3
+        )
+        observations = [
+            Observation(
+                config=base_config(), load=load,
+                latency_cycles=estimate(
+                    base_config(), load, truth
+                ).latency_cycles,
+            )
+            for load in (0.05, 0.12, 0.2)
+        ]
+        calibration = calibrate(observations)
+        seeded = find_saturation(
+            SweepResult(label="empty"), config=base_config(),
+            calibration=calibration,
+        )
+        uncalibrated = find_saturation(
+            SweepResult(label="empty"), config=base_config()
+        )
+        assert seeded != uncalibrated
+        assert seeded < 0.3  # knee sits below the hard saturation bound
+
+
+class TestSurrogatePrunedSweeps:
+    """Experiment.sweeps(surrogate_prune=True) drops deep-saturation loads."""
+
+    def test_off_is_bit_identical(self):
+        from repro.runtime import Experiment
+
+        loads = (0.05, 0.2, 0.35)
+        plain = Experiment(FAST).sweep(
+            base_config(), label="wh", loads=loads
+        )
+        unpruned = Experiment(FAST).sweep(
+            base_config(), label="wh", loads=loads, surrogate_prune=False
+        )
+        assert [p.injection_fraction for p in plain.points] == \
+            [p.injection_fraction for p in unpruned.points]
+        assert plain.points == unpruned.points
+
+    def test_prune_drops_loads_past_predicted_saturation(self):
+        from repro.runtime import Experiment
+        from repro.surrogate import predicted_saturation
+
+        knee = predicted_saturation(base_config())
+        loads = (0.05, 0.2, knee + 0.05, knee + 0.2, knee + 0.4)
+        experiment = Experiment(FAST)
+        curve = experiment.sweep(
+            base_config(), label="wh", loads=loads, surrogate_prune=True,
+            stop_after_saturation=False,
+        )
+        swept = [p.injection_fraction for p in curve.points]
+        # Keeps everything through the first load past the knee, drops
+        # the deep-saturation tail.
+        assert swept == sorted(loads)[:3]
+        assert experiment.stats.points_requested == 3
+
+    def test_prune_keeps_whole_grid_below_knee(self):
+        from repro.runtime import Experiment
+
+        loads = (0.05, 0.15, 0.25)
+        pruned = Experiment(FAST).sweep(
+            base_config(), label="wh", loads=loads, surrogate_prune=True
+        )
+        plain = Experiment(FAST).sweep(
+            base_config(), label="wh", loads=loads
+        )
+        assert pruned.points == plain.points

@@ -1,0 +1,171 @@
+"""Cross-validation battery: the surrogate against real simulations.
+
+Gathers the calibration corpus -- every router kind on the mesh, the
+VC kinds on the torus too -- over load grids that cross saturation,
+fits the surrogate, and holds it to the subsystem's contract:
+
+* relative latency error <= 15% on every pre-saturation point, and
+* predicted saturation within one load-grid step of the measured
+  knee ``find_saturation`` reads off the simulated curve.
+
+Everything runs at a reduced 4x4 measurement scale (a few seconds of
+simulation for the whole battery); the corpus points double as the
+calibration's training set, which is exactly how the serving path uses
+them (the fit is never evaluated on loads it cannot see at query
+time -- queries interpolate the same pre-saturation regime).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.sweep import find_saturation
+from repro.runtime.experiment import Experiment
+from repro.sim.config import MeasurementConfig, RouterKind, SimConfig
+from repro.sim.metrics import SweepResult
+from repro.surrogate import (
+    calibrate,
+    class_key,
+    corpus_configs,
+    cross_validate,
+    default_saturation,
+    estimate,
+    observations_from_results,
+    predicted_saturation,
+)
+
+pytestmark = pytest.mark.sim
+
+#: The error bound the subsystem promises pre-saturation.
+ERROR_BOUND = 0.15
+
+#: Reduced measurement scale: enough fidelity for the bound with a
+#: few-second battery.
+MEASUREMENT = MeasurementConfig(
+    warmup_cycles=300, sample_packets=200,
+    max_cycles=12_000, drain_cycles=4_000,
+)
+
+#: Load grid as fractions of each class's default saturation guess:
+#: the corpus fractions below the knee, extended past it so the
+#: measured curve shows its saturation turn.
+FRACTIONS = (0.1, 0.3, 0.5, 0.65, 0.8, 0.9, 1.0, 1.15, 1.3)
+
+
+def _grid(config):
+    saturation = default_saturation(config)
+    return [round(saturation * f, 4) for f in FRACTIONS]
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """(calibration, pairs grouped per class) over the full corpus."""
+    experiment = Experiment(MEASUREMENT)
+    by_class = {}
+    pairs = []
+    for config in corpus_configs():
+        points = [
+            replace(config, injection_fraction=load)
+            for load in _grid(config)
+        ]
+        results = experiment.map(points)
+        class_pairs = list(zip(points, results))
+        by_class[class_key(config)] = class_pairs
+        pairs.extend(class_pairs)
+    calibration = calibrate(observations_from_results(pairs))
+    return calibration, by_class
+
+
+class TestCoverage:
+    def test_every_router_kind_is_in_the_corpus(self):
+        kinds = {config.router_kind for config in corpus_configs()}
+        assert kinds == set(RouterKind)
+
+    def test_mesh_and_torus_are_both_covered(self):
+        topologies = {config.topology for config in corpus_configs()}
+        assert topologies == {"mesh", "torus"}
+
+    def test_every_class_calibrated(self, corpus):
+        calibration, by_class = corpus
+        assert set(calibration.records) == set(by_class)
+
+
+class TestLatencyError:
+    def test_relative_error_within_bound_pre_saturation(self, corpus):
+        calibration, by_class = corpus
+        report = cross_validate(
+            calibration,
+            observations_from_results(
+                pair for pairs in by_class.values() for pair in pairs
+            ),
+        )
+        assert report["points"] >= 40
+        failures = {
+            key: stats for key, stats in report["classes"].items()
+            if stats["max_rel_error"] > ERROR_BOUND
+        }
+        assert not failures, failures
+        assert report["max_rel_error"] <= ERROR_BOUND
+
+    def test_error_estimate_reflects_residuals(self, corpus):
+        calibration, by_class = corpus
+        for pairs in by_class.values():
+            config = pairs[0][0]
+            residual = calibration.error_estimate(config)
+            assert residual is not None
+            assert 0.0 <= residual <= ERROR_BOUND
+
+
+class TestSaturationAgreement:
+    def test_predicted_knee_within_one_grid_step(self, corpus):
+        calibration, by_class = corpus
+        for key, pairs in by_class.items():
+            config = pairs[0][0]
+            grid = sorted(c.injection_fraction for c, _ in pairs)
+            curve = SweepResult(
+                label=key,
+                points=[result for _, result in pairs],
+            )
+            measured = find_saturation(curve)
+            assert measured in grid, (key, measured)
+            index = grid.index(measured)
+            # One load-grid step around the measured knee: the larger
+            # of the adjacent spacings (the grid is knee-scaled, not
+            # uniform).
+            below = measured - grid[index - 1] if index > 0 else measured
+            above = (
+                grid[index + 1] - measured
+                if index < len(grid) - 1 else below
+            )
+            step = max(below, above)
+            predicted = predicted_saturation(
+                config, calibration.for_config(config)
+            )
+            assert abs(predicted - measured) <= step, (
+                key, measured, predicted, step
+            )
+
+    def test_curves_actually_cross_saturation(self, corpus):
+        # The agreement test is vacuous unless the measured curves
+        # turn; every class's top grid loads must exceed its knee.
+        _, by_class = corpus
+        for key, pairs in by_class.items():
+            curve = SweepResult(
+                label=key, points=[result for _, result in pairs]
+            )
+            measured = find_saturation(curve)
+            top = max(c.injection_fraction for c, _ in pairs)
+            assert measured < top, key
+
+
+class TestSurrogateIsCheap:
+    def test_estimate_never_invokes_the_cycle_kernel(self, corpus):
+        # Pure-function check at the serving boundary: estimating over
+        # the whole corpus touches no Experiment, no engine, no cache.
+        calibration, by_class = corpus
+        for pairs in by_class.values():
+            config = pairs[0][0]
+            coefficients = calibration.for_config(config)
+            first = estimate(config, 0.2, coefficients)
+            second = estimate(config, 0.2, coefficients)
+            assert first == second
