@@ -17,10 +17,20 @@ steppers, telemetry-on-vs-off oracles, a content-addressed result cache
 * :mod:`repro.delaymodel` stays pure (no global writes, no module-state
   mutation, no I/O).
 
+Since PR 9 the conventions are also *whole-program*: the hybrid
+estimator shares state with a daemon drain thread (lock discipline,
+checked by the CONC family) and the specialized step closures are only
+fast while they stay allocation-free per cycle (hot-path discipline,
+checked by the HOT family over everything reachable from
+``Network.step``).
+
 This package turns those conventions into machine-checked invariants: a
 dependency-free static-analysis framework (:mod:`repro.analysis.core`),
-a cross-file symbol index (:mod:`repro.analysis.index`), five
-project-specific checkers (:mod:`repro.analysis.checkers`), and a CLI::
+a cross-file project index with a conservative call graph
+(:mod:`repro.analysis.index`), seven project-specific checker families
+(:mod:`repro.analysis.checkers`), an incremental parallel driver with a
+content-addressed finding cache (:mod:`repro.analysis.driver` /
+:mod:`repro.analysis.cache`), and a CLI::
 
     python -m repro.analysis --check src tests benchmarks
 
@@ -32,13 +42,16 @@ See ``docs/ANALYSIS.md`` for the rule catalogue.
 from __future__ import annotations
 
 from .baseline import Baseline
+from .cache import AnalysisCache
 from .checkers import default_checkers
 from .core import Checker, Finding, Rule, SourceFile
-from .driver import AnalysisResult, analyze
+from .driver import AnalysisResult, AnalysisStats, analyze
 from .index import ClassInfo, ProjectIndex
 
 __all__ = [
+    "AnalysisCache",
     "AnalysisResult",
+    "AnalysisStats",
     "Baseline",
     "Checker",
     "ClassInfo",

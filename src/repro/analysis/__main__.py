@@ -8,10 +8,15 @@ Usage::
     python -m repro.analysis --baseline b.json src    # explicit baseline
     python -m repro.analysis --write-baseline src     # grandfather findings
     python -m repro.analysis --list-rules             # rule catalogue
+    python -m repro.analysis --no-cache src           # force a cold run
+    python -m repro.analysis --stats --check src      # timings to stderr
+    python -m repro.analysis --workers 4 src          # parallel cold pass
 
 Exit status is 0 when no *new* (non-baselined, non-suppressed) findings
 remain, 1 otherwise, 2 on usage errors.  The default baseline is
-``analysis-baseline.json`` in the current directory when it exists.
+``analysis-baseline.json`` in the current directory when it exists; the
+incremental finding cache lives in ``./.analysis-cache`` (override with
+``$REPRO_ANALYSIS_CACHE_DIR``).
 """
 
 from __future__ import annotations
@@ -22,8 +27,9 @@ from pathlib import Path
 from typing import List, Optional
 
 from .baseline import Baseline
+from .cache import AnalysisCache
 from .driver import analyze, iter_rules
-from .reporters import render_json, render_text
+from .reporters import render_json, render_stats, render_text
 
 DEFAULT_BASELINE = "analysis-baseline.json"
 DEFAULT_PATHS = ("src", "tests", "benchmarks")
@@ -34,7 +40,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.analysis",
         description="AST-based invariant linter: determinism, cache-key "
                     "completeness, probe-point drift, __slots__ hygiene, "
-                    "delay-model purity.",
+                    "delay-model purity, lock discipline, hot-path "
+                    "discipline.",
     )
     parser.add_argument(
         "paths", nargs="*", metavar="PATH",
@@ -66,6 +73,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="analyze every module cold, ignoring the incremental cache "
+             "($REPRO_ANALYSIS_CACHE_DIR, default ./.analysis-cache)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print per-checker timings and cache behaviour to stderr",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="analysis worker threads for the cold per-file pass "
+             "(default: up to 8, capped by CPU count)",
+    )
     return parser
 
 
@@ -91,11 +112,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     if baseline_path is not None and baseline_path.exists():
         baseline = Baseline.load(baseline_path)
 
+    cache = None if args.no_cache else AnalysisCache()
     try:
-        result = analyze(paths, baseline=baseline)
+        result = analyze(
+            paths, baseline=baseline, cache=cache, workers=args.workers,
+        )
     except FileNotFoundError as exc:
         print(f"repro.analysis: {exc}", file=sys.stderr)
         return 2
+
+    if args.stats:
+        print(render_stats(result), file=sys.stderr)
 
     if args.write_baseline:
         target = baseline_path or Path(DEFAULT_BASELINE)

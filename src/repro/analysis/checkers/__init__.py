@@ -10,7 +10,9 @@ from typing import List
 
 from ..core import Checker
 from .cache import CacheKeyChecker
+from .conc import ConcurrencyChecker
 from .det import DeterminismChecker
+from .hot import HotPathChecker
 from .pure import PurityChecker
 from .slots import SlotsChecker
 from .wrap import WrapTargetChecker
@@ -18,19 +20,23 @@ from .wrap import WrapTargetChecker
 
 def default_checkers() -> List[Checker]:
     """Fresh instances of every project checker (DET, CACHE, WRAP,
-    SLOTS, PURE)."""
+    SLOTS, PURE, CONC, HOT)."""
     return [
         DeterminismChecker(),
         CacheKeyChecker(),
         WrapTargetChecker(),
         SlotsChecker(),
         PurityChecker(),
+        ConcurrencyChecker(),
+        HotPathChecker(),
     ]
 
 
 __all__ = [
     "CacheKeyChecker",
+    "ConcurrencyChecker",
     "DeterminismChecker",
+    "HotPathChecker",
     "PurityChecker",
     "SlotsChecker",
     "WrapTargetChecker",

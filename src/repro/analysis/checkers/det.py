@@ -67,7 +67,9 @@ class DeterminismChecker(Checker):
     )
 
     def check_file(self, source: SourceFile, index) -> Iterable[Finding]:
-        deterministic = source.in_domain("sim", "delaymodel", "surrogate")
+        deterministic = source.in_domain(
+            "sim", "delaymodel", "surrogate", "analysis"
+        )
         hot = source.in_domain("hot")
         if not deterministic and not hot:
             return

@@ -25,7 +25,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..core import Checker, Finding, Rule, SourceFile, call_name
 from ..index import ClassInfo, ProjectIndex
-from .wrap import WrapSite, collect_wrap_sites
+from .wrap import all_wrap_sites
 
 #: Dataclasses whose instances cross ProcessPool / result-cache pickle
 #: boundaries; instance state outside their fields does not survive.
@@ -48,12 +48,7 @@ class SlotsChecker(Checker):
              "non-field attribute set on a pool-pickled dataclass"),
     )
 
-    def reset(self) -> None:
-        self._sites: List[WrapSite] = []
-
     def check_file(self, source: SourceFile, index) -> Iterable[Finding]:
-        if source.in_domain("wrap-site"):
-            self._sites.extend(collect_wrap_sites(source))
         yield from self._check_pickled_instances(source, index)
 
     def finalize(self, index: ProjectIndex) -> Iterable[Finding]:
@@ -92,7 +87,7 @@ class SlotsChecker(Checker):
         self, index: ProjectIndex
     ) -> Iterable[Finding]:
         seen: Set[Tuple[str, int, str]] = set()
-        for site in self._sites:
+        for site in all_wrap_sites(index):
             if not site.patches:
                 continue
             dedupe = (site.relpath, site.line, site.attr)

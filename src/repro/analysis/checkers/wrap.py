@@ -147,6 +147,20 @@ def _walk_scope(scope: ast.AST) -> List[ast.AST]:
     return collected
 
 
+def all_wrap_sites(index: ProjectIndex) -> List[WrapSite]:
+    """Every wrap site in the indexed wrap-site modules.
+
+    Computed from the completed index (not accumulated per file) so the
+    checkers stay stateless -- the parallel driver runs ``check_file``
+    concurrently and caches its findings per module.
+    """
+    sites: List[WrapSite] = []
+    for source in index.files:
+        if source.in_domain("wrap-site"):
+            sites.extend(collect_wrap_sites(source))
+    return sites
+
+
 class WrapTargetChecker(Checker):
     name = "wrap"
     rules = (
@@ -154,17 +168,9 @@ class WrapTargetChecker(Checker):
              "wrapped attribute name resolves to no class in the tree"),
     )
 
-    def reset(self) -> None:
-        self._sites: List[WrapSite] = []
-
-    def check_file(self, source: SourceFile, index) -> Iterable[Finding]:
-        if source.in_domain("wrap-site"):
-            self._sites.extend(collect_wrap_sites(source))
-        return ()
-
     def finalize(self, index: ProjectIndex) -> Iterable[Finding]:
         seen: Set[Tuple[str, str, int]] = set()
-        for site in self._sites:
+        for site in all_wrap_sites(index):
             dedupe = (site.relpath, site.attr, site.line)
             if dedupe in seen:
                 continue

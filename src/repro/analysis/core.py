@@ -14,15 +14,23 @@ a comment-only line directly above it::
 The bracketed id may be a full rule id (``DET002``) or a rule-family
 prefix (``DET``).  A reason is required -- a bare ``allow[...]`` is
 itself reported as a malformed suppression (rule ``SUP001``) so silent
-blanket waivers cannot accumulate.
+blanket waivers cannot accumulate, and a suppression that no longer
+matches any finding is reported as stale (rule ``SUP002``).
+
+The hot-path checker has a dedicated escape spelled
+``# repro: hot-ok[reason]``: the bracket content *is* the reason, and
+the marker suppresses every HOT rule on that line.  It parses into the
+same :class:`Suppression` machinery (``rule_id="HOT"``), so staleness
+and missing-reason detection apply to it identically.
 
 Scopes
 ------
 Checkers decide where a rule applies by *domain* (``sim``, ``delaymodel``,
-``hot``, ``wrap-site``), normally derived from the file's repository
-path.  A fixture outside the real tree can opt into a domain explicitly
-with a ``# repro: scope[sim, hot]`` comment, which is how the checker
-test fixtures exercise path-scoped rules from ``tests/analysis/``.
+``surrogate``, ``runtime``, ``analysis``, ``hot``, ``wrap-site``),
+normally derived from the file's repository path.  A fixture outside the
+real tree can opt into a domain explicitly with a
+``# repro: scope[sim, hot]`` comment, which is how the checker test
+fixtures exercise path-scoped rules from ``tests/analysis/``.
 """
 
 from __future__ import annotations
@@ -54,6 +62,7 @@ HOT_BASENAMES = (
 WRAP_SITE_BASENAMES = ("probes.py", "collectors.py")
 
 _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_-]+)\]\s*(\S?)")
+_HOT_OK_RE = re.compile(r"#\s*repro:\s*hot-ok\[([^\]]*)\]")
 _SCOPE_RE = re.compile(r"#\s*repro:\s*scope\[([A-Za-z0-9_,\s-]+)\]")
 _COMMENT_ONLY_RE = re.compile(r"^\s*#")
 
@@ -115,11 +124,25 @@ class Finding:
 
 @dataclass(frozen=True)
 class Suppression:
-    """One parsed ``# repro: allow[ID] reason`` comment."""
+    """One parsed suppression comment.
+
+    ``kind`` distinguishes the general ``allow[ID] reason`` marker from
+    the hot-path ``hot-ok[reason]`` escape (which always has
+    ``rule_id="HOT"``); it only affects how driver messages about the
+    suppression are phrased.
+    """
 
     rule_id: str
     line: int
     has_reason: bool
+    kind: str = "allow"
+
+    @property
+    def spelling(self) -> str:
+        """How the marker is written in source (for driver messages)."""
+        if self.kind == "hot-ok":
+            return "hot-ok[...]"
+        return f"allow[{self.rule_id}]"
 
     def matches(self, rule: str) -> bool:
         return rule == self.rule_id or rule.startswith(self.rule_id)
@@ -159,6 +182,15 @@ class SourceFile:
     def suppressed(self, rule: str, line: int) -> bool:
         """True if ``rule`` is allowed on ``line`` (or the comment line
         directly above it)."""
+        return bool(self.suppressors(rule, line))
+
+    def suppressors(self, rule: str, line: int) -> List[Suppression]:
+        """Every suppression that allows ``rule`` on ``line``.
+
+        The driver marks each returned suppression as load-bearing;
+        ones that never match any finding are reported stale (SUP002).
+        """
+        found: List[Suppression] = []
         for candidate in (line, line - 1):
             for sup in self._by_line.get(candidate, ()):
                 if not sup.has_reason:
@@ -168,8 +200,8 @@ class SourceFile:
                 ):
                     continue
                 if sup.matches(rule):
-                    return True
-        return False
+                    found.append(sup)
+        return found
 
     def segment(self, node: ast.AST) -> str:
         """Best-effort source text for ``node`` (for messages)."""
@@ -215,6 +247,15 @@ def _parse_suppressions(comments: List[Tuple[int, str]]) -> List[Suppression]:
                     has_reason=bool(match.group(2)),
                 )
             )
+        for match in _HOT_OK_RE.finditer(comment):
+            found.append(
+                Suppression(
+                    rule_id="HOT",
+                    line=lineno,
+                    has_reason=bool(match.group(1).strip()),
+                    kind="hot-ok",
+                )
+            )
     return found
 
 
@@ -249,6 +290,10 @@ def _derive_domains(relpath: str) -> Set[str]:
         domains.add("delaymodel")
     if "surrogate" in parts:
         domains.add("surrogate")
+    if "runtime" in parts:
+        domains.add("runtime")
+    if "analysis" in parts and "src" in parts:
+        domains.add("analysis")
     if "routers" in parts or any(name.endswith(h) for h in HOT_BASENAMES):
         if "sim" in parts:
             domains.add("hot")

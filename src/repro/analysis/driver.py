@@ -1,10 +1,27 @@
-"""Analysis driver: collect files, build the index, run the checkers.
+"""Analysis driver: collect, index, check -- incrementally, in parallel.
 
-The driver owns the two framework-level rules:
+The driver owns the framework-level rules:
 
 * ``PARSE001`` -- a file in the analyzed set does not parse;
 * ``SUP001`` -- a ``# repro: allow[...]`` suppression without a reason
-  (silent blanket waivers are themselves findings).
+  (silent blanket waivers are themselves findings);
+* ``SUP002`` -- a suppression (``allow[...]`` or ``hot-ok[...]``) that
+  no longer matches any finding: stale escapes cannot accumulate.
+
+Incrementality: when an :class:`~repro.analysis.cache.AnalysisCache`
+is attached, each module's raw ``check_file`` findings are cached under
+a key built from the module's content fingerprint, the project index
+signature, and the rule-set fingerprint; the combined ``finalize``
+findings are cached per project under the sorted module-fingerprint
+set.  A warm run re-analyzes zero unchanged modules and renders
+byte-identical JSON, because suppression filtering, SUP001/SUP002, and
+baseline matching always run fresh over the (cached) raw findings.
+
+Parallelism: cold modules fan out through the runtime's work-stealing
+:class:`~repro.runtime.scheduler.JobQueue` on a small thread pool.
+Checkers are stateless (``check_file`` is a pure function of the source
+and the completed index), so per-file passes run concurrently and the
+findings merge deterministically in collection order.
 
 Directories named ``fixtures`` (and caches/VCS internals) are excluded
 by default: the checker test fixtures under ``tests/analysis/fixtures``
@@ -14,19 +31,54 @@ contain deliberately-bad code that must not fail the repository's own
 
 from __future__ import annotations
 
+import os
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import (
+    Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union,
+)
 
 from .baseline import Baseline
-from .core import Checker, Finding, SourceFile
+from .cache import AnalysisCache, module_key, project_key, ruleset_fingerprint
+from .core import Checker, Finding, SourceFile, Suppression
 from .index import ProjectIndex
 
 #: Directory names never descended into.
 EXCLUDED_DIR_NAMES = frozenset(
-    {"__pycache__", ".git", ".venv", "fixtures", "build", "dist"}
+    {"__pycache__", ".git", ".venv", "fixtures", "build", "dist",
+     ".analysis-cache"}
 )
+
+#: Upper bound on analysis worker threads; per-file checking is cheap
+#: enough that more threads only add scheduling overhead.
+MAX_WORKERS = 8
+
+
+@dataclass
+class AnalysisStats:
+    """Where one run's time went and what the cache did.
+
+    Never part of the JSON report -- warm and cold runs must render
+    identically; ``--stats`` prints this to stderr instead.
+    """
+
+    modules_analyzed: int = 0
+    modules_cached: int = 0
+    finalize_cached: bool = False
+    workers: int = 1
+    #: Attributed seconds per checker name (summed across threads, so
+    #: totals can exceed wall time); ``check_file`` and ``finalize``
+    #: time both land on the checker that spent it.
+    checker_seconds: Dict[str, float] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    def merge_timings(self, timings: Dict[str, float]) -> None:
+        for name, seconds in timings.items():
+            self.checker_seconds[name] = (
+                self.checker_seconds.get(name, 0.0) + seconds
+            )
 
 
 @dataclass
@@ -38,7 +90,7 @@ class AnalysisResult:
     baselined: List[Finding] = field(default_factory=list)
     suppressed_count: int = 0
     checker_count: int = 0
-    elapsed_seconds: float = 0.0
+    stats: AnalysisStats = field(default_factory=AnalysisStats)
 
     @property
     def ok(self) -> bool:
@@ -47,6 +99,10 @@ class AnalysisResult:
     @property
     def all_findings(self) -> List[Finding]:
         return self.new_findings + self.baselined
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.stats.elapsed_seconds
 
 
 def collect_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
@@ -68,26 +124,43 @@ def collect_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
     return list(seen)
 
 
+def resolve_workers(workers: Optional[int], jobs: int) -> int:
+    """Thread count for the cold per-file pass."""
+    if workers is not None:
+        return max(1, workers)
+    return max(1, min(MAX_WORKERS, os.cpu_count() or 1, jobs))
+
+
 def analyze(
     paths: Sequence[Union[str, Path]],
     checkers: Optional[Sequence[Checker]] = None,
     root: Union[str, Path, None] = None,
     baseline: Optional[Baseline] = None,
+    cache: Optional[AnalysisCache] = None,
+    workers: Optional[int] = None,
 ) -> AnalysisResult:
-    """Run ``checkers`` (default: the full project set) over ``paths``."""
+    """Run ``checkers`` (default: the full project set) over ``paths``.
+
+    ``cache`` is opt-in: without one every module is analyzed cold
+    (the hermetic default the test suite relies on).
+    """
     from .checkers import default_checkers
 
+    # repro: allow[DET002] wall-clock stats reporting only; never in findings
     started = time.perf_counter()
+    stats = AnalysisStats()
     active = list(checkers) if checkers is not None else default_checkers()
+    for checker in active:
+        checker.reset()
     base = Path(root) if root is not None else Path.cwd()
 
     sources: List[SourceFile] = []
-    raw_findings: List[Finding] = []
+    driver_findings: List[Finding] = []
     for path in collect_files(paths):
         source = SourceFile(path, root=base)
         sources.append(source)
         if source.syntax_error is not None:
-            raw_findings.append(Finding(
+            driver_findings.append(Finding(
                 rule="PARSE001",
                 severity="error",
                 path=source.relpath,
@@ -97,15 +170,20 @@ def analyze(
             ))
         for suppression in source.suppressions:
             if not suppression.has_reason:
-                raw_findings.append(Finding(
+                if suppression.kind == "hot-ok":
+                    hint = ("the bracket content is the reason; write "
+                            "'# repro: hot-ok[<why>]'")
+                else:
+                    hint = (f"write '# repro: allow[{suppression.rule_id}]"
+                            f" <why>'")
+                driver_findings.append(Finding(
                     rule="SUP001",
                     severity="error",
                     path=source.relpath,
                     line=suppression.line,
                     message=(
-                        f"suppression allow[{suppression.rule_id}] has no "
-                        f"reason; write '# repro: allow[{suppression.rule_id}]"
-                        f" <why>'"
+                        f"suppression {suppression.spelling} has no "
+                        f"reason; {hint}"
                     ),
                     checker="driver",
                 ))
@@ -114,38 +192,220 @@ def analyze(
     for source in sources:
         index.add_file(source)
 
-    for checker in active:
-        checker.reset()
-    for checker in active:
-        for source in sources:
-            raw_findings.extend(checker.check_file(source, index))
-    for checker in active:
-        raw_findings.extend(checker.finalize(index))
+    signature = index.signature() if cache is not None else ""
+    ruleset = ruleset_fingerprint() if cache is not None else ""
+
+    file_findings = _check_files(
+        sources, index, active, cache, signature, ruleset, workers, stats,
+    )
+    finalize_findings = _finalize(
+        index, active, cache, signature, ruleset, stats,
+    )
+
+    raw_findings = list(driver_findings)
+    for source in sources:
+        raw_findings.extend(file_findings.get(source.relpath, ()))
+    raw_findings.extend(finalize_findings)
 
     by_path: Dict[str, SourceFile] = {s.relpath: s for s in sources}
     kept: List[Finding] = []
     suppressed = 0
+    used: Set[Tuple[str, Suppression]] = set()
     for finding in raw_findings:
         source = by_path.get(finding.path)
         if (
             source is not None
-            and finding.rule not in ("SUP001", "PARSE001")
-            and source.suppressed(finding.rule, finding.line)
+            and finding.rule not in ("SUP001", "SUP002", "PARSE001")
         ):
-            suppressed += 1
-            continue
+            matching = source.suppressors(finding.rule, finding.line)
+            if matching:
+                suppressed += 1
+                for sup in matching:
+                    used.add((source.relpath, sup))
+                continue
         kept.append(finding)
+    active_rules = {
+        rule.id for checker in active for rule in checker.rules
+    }
+    kept.extend(_stale_suppressions(sources, used, active_rules))
     kept.sort(key=Finding.sort_key)
 
     new, old = (baseline or Baseline()).split(kept)
+    stats.elapsed_seconds = time.perf_counter() - started  # repro: allow[DET002] wall-clock stats reporting only
     return AnalysisResult(
         files=sources,
         new_findings=new,
         baselined=old,
         suppressed_count=suppressed,
         checker_count=len(active),
-        elapsed_seconds=time.perf_counter() - started,
+        stats=stats,
     )
+
+
+def _check_files(
+    sources: List[SourceFile],
+    index: ProjectIndex,
+    active: List[Checker],
+    cache: Optional[AnalysisCache],
+    signature: str,
+    ruleset: str,
+    workers: Optional[int],
+    stats: AnalysisStats,
+) -> Dict[str, List[Finding]]:
+    """Per-file pass: serve warm modules from the cache, fan the cold
+    ones out through the runtime scheduler's chunked job queue."""
+    from ..runtime.scheduler import Job, JobQueue, Plan
+
+    file_findings: Dict[str, List[Finding]] = {}
+    cold: List[Tuple[SourceFile, Optional[str]]] = []
+    for source in sources:
+        key: Optional[str] = None
+        if cache is not None:
+            record = index.modules[source.relpath]
+            key = module_key(record.fingerprint, signature, ruleset)
+            cached = cache.get(key)
+            if cached is not None:
+                file_findings[source.relpath] = cached
+                stats.modules_cached += 1
+                continue
+        cold.append((source, key))
+
+    stats.modules_analyzed = len(cold)
+    if not cold:
+        stats.workers = 0
+        return file_findings
+
+    worker_count = resolve_workers(workers, len(cold))
+    stats.workers = worker_count
+    jobs = [
+        Job(index=i, key=key or "", payload=(source, key))
+        for i, (source, key) in enumerate(cold)
+    ]
+    plan = Plan(manifest=False)
+    queue = JobQueue(
+        jobs,
+        chunk_size=plan.resolve_chunk_size(len(jobs), worker_count),
+        workers=worker_count,
+    )
+    queue_lock = threading.Lock()
+    merge_lock = threading.Lock()
+
+    def drain(worker: int) -> None:
+        timings: Dict[str, float] = {}
+        local: Dict[str, List[Finding]] = {}
+        while True:
+            with queue_lock:
+                chunk = queue.pull(worker)
+            if chunk is None:
+                break
+            # repro: allow[DET002] wall-clock stats reporting only
+            chunk_started = time.perf_counter()
+            for job in chunk.jobs:
+                source, key = job.payload
+                findings: List[Finding] = []
+                for checker in active:
+                    # repro: allow[DET002] wall-clock stats reporting only
+                    t0 = time.perf_counter()
+                    findings.extend(checker.check_file(source, index))
+                    timings[checker.name] = (
+                        timings.get(checker.name, 0.0)
+                        # repro: allow[DET002] wall-clock stats reporting only
+                        + time.perf_counter() - t0
+                    )
+                local[source.relpath] = findings
+                if cache is not None and key is not None:
+                    cache.put(key, findings)
+            with queue_lock:
+                queue.chunk_done(
+                    chunk, worker,
+                    # repro: allow[DET002] wall-clock stats reporting only
+                    time.perf_counter() - chunk_started,
+                )
+        with merge_lock:
+            file_findings.update(local)
+            stats.merge_timings(timings)
+
+    if worker_count == 1:
+        drain(0)
+    else:
+        threads = [
+            threading.Thread(
+                target=drain, args=(i,), name=f"repro-analysis-{i}",
+            )
+            for i in range(worker_count)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    return file_findings
+
+
+def _finalize(
+    index: ProjectIndex,
+    active: List[Checker],
+    cache: Optional[AnalysisCache],
+    signature: str,
+    ruleset: str,
+    stats: AnalysisStats,
+) -> List[Finding]:
+    """Cross-file pass, cached per project (sorted module fingerprints)."""
+    key: Optional[str] = None
+    if cache is not None:
+        key = project_key(
+            [record.fingerprint for record in index.modules.values()],
+            signature, ruleset,
+        )
+        cached = cache.get(key)
+        if cached is not None:
+            stats.finalize_cached = True
+            return cached
+
+    findings: List[Finding] = []
+    for checker in active:
+        # repro: allow[DET002] wall-clock stats reporting only
+        t0 = time.perf_counter()
+        findings.extend(checker.finalize(index))
+        stats.merge_timings(
+            # repro: allow[DET002] wall-clock stats reporting only
+            {checker.name: time.perf_counter() - t0}
+        )
+    if cache is not None and key is not None:
+        cache.put(key, findings)
+    return findings
+
+
+def _stale_suppressions(
+    sources: List[SourceFile],
+    used: Set[Tuple[str, Suppression]],
+    active_rules: Set[str],
+) -> Iterable[Finding]:
+    """SUP002 for every reasoned suppression that matched no finding.
+
+    Staleness is judged against the *active* rule set: a ``hot-ok``
+    escape is not stale just because a partial run left the HOT checker
+    out -- only a full run can prove a marker dead.
+    """
+    for source in sources:
+        for sup in source.suppressions:
+            if not sup.has_reason:
+                continue  # already SUP001
+            if (source.relpath, sup) in used:
+                continue
+            if not any(sup.matches(rule) for rule in active_rules):
+                continue  # the suppressed family did not run
+            yield Finding(
+                rule="SUP002",
+                severity="error",
+                path=source.relpath,
+                line=sup.line,
+                message=(
+                    f"stale suppression: {sup.spelling} matches no finding"
+                    f" on this line; remove the marker (or fix the code it"
+                    f" was excusing)"
+                ),
+                checker="driver",
+            )
 
 
 def iter_rules(checkers: Optional[Iterable[Checker]] = None):
@@ -156,6 +416,7 @@ def iter_rules(checkers: Optional[Iterable[Checker]] = None):
 
     yield Rule("PARSE001", "file in the analyzed set does not parse")
     yield Rule("SUP001", "allow[...] suppression without a reason")
+    yield Rule("SUP002", "suppression that no longer matches any finding")
     for checker in (checkers if checkers is not None else default_checkers()):
         for rule in checker.rules:
             yield rule

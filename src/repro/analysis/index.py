@@ -8,6 +8,23 @@ names.  Top-level functions are indexed by name so cross-file checkers
 (e.g. the cache-key checker looking for ``config_key``) can find their
 definition wherever it lives in the analyzed set.
 
+On top of the symbol tables the index builds the whole-program
+machinery the CONC and HOT checkers need:
+
+* a :class:`FunctionNode` per function definition -- top-level,
+  method, or nested closure -- with the call references its body makes;
+* a conservative call graph over those nodes.  A bare call resolves to
+  every top-level function (and, via ``__init__``, every class) of that
+  name; ``self.m()`` resolves within the enclosing class and its
+  resolvable bases; ``obj.m()`` resolves to every indexed class method
+  named ``m`` (the same any-provider semantics WRAP uses), except that
+  a constructor receiver (``Simulator(...).run()``) or a class-name
+  receiver (``Network.step``) resolves precisely;
+* a content fingerprint per module and a :meth:`ProjectIndex.signature`
+  digest over the *indexed facts* -- the incremental driver keys cached
+  per-module findings on it, so a comment-only edit elsewhere does not
+  invalidate them while any symbol or call-edge change does.
+
 The index is purely syntactic -- no imports are executed -- so it works
 identically on the real tree and on throwaway fixture trees.
 """
@@ -15,10 +32,25 @@ identically on the real tree and on throwaway fixture trees.
 from __future__ import annotations
 
 import ast
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from .core import SourceFile, call_name, decorator_names
+
+#: Method names too ubiquitous for any-provider call resolution: a
+#: ``.items()`` or ``.format()`` call says nothing about which class is
+#: the receiver, so resolving it to every provider would glue unrelated
+#: subsystems into one reachability blob.  Project-meaningful names
+#: (``cycle``, ``drain``, ``inject``, ...) stay resolvable.
+UBIQUITOUS_METHODS = frozenset({
+    "items", "keys", "values", "copy", "join", "split", "rsplit",
+    "strip", "lstrip", "rstrip", "encode", "decode", "format",
+    "startswith", "endswith", "sort", "reverse", "count", "index",
+    "lower", "upper", "title", "replace", "setdefault", "isdigit",
+    "partition", "rpartition", "splitlines", "to_dict", "from_dict",
+})
 
 
 @dataclass
@@ -40,6 +72,11 @@ class ClassInfo:
     is_dataclass: bool = False
     #: Dataclass fields in declaration order: name -> annotation source.
     fields: Dict[str, str] = field(default_factory=dict)
+    #: ``self.x = Ctor(...)`` assignments: attr -> dotted constructor
+    #: name.  How CONC finds the locks/conditions a class owns.
+    attr_ctors: Dict[str, str] = field(default_factory=dict)
+    #: Method name -> its AST node (first definition wins).
+    method_nodes: Dict[str, ast.AST] = field(default_factory=dict)
 
     def provides(self, attr: str) -> bool:
         """Does an instance of this class expose ``attr``?"""
@@ -62,6 +99,46 @@ class FunctionInfo:
     node: ast.FunctionDef
 
 
+@dataclass(frozen=True)
+class CallRef:
+    """One call reference made by a function body.
+
+    ``kind`` is how the target was named: ``"bare"`` (``f(...)``),
+    ``"self"`` (``self.m(...)``), ``"dotted"`` (``base.m(...)`` with a
+    plain-name base -- possibly a class name), ``"ctor"``
+    (``Cls(...).m(...)``), or ``"method"`` (``<expr>.m(...)``).
+    """
+
+    kind: str
+    name: str
+
+
+@dataclass
+class FunctionNode:
+    """One function definition in the call graph (any nesting level)."""
+
+    qualname: str
+    relpath: str
+    name: str
+    node: ast.AST
+    class_name: Optional[str] = None
+    nested: bool = False
+    calls: Tuple[CallRef, ...] = ()
+
+    @property
+    def source_key(self) -> Tuple[str, int]:
+        return (self.relpath, self.node.lineno)
+
+
+@dataclass
+class ModuleRecord:
+    """Per-module bookkeeping for the incremental driver."""
+
+    relpath: str
+    fingerprint: str
+    source: SourceFile
+
+
 class ProjectIndex:
     """Name -> definitions map over every analyzed source file."""
 
@@ -69,9 +146,23 @@ class ProjectIndex:
         self.files: List[SourceFile] = []
         self.classes: Dict[str, List[ClassInfo]] = {}
         self.functions: Dict[str, List[FunctionInfo]] = {}
+        self.modules: Dict[str, ModuleRecord] = {}
+        #: Every function definition, keyed by qualname.
+        self.nodes: Dict[str, FunctionNode] = {}
+        #: Method name -> nodes (any class), for any-provider resolution.
+        self._methods_by_name: Dict[str, List[str]] = {}
+        #: Bare function name -> nodes (top-level and nested).
+        self._functions_by_name: Dict[str, List[str]] = {}
+        #: Class name -> {method name -> qualname}.
+        self._class_methods: Dict[str, Dict[str, str]] = {}
 
     def add_file(self, source: SourceFile) -> None:
         self.files.append(source)
+        self.modules[source.relpath] = ModuleRecord(
+            relpath=source.relpath,
+            fingerprint=hashlib.sha256(source.text.encode()).hexdigest(),
+            source=source,
+        )
         for node in ast.walk(source.tree):
             if isinstance(node, ast.ClassDef):
                 info = _class_info(node, source)
@@ -81,6 +172,165 @@ class ProjectIndex:
                 self.functions.setdefault(node.name, []).append(
                     FunctionInfo(node.name, source, node)
                 )
+        self._index_call_graph(source)
+
+    # ------------------------------------------------------------------
+    # Call graph.
+    # ------------------------------------------------------------------
+
+    def _index_call_graph(self, source: SourceFile) -> None:
+        for fn in _function_defs(source):
+            self.nodes[fn.qualname] = fn
+            self._functions_by_name.setdefault(fn.name, []).append(
+                fn.qualname
+            )
+            if fn.class_name is not None:
+                self._methods_by_name.setdefault(fn.name, []).append(
+                    fn.qualname
+                )
+                self._class_methods.setdefault(
+                    fn.class_name, {}
+                ).setdefault(fn.name, fn.qualname)
+
+    def function_node(
+        self, class_name: Optional[str], name: str,
+        relpath: Optional[str] = None,
+    ) -> Optional[FunctionNode]:
+        """The unique node for ``Class.method`` / bare ``name``, if any."""
+        if class_name is not None:
+            qual = self._class_methods.get(class_name, {}).get(name)
+            return self.nodes.get(qual) if qual else None
+        candidates = [
+            self.nodes[q] for q in self._functions_by_name.get(name, ())
+            if relpath is None or self.nodes[q].relpath == relpath
+        ]
+        return candidates[0] if len(candidates) == 1 else None
+
+    def resolve_call(
+        self, node: FunctionNode, ref: CallRef
+    ) -> List[FunctionNode]:
+        """Every definition ``ref`` may reach, conservatively."""
+        targets: List[FunctionNode] = []
+        if ref.kind == "bare":
+            for qual in self._functions_by_name.get(ref.name, ()):
+                candidate = self.nodes[qual]
+                if candidate.class_name is None:
+                    targets.append(candidate)
+            # A bare call of a class name constructs it.
+            init = self._class_methods.get(ref.name, {}).get("__init__")
+            if init:
+                targets.append(self.nodes[init])
+        elif ref.kind == "self":
+            resolved = self._resolve_self(node, ref.name)
+            if resolved is not None:
+                return [resolved]
+            return self._any_provider(ref.name)
+        elif ref.kind in ("dotted", "ctor"):
+            base, _, method = ref.name.rpartition(".")
+            qual = self._class_methods.get(base, {}).get(method)
+            if qual:
+                return [self.nodes[qual]]
+            if ref.kind == "dotted":
+                return self._any_provider(method)
+        elif ref.kind == "method":
+            return self._any_provider(ref.name)
+        return targets
+
+    def _resolve_self(
+        self, node: FunctionNode, method: str
+    ) -> Optional[FunctionNode]:
+        cls = node.class_name
+        seen: Set[str] = set()
+        while cls is not None and cls not in seen:
+            seen.add(cls)
+            qual = self._class_methods.get(cls, {}).get(method)
+            if qual:
+                return self.nodes[qual]
+            info = self.resolve_base(cls)
+            cls = info.bases[0] if info is not None and info.bases else None
+        return None
+
+    def _any_provider(self, method: str) -> List[FunctionNode]:
+        if method in UBIQUITOUS_METHODS:
+            return []
+        return [
+            self.nodes[q] for q in self._methods_by_name.get(method, ())
+        ]
+
+    def reachable(
+        self,
+        roots: Iterable[FunctionNode],
+        keep=None,
+    ) -> Dict[str, FunctionNode]:
+        """Transitive closure over the call graph from ``roots``.
+
+        ``keep`` filters *expansion*: a node failing the predicate is
+        neither included nor followed.  Roots always pass.
+        """
+        frontier = list(roots)
+        seen: Dict[str, FunctionNode] = {}
+        for root in frontier:
+            seen[root.qualname] = root
+        while frontier:
+            node = frontier.pop()
+            for ref in node.calls:
+                for target in self.resolve_call(node, ref):
+                    if target.qualname in seen:
+                        continue
+                    if keep is not None and not keep(target):
+                        continue
+                    seen[target.qualname] = target
+                    frontier.append(target)
+        return seen
+
+    # ------------------------------------------------------------------
+    # Incremental-driver signatures.
+    # ------------------------------------------------------------------
+
+    def signature(self) -> str:
+        """Digest of every indexed fact (symbols + call edges).
+
+        Two trees with identical signatures resolve identically for
+        every cross-file checker question, so cached per-module findings
+        keyed on (module fingerprint, this signature) stay valid across
+        edits -- comments, docstrings, formatting -- that change no
+        indexed fact.
+        """
+        payload: Dict[str, object] = {}
+        for relpath in sorted(self.modules):
+            source = self.modules[relpath].source
+            classes = sorted(
+                (
+                    info.name,
+                    list(info.bases),
+                    sorted(info.methods),
+                    sorted(info.self_attrs),
+                    sorted(info.properties),
+                    sorted(info.class_attrs),
+                    list(info.slots) if info.slots is not None else None,
+                    sorted(info.fields.items()),
+                    sorted(info.attr_ctors.items()),
+                    info.is_dataclass,
+                )
+                for info in self.all_classes()
+                if info.relpath == relpath
+            )
+            functions = sorted(
+                (
+                    fn.qualname,
+                    [(ref.kind, ref.name) for ref in fn.calls],
+                )
+                for fn in self.nodes.values()
+                if fn.relpath == relpath
+            )
+            payload[relpath] = {
+                "classes": classes,
+                "functions": functions,
+                "domains": sorted(source.domains),
+            }
+        canonical = json.dumps(payload, sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
 
     def all_classes(self) -> List[ClassInfo]:
         return [info for infos in self.classes.values() for info in infos]
@@ -158,8 +408,11 @@ def _class_info(node: ast.ClassDef, source: SourceFile) -> ClassInfo:
                 info.properties.add(item.name)
             else:
                 info.methods.add(item.name)
+                info.method_nodes.setdefault(item.name, item)
             for attr in _self_stores(item):
                 info.self_attrs.add(attr)
+            for attr, ctor in _self_ctor_stores(item).items():
+                info.attr_ctors.setdefault(attr, ctor)
         elif isinstance(item, ast.Assign):
             for target in item.targets:
                 if isinstance(target, ast.Name):
@@ -196,6 +449,125 @@ def _self_stores(func: ast.AST) -> Set[str]:
         ):
             stores.add(node.attr)
     return stores
+
+
+def _self_ctor_stores(func: ast.AST) -> Dict[str, str]:
+    """``self.x = Ctor(...)`` assignments: attr -> dotted ctor name."""
+    ctors: Dict[str, str] = {}
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        if not isinstance(value, ast.Call):
+            continue
+        ctor = call_name(value.func)
+        if ctor is None:
+            continue
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                ctors.setdefault(target.attr, ctor)
+    return ctors
+
+
+def _function_defs(source: SourceFile) -> List[FunctionNode]:
+    """Every function definition in ``source`` as a FunctionNode."""
+    nodes: List[FunctionNode] = []
+    taken: Set[str] = set()
+
+    def visit(
+        body: Iterable[ast.stmt],
+        class_name: Optional[str],
+        prefix: str,
+        nested: bool,
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{source.relpath}::{prefix}{stmt.name}"
+                if qual in taken:
+                    qual = f"{qual}@{stmt.lineno}"
+                taken.add(qual)
+                nodes.append(
+                    FunctionNode(
+                        qualname=qual,
+                        relpath=source.relpath,
+                        name=stmt.name,
+                        node=stmt,
+                        class_name=class_name,
+                        nested=nested,
+                        calls=_call_refs(stmt),
+                    )
+                )
+                visit(
+                    stmt.body, class_name,
+                    f"{prefix}{stmt.name}.<locals>.", True,
+                )
+            elif isinstance(stmt, ast.ClassDef):
+                visit(stmt.body, stmt.name, f"{prefix}{stmt.name}.", nested)
+            elif not nested and isinstance(
+                stmt, (ast.If, ast.Try, ast.With)
+            ):
+                for inner in ast.iter_child_nodes(stmt):
+                    if isinstance(inner, ast.stmt):
+                        visit([inner], class_name, prefix, nested)
+
+    visit(source.tree.body, None, "", False)
+    return nodes
+
+
+def _call_refs(func: ast.AST) -> Tuple[CallRef, ...]:
+    """Call references made directly by ``func`` (not its nested defs)."""
+    refs: List[CallRef] = []
+    seen: Set[Tuple[str, str]] = set()
+
+    def add(kind: str, name: str) -> None:
+        if (kind, name) not in seen:
+            seen.add((kind, name))
+            refs.append(CallRef(kind, name))
+
+    def walk(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                        ast.ClassDef)
+            ):
+                continue
+            if isinstance(child, ast.Call):
+                target = child.func
+                if isinstance(target, ast.Name):
+                    add("bare", target.id)
+                elif isinstance(target, ast.Attribute):
+                    receiver = target.value
+                    if (
+                        isinstance(receiver, ast.Name)
+                        and receiver.id == "self"
+                    ):
+                        add("self", target.attr)
+                    elif isinstance(receiver, ast.Name):
+                        add("dotted", f"{receiver.id}.{target.attr}")
+                    elif isinstance(receiver, ast.Call):
+                        ctor = call_name(receiver.func)
+                        if ctor is not None:
+                            cls = ctor.rpartition(".")[2]
+                            add("ctor", f"{cls}.{target.attr}")
+                        else:
+                            add("method", target.attr)
+                    else:
+                        add("method", target.attr)
+            walk(child)
+
+    body = getattr(func, "body", [])
+    for stmt in body if isinstance(body, list) else [body]:
+        walk(stmt)
+    return tuple(refs)
 
 
 def _literal_slots(value: Optional[ast.AST]) -> Optional[Tuple[str, ...]]:

@@ -56,12 +56,32 @@ def render_json(result) -> str:
             for f in sorted(result.baselined, key=Finding.sort_key)
         ],
         "summary": {
+            # No timings here: a warm (cached) run must render
+            # byte-identically to a cold one; --stats carries them.
             "new": len(result.new_findings),
             "baselined": len(result.baselined),
             "suppressed": result.suppressed_count,
             "files": len(result.files),
             "checkers": result.checker_count,
-            "elapsed_seconds": round(result.elapsed_seconds, 3),
         },
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_stats(result) -> str:
+    """Per-checker timings and cache behaviour (for ``--stats``).
+
+    Goes to stderr so it never perturbs the machine-readable report.
+    """
+    stats = result.stats
+    lines = [
+        f"modules: {stats.modules_analyzed} analyzed, "
+        f"{stats.modules_cached} cached"
+        + (", finalize cached" if stats.finalize_cached else "")
+        + f", {stats.workers} worker(s), {stats.elapsed_seconds:.2f}s"
+    ]
+    for name in sorted(
+        stats.checker_seconds, key=stats.checker_seconds.get, reverse=True
+    ):
+        lines.append(f"  {name:8s} {stats.checker_seconds[name]:7.3f}s")
+    return "\n".join(lines)

@@ -49,6 +49,21 @@ __all__ = ["EstimateAnswer", "Estimator"]
 #: moves while a burst of queries drains.
 _REFINE_BATCH = 8
 
+#: Lock discipline, enforced by the CONC analysis rules: every write to
+#: these fields must happen under ``with self.<named lock>``.  The
+#: caller thread and the refinement drain worker share them; ``_lock``
+#: guards the serving stats, ``_idle`` guards the refinement
+#: bookkeeping its Condition predicate reads.
+LOCKED_BY = {
+    "Estimator._queries": "_lock",
+    "Estimator._observed_errors": "_lock",
+    "Estimator.calibration": "_lock",
+    "Estimator._scheduled_keys": "_idle",
+    "Estimator._inflight": "_idle",
+    "Estimator._worker": "_idle",
+    "Estimator._closed": "_idle",
+}
+
 
 @dataclass
 class EstimateAnswer:
@@ -380,7 +395,11 @@ class Estimator:
         calibration, _ = calibrate_from_cache(
             self.experiment, configs, loads
         )
-        self.calibration = calibration
+        # The drain worker reads self.calibration under _lock while
+        # scoring refinements; installing the new fit unlocked would
+        # race it.
+        with self._lock:
+            self.calibration = calibration
         return calibration
 
     @property

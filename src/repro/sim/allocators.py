@@ -148,8 +148,10 @@ class SeparableAllocator:
         for request in requests:
             if request.resource in busy:
                 continue
+            # repro: hot-ok[per-cycle request grouping in the reference allocator; bounded by requests]
             by_group.setdefault(request.group, []).append(request)
         for group, group_requests in by_group.items():
+            # repro: hot-ok[bounded same-cycle scratch in the reference allocator]
             members = [r.member for r in group_requests]
             winner_member = self._stage1[group].arbitrate(members)
             # A member may post several requests (general routing
@@ -164,9 +166,11 @@ class SeparableAllocator:
         # Stage 2: per resource, pick one group among the survivors.
         by_resource: Dict[int, List[Request]] = {}
         for request in survivors.values():
+            # repro: hot-ok[per-cycle request grouping in the reference allocator; bounded by requests]
             by_resource.setdefault(request.resource, []).append(request)
         grants: List[Grant] = []
         for resource, resource_requests in by_resource.items():
+            # repro: hot-ok[bounded same-cycle scratch in the reference allocator]
             groups = [r.group for r in resource_requests]
             winner_group = self._stage2[resource].arbitrate(groups)
             for request in resource_requests:
@@ -206,7 +210,9 @@ class SeparableAllocator:
             for group, members, resources in zip(
                 groups, members_lists, resources_lists
             ):
+                # repro: hot-ok[bounded same-cycle scratch in the reference allocator]
                 live_members: List[int] = []
+                # repro: hot-ok[bounded same-cycle scratch in the reference allocator]
                 live_resources: List[int] = []
                 for member, resource in zip(members, resources):
                     if resource not in busy:
@@ -263,6 +269,7 @@ class SeparableAllocator:
             return [Grant(group, member, resource)]
         by_resource: Dict[int, List[Tuple[int, int]]] = {}
         for group, member, resource in survivors:
+            # repro: hot-ok[per-cycle request grouping in the reference allocator; bounded by requests]
             by_resource.setdefault(resource, []).append((group, member))
         grants: List[Grant] = []
         for resource, claimants in by_resource.items():
@@ -277,6 +284,7 @@ class SeparableAllocator:
                     arb.arbitrate((group,))
                 grants.append(Grant(group, member, resource))
             else:
+                # repro: hot-ok[bounded same-cycle scratch in the reference allocator]
                 winner_group = arb.arbitrate([pair[0] for pair in claimants])
                 for group, member in claimants:
                     if group == winner_group:
@@ -349,11 +357,14 @@ class SpeculativeSwitchAllocator:
             nonspec_grants = []
         if not spec_requests:
             return nonspec_grants, []
+        # repro: hot-ok[bounded same-cycle scratch in the reference allocator]
         taken_outputs = {g.resource for g in nonspec_grants}
+        # repro: hot-ok[bounded same-cycle scratch in the reference allocator]
         taken_inputs = {g.group for g in nonspec_grants}
         spec_grants = self._spec.allocate(
             spec_requests, busy_resources=sorted(taken_outputs)
         )
+        # repro: hot-ok[bounded same-cycle scratch in the reference allocator]
         surviving = [g for g in spec_grants if g.group not in taken_inputs]
         return nonspec_grants, surviving
 
@@ -391,7 +402,9 @@ class SpeculativeSwitchAllocator:
             nonspec_grants = []
         if not spec_groups:
             return nonspec_grants, []
+        # repro: hot-ok[bounded same-cycle scratch in the reference allocator]
         taken_outputs = {g.resource for g in nonspec_grants}
+        # repro: hot-ok[bounded same-cycle scratch in the reference allocator]
         taken_inputs = {g.group for g in nonspec_grants}
         spec_grants = self._spec.allocate_grouped(
             spec_groups,
@@ -399,6 +412,7 @@ class SpeculativeSwitchAllocator:
             spec_resources,
             busy_resources=sorted(taken_outputs),
         )
+        # repro: hot-ok[bounded same-cycle scratch in the reference allocator]
         surviving = [g for g in spec_grants if g.group not in taken_inputs]
         return nonspec_grants, surviving
 
@@ -408,14 +422,17 @@ class SpeculativeSwitchAllocator:
         spec_requests: Sequence[Request],
     ) -> Tuple[List[Grant], List[Grant]]:
         """One allocator, no priority: speculation can displace certainty."""
+        # repro: hot-ok[bounded same-cycle scratch in the reference allocator]
         spec_keys = {(r.group, r.member, r.resource) for r in spec_requests}
         grants = self._nonspec.allocate(
             list(nonspec_requests) + list(spec_requests)
         )
+        # repro: hot-ok[bounded same-cycle scratch in the reference allocator]
         nonspec_grants = [
             g for g in grants
             if (g.group, g.member, g.resource) not in spec_keys
         ]
+        # repro: hot-ok[bounded same-cycle scratch in the reference allocator]
         spec_grants = [
             g for g in grants
             if (g.group, g.member, g.resource) in spec_keys
@@ -463,10 +480,12 @@ class SpeculativeSwitchAllocator:
         grants = self._nonspec.allocate_grouped(
             merged_groups, merged_members, merged_resources
         )
+        # repro: hot-ok[bounded same-cycle scratch in the reference allocator]
         nonspec_grants = [
             g for g in grants
             if (g.group, g.member, g.resource) not in spec_keys
         ]
+        # repro: hot-ok[bounded same-cycle scratch in the reference allocator]
         spec_grants = [
             g for g in grants
             if (g.group, g.member, g.resource) in spec_keys

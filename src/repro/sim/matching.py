@@ -160,6 +160,7 @@ class MaximumMatchingAllocator:
         match_group: Dict[int, int] = {}  # resource *bit* -> group
         visited = 0
 
+        # repro: hot-ok[recursive augmenting-path helper closing over per-call matching state]
         def augment(group: int) -> bool:
             nonlocal visited
             mask = adjacency[group]

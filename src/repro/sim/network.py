@@ -165,9 +165,10 @@ class Source:
     def inject(self, router: BaseRouter, cycle: int) -> Optional[Flit]:
         """Move at most one flit into the router's local port."""
         # Assign waiting packets to idle VC streams.
+        pending = self.pending
         for vc in range(self.num_vcs):
-            if not self._streams[vc] and self.pending:
-                self._streams[vc].extend(self.pending.popleft().make_flits())
+            if not self._streams[vc] and pending:
+                self._streams[vc].extend(pending.popleft().make_flits())
         # Inject one flit from a VC with space, round-robin.
         for offset in range(self.num_vcs):
             vc = (self._round_robin + offset) % self.num_vcs

@@ -394,6 +394,7 @@ class BaseRouter:
 
     def _rc_phase(self, cycle: int) -> None:
         """Routing computation for heads that became routable."""
+        tracer = self.tracer
         for ivc in self._all_ivcs:
             if ivc.state is _ROUTING and ivc.routing_ready <= cycle:
                 flit = ivc.buffer.front()
@@ -401,10 +402,10 @@ class BaseRouter:
                     raise AssertionError("ROUTING state without a head flit")
                 ivc.route = self._route_vc(ivc, flit)
                 self.stats.packets_routed += 1
-                if self.tracer is not None:
+                if tracer is not None:
                     from ..trace import EventKind
 
-                    self.tracer.record(
+                    tracer.record(
                         cycle, EventKind.RC, self.node, ivc.port, ivc.vc,
                         flit.packet.packet_id, flit.index,
                     )

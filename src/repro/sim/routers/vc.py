@@ -103,6 +103,7 @@ class VirtualChannelRouter(BaseRouter):
             allowed = self._vc_policy.allowed_vcs(
                 self.mesh, self.node, ivc.port, ivc.vc, port, flit
             )
+            # repro: hot-ok[route-freedom scoring on the adaptive-candidate branch; bounded by num_vcs]
             return sum(
                 1
                 for c in allowed
@@ -150,6 +151,7 @@ class VirtualChannelRouter(BaseRouter):
         requests = self._collect_va_requests(cycle)
         if not requests:
             return  # every allocator kind is pure on empty inputs
+        tracer = self.tracer
         for grant in self._vc_allocator.allocate(requests):
             in_port, in_vc = divmod(grant.group, self.num_vcs)
             out_port, out_vc = divmod(grant.resource, self.num_vcs)
@@ -163,12 +165,12 @@ class VirtualChannelRouter(BaseRouter):
             bit = 1 << ivc.flat
             self._va_mask &= ~bit
             self._active_mask |= bit
-            if self.tracer is not None:
+            if tracer is not None:
                 from ..trace import EventKind
 
                 head = ivc.buffer.front()
                 if head is not None:
-                    self.tracer.record(
+                    tracer.record(
                         cycle, EventKind.VC_GRANT, self.node, in_port,
                         in_vc, head.packet.packet_id, head.index,
                     )

@@ -74,6 +74,7 @@ class WormholeRouter(BaseRouter):
             # The separable arbiter grants nothing (and mutates nothing)
             # on an empty request set; skip the call entirely.
             return
+        # repro: hot-ok[bounded per-cycle scratch in the reference wormhole arbiter]
         held_outputs = [p for p, holder in enumerate(self.port_held_by)
                         if holder is not None]
         for grant in self._switch_arbiter.allocate(requests, held_outputs):

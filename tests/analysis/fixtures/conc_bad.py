@@ -1,0 +1,29 @@
+# repro: scope[runtime]
+"""Bad lock discipline: CONC001 (unguarded/mis-guarded writes) and
+CONC003 (wait discipline) violations."""
+
+import threading
+
+LOCKED_BY = {"Racy.declared": "_lock"}
+
+
+class Racy:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self.value = 0
+        self.declared = 0
+
+    def set_value(self, v):
+        self.value = v  # CONC001: no owned lock held
+
+    def set_declared(self, v):
+        self.declared = v  # CONC001: LOCKED_BY names _lock, not held
+
+    def wait_unheld(self):
+        self._cond.wait()  # CONC003: condition not held
+
+    def wait_no_loop(self):
+        with self._cond:
+            if self.value == 0:
+                self._cond.wait()  # CONC003: bare wait outside a while

@@ -1,0 +1,21 @@
+# repro: scope[runtime]
+"""CONC002: an unguarded field write reachable from a Thread target in
+a class that owns no lock."""
+
+import threading
+
+
+class Worker:
+    def __init__(self):
+        self.count = 0
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def start(self):
+        self._thread.start()
+
+    def _run(self):
+        while self.count < 100:
+            self._bump()
+
+    def _bump(self):
+        self.count += 1  # CONC002: two threads touch this instance

@@ -1,0 +1,20 @@
+# repro: scope[sim, hot]
+"""Hot-path violations: every HOT rule fires at least once, including
+through a call-graph hop from the step root."""
+
+
+class Router:
+    def step(self, cycle):
+        ready = [r for r in self.requests]  # HOT001: fresh list per call
+        for request in ready:
+            grant = {"request": request}  # HOT001: dict per iteration
+            tracer = self.stats.tracer  # HOT004: 2-hop chain in a loop
+            tracer.record(grant)
+        key = lambda r: r.age  # HOT002: lambda per call
+        print("stepped", cycle)  # HOT003: I/O on the hot path
+        msg = f"cycle {cycle}"  # HOT003: f-string on the hot path
+        self._drain(key, msg)
+
+    def _drain(self, key, msg):
+        # Reached from step over the call graph: still checked.
+        return sorted((r for r in self.requests), key=key)  # HOT001

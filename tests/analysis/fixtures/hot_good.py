@@ -1,0 +1,16 @@
+# repro: scope[sim, hot]
+"""Hot-path discipline: the happy path for every HOT rule."""
+
+
+class Router:
+    def step(self, cycle):
+        requests = self.requests  # single-hop reads are fine
+        stats = self.stats  # hoisted once, used in the loop
+        for request in requests:
+            stats.grants += 1
+            request.age = cycle
+        # repro: hot-ok[bounded scratch the fixture documents]
+        held = [r for r in requests]
+        if held and cycle < 0:
+            raise ValueError(f"negative cycle {cycle}")  # error path only
+        return held

@@ -76,7 +76,66 @@ def test_wrong_rule_suppression_does_not_silence(tmp_path):
     result = analyze(
         [tmp_path], checkers=[DeterminismChecker()], root=tmp_path
     )
+    # The wrong-family allow does not silence DET002.  It is not SUP002
+    # either: PURE did not run, so this partial pass cannot call the
+    # marker stale (a full default-checker run would).
     assert [f.rule for f in result.new_findings] == ["DET002"]
+
+
+def test_stale_suppression_is_flagged(tmp_path):
+    _write(
+        tmp_path, "mod.py",
+        "# repro: scope[sim]\n"
+        "def fine():\n"
+        "    return 1  # repro: allow[DET002] nothing here anymore\n",
+    )
+    result = analyze(
+        [tmp_path], checkers=[DeterminismChecker()], root=tmp_path
+    )
+    assert [f.rule for f in result.new_findings] == ["SUP002"]
+    assert "allow[DET002]" in result.new_findings[0].message
+
+
+def test_stale_hot_ok_is_flagged(tmp_path):
+    _write(
+        tmp_path, "mod.py",
+        "# repro: scope[sim]\n"
+        "def fine():\n"
+        "    return 1  # repro: hot-ok[long-gone scratch buffer]\n",
+    )
+    from repro.analysis.checkers.hot import HotPathChecker
+
+    result = analyze(
+        [tmp_path], checkers=[HotPathChecker()], root=tmp_path
+    )
+    assert [f.rule for f in result.new_findings] == ["SUP002"]
+    assert "hot-ok[...]" in result.new_findings[0].message
+
+
+def test_suppression_for_inactive_family_is_not_stale(tmp_path):
+    # A partial run (HOT checker left out) cannot prove the marker dead.
+    _write(
+        tmp_path, "mod.py",
+        "# repro: scope[sim]\n"
+        "def fine():\n"
+        "    return 1  # repro: hot-ok[long-gone scratch buffer]\n",
+    )
+    result = analyze(
+        [tmp_path], checkers=[DeterminismChecker()], root=tmp_path
+    )
+    assert result.ok
+
+
+def test_load_bearing_suppression_is_not_stale(tmp_path):
+    _write(tmp_path, "mod.py", BAD_SNIPPET.replace(
+        "    return time.time()",
+        "    return time.time()  # repro: allow[DET002] wall-clock only",
+    ))
+    result = analyze(
+        [tmp_path], checkers=[DeterminismChecker()], root=tmp_path
+    )
+    assert result.ok
+    assert result.suppressed_count == 1
 
 
 def test_syntax_error_reported_as_parse_finding(tmp_path):

@@ -1,0 +1,82 @@
+"""HOT hot-path checker: fixtures, reachability, and escapes."""
+
+from repro.analysis.checkers.hot import HotPathChecker
+
+from .conftest import run_analysis, rules_of
+
+
+def _hot(*paths, root=None):
+    return run_analysis(*paths, checkers=[HotPathChecker()], root=root)
+
+
+def test_good_fixture_is_clean_with_escape_counted():
+    result = _hot("hot_good.py")
+    assert result.ok, "\n".join(str(f) for f in result.new_findings)
+    # The documented hot-ok escape did suppress something.
+    assert result.suppressed_count == 1
+
+
+def test_bad_fixture_fires_every_rule():
+    result = _hot("hot_bad.py")
+    assert rules_of(result) == [
+        "HOT001", "HOT001", "HOT001",
+        "HOT002",
+        "HOT003", "HOT003",
+        "HOT004",
+    ]
+
+
+def test_hot001_reaches_through_the_call_graph():
+    # The generator expression lives in _drain, one self-call from step.
+    result = _hot("hot_bad.py")
+    drained = [
+        f for f in result.new_findings
+        if f.rule == "HOT001" and "_drain" in f.message
+    ]
+    assert len(drained) == 1
+
+
+def test_hot004_names_the_chain():
+    result = _hot("hot_bad.py")
+    (chain,) = [f for f in result.new_findings if f.rule == "HOT004"]
+    assert "self.stats.tracer" in chain.message
+
+
+def test_rules_scoped_to_hot_domain(tmp_path):
+    # The same code outside the sim/hot domains is cold by definition.
+    from .conftest import FIXTURES
+
+    unscoped = tmp_path / "mod.py"
+    unscoped.write_text(
+        (FIXTURES / "hot_bad.py").read_text().replace(
+            "# repro: scope[sim, hot]\n", ""
+        )
+    )
+    result = _hot(str(unscoped), root=tmp_path)
+    assert result.ok
+
+
+def test_error_paths_are_exempt(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text(
+        "# repro: scope[sim, hot]\n"
+        "class Router:\n"
+        "    def step(self):\n"
+        "        if self.broken:\n"
+        "            raise ValueError(f'bad state {self.broken}')\n"
+        "        assert self.ready, f'not ready'\n"
+    )
+    result = _hot(str(mod), root=tmp_path)
+    assert result.ok, "\n".join(str(f) for f in result.new_findings)
+
+
+def test_test_modules_never_join_the_hot_set(tmp_path):
+    mod = tmp_path / "test_router.py"
+    mod.write_text(
+        "# repro: scope[sim, hot]\n"
+        "class Router:\n"
+        "    def step(self):\n"
+        "        return [r for r in self.requests]\n"
+    )
+    result = _hot(str(mod), root=tmp_path)
+    assert result.ok
